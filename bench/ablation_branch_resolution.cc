@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation F (paper §3.2, after Sodani & Sohi [38]): branch resolution
+ * policy — branches resolved only with *valid* operands (the paper's
+ * evaluated configuration; mispredicted values never redirect fetch,
+ * but branches wait for verification + verifyToBranch) versus branches
+ * resolved with *speculative/predicted* operands (faster resolution,
+ * but value mispredictions can trigger spurious squashes).
+ *
+ * Compared under real and oracle confidence on the 8/48 machine with
+ * the great model. With accurate confidence the speculative policy
+ * should be competitive (few value-mispredicted redirects); with
+ * aggressive speculation it pays for the extra squashes.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsim;
+    using core::ConfidenceKind;
+    using core::SpecModel;
+    using core::UpdateTiming;
+
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::BaseRuns base_runs(opt);
+    const sim::MachineConfig m{8, 48};
+
+    for (ConfidenceKind conf :
+         {ConfidenceKind::Real, ConfidenceKind::Oracle}) {
+        std::printf("== Ablation: branch resolution policy (8/48, "
+                    "great, %s confidence, immediate update) ==\n\n",
+                    conf == ConfidenceKind::Real ? "real" : "oracle");
+        TextTable table;
+        table.setHeader({"workload", "valid-only", "speculative",
+                         "squashes(valid)", "squashes(spec)"});
+
+        std::vector<double> sp_valid, sp_spec;
+        for (const std::string &wname : bench::workloadNames(opt)) {
+            SpecModel valid_model = SpecModel::greatModel();
+            const auto vr = sim::runWorkload(
+                wname, opt.scale,
+                sim::vpConfig(m, valid_model, conf,
+                              UpdateTiming::Immediate));
+
+            SpecModel spec_model = SpecModel::greatModel();
+            spec_model.branchNeedsValidOps = false;
+            const auto sr = sim::runWorkload(
+                wname, opt.scale,
+                sim::vpConfig(m, spec_model, conf,
+                              UpdateTiming::Immediate));
+
+            const auto &base = base_runs.get(m, wname);
+            const double v = sim::speedup(base, vr);
+            const double s = sim::speedup(base, sr);
+            sp_valid.push_back(v);
+            sp_spec.push_back(s);
+            table.addRow({wname, TextTable::fmt(v, 3),
+                          TextTable::fmt(s, 3),
+                          std::to_string(vr.stats.squashes),
+                          std::to_string(sr.stats.squashes)});
+        }
+        table.addRow({"(hmean)", TextTable::fmt(harmonicMean(sp_valid), 3),
+                      TextTable::fmt(harmonicMean(sp_spec), 3), "", ""});
+        std::printf("%s\n", table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation E: value-predictor choice — the paper's order-4 FCM
+ * context predictor versus last-value, 2-delta stride and an
+ * FCM+stride hybrid — on the 8/48 machine, great model, oracle
+ * confidence and immediate updates (so raw predictor coverage is what
+ * differentiates the runs). Reports prediction accuracy and speedup.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsim;
+    using core::ConfidenceKind;
+    using core::CoreConfig;
+    using core::SpecModel;
+    using core::UpdateTiming;
+
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::BaseRuns base_runs(opt);
+    const sim::MachineConfig m{8, 48};
+
+    std::printf("== Ablation: value predictor (8/48, great, oracle "
+                "confidence, immediate update) ==\n\n");
+    TextTable table;
+    table.setHeader({"predictor", "hmean speedup", "mean accuracy %"});
+
+    for (const char *pred :
+         {"fcm", "last-value", "stride", "hybrid"}) {
+        std::vector<double> speedups, accs;
+        for (const std::string &wname : bench::workloadNames(opt)) {
+            CoreConfig cfg =
+                sim::vpConfig(m, SpecModel::greatModel(),
+                              ConfidenceKind::Oracle,
+                              UpdateTiming::Immediate);
+            cfg.valuePredictor = pred;
+            const auto vp = sim::runWorkload(wname, opt.scale, cfg);
+            speedups.push_back(
+                sim::speedup(base_runs.get(m, wname), vp));
+            accs.push_back(100.0 * vp.stats.predictionAccuracy());
+        }
+        table.addRow({pred, TextTable::fmt(harmonicMean(speedups), 3),
+                      TextTable::fmt(arithmeticMean(accs), 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

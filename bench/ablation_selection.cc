@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation G (paper §3.5): issue-selection policy. The paper fixes
+ * selection to "branches and loads first, non-speculative preferred
+ * over speculative, oldest first" and explicitly leaves selection for
+ * speculative execution as future research; this experiment runs that
+ * exploration over four policies on the 8/48 machine (great model)
+ * under real and oracle confidence.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsim;
+    using core::ConfidenceKind;
+    using core::SelectPolicy;
+    using core::SpecModel;
+    using core::UpdateTiming;
+
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::BaseRuns base_runs(opt);
+    const sim::MachineConfig m{8, 48};
+
+    const std::vector<std::pair<const char *, SelectPolicy>> policies = {
+        {"typed+spec-last (paper)", SelectPolicy::TypedSpecLast},
+        {"typed only", SelectPolicy::TypedOnly},
+        {"oldest first", SelectPolicy::OldestFirst},
+        {"typed+spec-first", SelectPolicy::TypedSpecFirst},
+    };
+
+    for (ConfidenceKind conf :
+         {ConfidenceKind::Real, ConfidenceKind::Oracle}) {
+        std::printf("== Ablation: selection policy (8/48, great, %s "
+                    "confidence, immediate update) ==\n\n",
+                    conf == ConfidenceKind::Real ? "real" : "oracle");
+        TextTable table;
+        table.setHeader({"policy", "hmean speedup"});
+        for (const auto &[name, policy] : policies) {
+            std::vector<double> speedups;
+            for (const std::string &wname : bench::workloadNames(opt)) {
+                SpecModel model = SpecModel::greatModel();
+                model.selectPolicy = policy;
+                const auto vp = sim::runWorkload(
+                    wname, opt.scale,
+                    sim::vpConfig(m, model, conf,
+                                  UpdateTiming::Immediate));
+                speedups.push_back(
+                    sim::speedup(base_runs.get(m, wname), vp));
+            }
+            table.addRow(
+                {name, TextTable::fmt(harmonicMean(speedups), 3)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared plumbing for the experiment (bench) binaries: command-line
+ * options, the benchmark list, and cached base-machine runs.
+ *
+ * Every binary accepts:
+ *   --quick        3 workloads, middle machine only (smoke mode)
+ *   --scale N      override the per-workload work factor
+ */
+
+#ifndef VSPEC_BENCH_BENCH_UTIL_HH
+#define VSPEC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vsim/base/stats.hh"
+#include "vsim/sim/simulator.hh"
+#include "vsim/workloads/workloads.hh"
+
+namespace bench
+{
+
+struct Options
+{
+    bool quick = false;
+    int scale = -1; //!< -1 = per-workload default
+};
+
+inline Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            opt.quick = true;
+        } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+            opt.scale = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--scale N]\n", argv[0]);
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+inline std::vector<std::string>
+workloadNames(const Options &opt)
+{
+    std::vector<std::string> names;
+    for (const auto &w : vsim::workloads::all())
+        names.push_back(w.name);
+    if (opt.quick)
+        names = {"compress", "m88k", "queens"};
+    return names;
+}
+
+inline std::vector<vsim::sim::MachineConfig>
+machines(const Options &opt)
+{
+    if (opt.quick)
+        return {{8, 48}};
+    return vsim::sim::paperMachines();
+}
+
+/** Cache of base-machine runs keyed by (machine label, workload). */
+class BaseRuns
+{
+  public:
+    explicit BaseRuns(const Options &opt) : opt(opt) {}
+
+    const vsim::sim::RunResult &
+    get(const vsim::sim::MachineConfig &m, const std::string &workload)
+    {
+        const std::string key = m.label() + ":" + workload;
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            it = cache
+                     .emplace(key,
+                              vsim::sim::runWorkload(
+                                  workload, opt.scale,
+                                  vsim::sim::baseConfig(m)))
+                     .first;
+        }
+        return it->second;
+    }
+
+  private:
+    Options opt;
+    std::map<std::string, vsim::sim::RunResult> cache;
+};
+
+} // namespace bench
+
+#endif // VSPEC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces **Figure 3** of the paper: harmonic-mean speedup of the
+ * good/great/super speculative execution models over the base
+ * processor, for the three machine sizes (4/24, 8/48, 16/96), each
+ * under the four confidence/update-timing combinations the paper
+ * evaluates: D/R, I/R, D/O, I/O (D = delayed update, I = immediate,
+ * R = real 3-bit resetting-counter confidence, O = oracle).
+ *
+ * Expected shape (paper §6): good << great ~ super, good can dip
+ * below 1.0; the benefit grows with issue width/window; moving from
+ * real to oracle confidence gains more than moving from delayed to
+ * immediate updates.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsim;
+    using core::ConfidenceKind;
+    using core::SpecModel;
+    using core::UpdateTiming;
+
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::BaseRuns base_runs(opt);
+
+    const std::vector<SpecModel> models = {SpecModel::goodModel(),
+                                           SpecModel::greatModel(),
+                                           SpecModel::superModel()};
+    const std::vector<std::pair<UpdateTiming, ConfidenceKind>> combos = {
+        {UpdateTiming::Delayed, ConfidenceKind::Real},
+        {UpdateTiming::Immediate, ConfidenceKind::Real},
+        {UpdateTiming::Delayed, ConfidenceKind::Oracle},
+        {UpdateTiming::Immediate, ConfidenceKind::Oracle},
+    };
+
+    std::printf("== Figure 3: Speculative execution models, average "
+                "speedup ==\n");
+    std::printf("(harmonic mean over %zu workloads; speedup = base "
+                "cycles / VP cycles)\n\n",
+                bench::workloadNames(opt).size());
+
+    for (const auto &m : bench::machines(opt)) {
+        std::printf("-- machine %s (issue width / window size) --\n",
+                    m.label().c_str());
+        TextTable table;
+        table.setHeader({"model", "D/R", "I/R", "D/O", "I/O"});
+        for (const SpecModel &model : models) {
+            std::vector<std::string> row = {model.name};
+            for (const auto &[timing, conf] : combos) {
+                std::vector<double> speedups;
+                for (const std::string &wname :
+                     bench::workloadNames(opt)) {
+                    const auto &base = base_runs.get(m, wname);
+                    const auto vp = sim::runWorkload(
+                        wname, opt.scale,
+                        sim::vpConfig(m, model, conf, timing));
+                    speedups.push_back(sim::speedup(base, vp));
+                }
+                row.push_back(
+                    TextTable::fmt(harmonicMean(speedups), 3));
+            }
+            table.addRow(row);
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: functional
+ * execution rate and cycle-level simulation rate (base and with value
+ * speculation), so regressions in simulator performance are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "vsim/arch/functional_core.hh"
+#include "vsim/core/ooo_core.hh"
+#include "vsim/sim/simulator.hh"
+#include "vsim/workloads/workloads.hh"
+
+namespace
+{
+
+using namespace vsim;
+
+void
+BM_FunctionalExecution(benchmark::State &state)
+{
+    const auto prog =
+        workloads::buildProgram(workloads::byName("queens"), 1);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        arch::FunctionalCore core(prog);
+        insts += core.run(100'000'000);
+    }
+    state.counters["inst/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalExecution)->Unit(benchmark::kMillisecond);
+
+void
+BM_OooBase(benchmark::State &state)
+{
+    const auto prog =
+        workloads::buildProgram(workloads::byName("queens"), 1);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        core::CoreConfig cfg = sim::baseConfig({8, 48});
+        core::OooCore core(prog, cfg);
+        insts += core.run().stats.retired;
+    }
+    state.counters["inst/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OooBase)->Unit(benchmark::kMillisecond);
+
+void
+BM_OooValueSpeculation(benchmark::State &state)
+{
+    const auto prog =
+        workloads::buildProgram(workloads::byName("queens"), 1);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        core::CoreConfig cfg = sim::vpConfig(
+            {8, 48}, core::SpecModel::greatModel(),
+            core::ConfidenceKind::Real, core::UpdateTiming::Delayed);
+        core::OooCore core(prog, cfg);
+        insts += core.run().stats.retired;
+    }
+    state.counters["inst/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OooValueSpeculation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,176 @@
+#include "exec.hh"
+
+#include "vsim/base/logging.hh"
+
+namespace vsim::arch
+{
+
+namespace
+{
+
+std::int64_t
+sgn(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v);
+}
+
+} // namespace
+
+std::uint64_t
+directTarget(const isa::Inst &inst, std::uint64_t pc)
+{
+    return pc + 4 * static_cast<std::int64_t>(inst.imm);
+}
+
+std::uint64_t
+loadExtend(const isa::Inst &inst, std::uint64_t raw)
+{
+    using isa::Op;
+    switch (inst.op) {
+      case Op::LB:
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(static_cast<std::int8_t>(raw)));
+      case Op::LH:
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(static_cast<std::int16_t>(raw)));
+      case Op::LW:
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(static_cast<std::int32_t>(raw)));
+      case Op::LBU:
+        return raw & 0xffull;
+      case Op::LHU:
+        return raw & 0xffffull;
+      case Op::LWU:
+        return raw & 0xffffffffull;
+      case Op::LD:
+        return raw;
+      default:
+        VSIM_PANIC("loadExtend on non-load");
+    }
+}
+
+ExecOut
+evaluate(const isa::Inst &inst, std::uint64_t pc, std::uint64_t ra_val,
+         std::uint64_t rb_val, std::uint64_t rc_val)
+{
+    using isa::Op;
+
+    ExecOut out;
+    out.nextPc = pc + 4;
+
+    const std::uint64_t a = rb_val; // ALU src1
+    const std::uint64_t b =
+        inst.info().fmt == isa::Format::F_RRR
+            ? rc_val
+            : static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(inst.imm));
+
+    auto shamt6 = [](std::uint64_t v) { return static_cast<int>(v & 63); };
+
+    switch (inst.op) {
+      case Op::ADD: case Op::ADDI: out.value = a + b; break;
+      case Op::SUB: out.value = a - b; break;
+      case Op::AND: case Op::ANDI: out.value = a & b; break;
+      case Op::OR: case Op::ORI: out.value = a | b; break;
+      case Op::XOR: case Op::XORI: out.value = a ^ b; break;
+      case Op::SLL: case Op::SLLI: out.value = a << shamt6(b); break;
+      case Op::SRL: case Op::SRLI: out.value = a >> shamt6(b); break;
+      case Op::SRA: case Op::SRAI:
+        out.value = static_cast<std::uint64_t>(sgn(a) >> shamt6(b));
+        break;
+      case Op::SLT: case Op::SLTI:
+        out.value = sgn(a) < sgn(b) ? 1 : 0;
+        break;
+      case Op::SLTU: case Op::SLTIU:
+        out.value = a < b ? 1 : 0;
+        break;
+      case Op::MUL: out.value = a * b; break;
+      case Op::MULH:
+        out.value = static_cast<std::uint64_t>(
+            (static_cast<__int128>(sgn(a)) * static_cast<__int128>(sgn(b)))
+            >> 64);
+        break;
+      case Op::DIV:
+        if (b == 0)
+            out.value = ~0ull;
+        else if (sgn(a) == INT64_MIN && sgn(b) == -1)
+            out.value = a; // overflow case, RISC-V semantics
+        else
+            out.value = static_cast<std::uint64_t>(sgn(a) / sgn(b));
+        break;
+      case Op::DIVU:
+        out.value = b == 0 ? ~0ull : a / b;
+        break;
+      case Op::REM:
+        if (b == 0)
+            out.value = a;
+        else if (sgn(a) == INT64_MIN && sgn(b) == -1)
+            out.value = 0;
+        else
+            out.value = static_cast<std::uint64_t>(sgn(a) % sgn(b));
+        break;
+      case Op::REMU:
+        out.value = b == 0 ? a : a % b;
+        break;
+
+      case Op::LUI:
+        out.value = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(inst.imm) << 12);
+        break;
+      case Op::AUIPC:
+        out.value = pc
+                    + static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(inst.imm) << 12);
+        break;
+
+      case Op::BEQ: out.taken = ra_val == rb_val; break;
+      case Op::BNE: out.taken = ra_val != rb_val; break;
+      case Op::BLT: out.taken = sgn(ra_val) < sgn(rb_val); break;
+      case Op::BGE: out.taken = sgn(ra_val) >= sgn(rb_val); break;
+      case Op::BLTU: out.taken = ra_val < rb_val; break;
+      case Op::BGEU: out.taken = ra_val >= rb_val; break;
+
+      case Op::JAL:
+        out.value = pc + 4;
+        out.taken = true;
+        out.nextPc = directTarget(inst, pc);
+        break;
+      case Op::JALR:
+        out.value = pc + 4;
+        out.taken = true;
+        out.nextPc =
+            (rb_val
+             + static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(inst.imm)))
+            & ~1ull;
+        break;
+
+      case Op::LB: case Op::LBU: case Op::LH: case Op::LHU:
+      case Op::LW: case Op::LWU: case Op::LD:
+        out.memAddr =
+            rb_val
+            + static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(inst.imm));
+        break;
+
+      case Op::SB: case Op::SH: case Op::SW: case Op::SD:
+        out.memAddr =
+            rb_val
+            + static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(inst.imm));
+        out.storeData = ra_val;
+        break;
+
+      case Op::HALT: case Op::PUTC: case Op::PUTI:
+        break; // side effects applied by the caller at commit
+
+      case Op::NUM_OPS:
+        VSIM_PANIC("evaluate on NUM_OPS");
+    }
+
+    if (inst.isCondBranch() && out.taken)
+        out.nextPc = directTarget(inst, pc);
+    return out;
+}
+
+} // namespace vsim::arch

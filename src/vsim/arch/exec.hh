@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Pure instruction semantics shared by the functional core and the
+ * out-of-order core's execute stage, so both paths compute results
+ * from exactly one definition.
+ */
+
+#ifndef VSIM_ARCH_EXEC_HH
+#define VSIM_ARCH_EXEC_HH
+
+#include <cstdint>
+
+#include "vsim/isa/isa.hh"
+
+namespace vsim::arch
+{
+
+/** Outcome of evaluating one instruction (memory not yet touched). */
+struct ExecOut
+{
+    /** Register result for ALU/jump ops (undefined for loads). */
+    std::uint64_t value = 0;
+
+    /** Next PC; pc+4 unless a taken control transfer. */
+    std::uint64_t nextPc = 0;
+
+    /** Control transfer actually taken (always true for JAL/JALR). */
+    bool taken = false;
+
+    /** Effective address for loads/stores. */
+    std::uint64_t memAddr = 0;
+
+    /** Value to store (stores only). */
+    std::uint64_t storeData = 0;
+};
+
+/**
+ * Evaluate @p inst at @p pc given its register operand values.
+ * Loads produce only memAddr; the caller reads memory and applies
+ * sign/zero extension via loadExtend().
+ */
+ExecOut evaluate(const isa::Inst &inst, std::uint64_t pc,
+                 std::uint64_t ra_val, std::uint64_t rb_val,
+                 std::uint64_t rc_val);
+
+/** Apply the load's sign/zero extension to raw little-endian bytes. */
+std::uint64_t loadExtend(const isa::Inst &inst, std::uint64_t raw);
+
+/** Encoded direct target for direct control transfers (BEQ.., JAL). */
+std::uint64_t directTarget(const isa::Inst &inst, std::uint64_t pc);
+
+} // namespace vsim::arch
+
+#endif // VSIM_ARCH_EXEC_HH

@@ -1,0 +1,806 @@
+#include "assembler.hh"
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "vsim/base/logging.hh"
+#include "vsim/isa/isa.hh"
+
+namespace vsim::assembler
+{
+
+namespace
+{
+
+using isa::Inst;
+using isa::Op;
+
+/** How a pending instruction consumes a label in pass 2. */
+enum class Fixup : std::uint8_t
+{
+    None,          //!< fully resolved already
+    BranchOffset,  //!< imm <- (label - pc) / 4
+    LaHi,          //!< imm <- hi20 of absolute label address
+    LaLo,          //!< imm <- lo12 of absolute label address
+};
+
+struct PendingInst
+{
+    Inst inst;
+    Fixup fixup = Fixup::None;
+    std::string label;
+    int line = 0;
+};
+
+struct DataItem
+{
+    std::uint64_t offset; //!< offset within the data section
+    std::vector<std::uint8_t> bytes;
+};
+
+class Assembler
+{
+  public:
+    Assembler(const std::string &source, const std::string &name)
+        : source(source), unit(name)
+    {}
+
+    Program run();
+
+  private:
+    // ---- diagnostics -------------------------------------------------
+    void
+    error(int line, const std::string &msg)
+    {
+        std::ostringstream os;
+        os << unit << ":" << line << ": " << msg;
+        errors.push_back(os.str());
+    }
+
+    // ---- tokenizing --------------------------------------------------
+    static std::string stripComment(const std::string &line);
+    static std::vector<std::string> splitOperands(const std::string &s,
+                                                  bool &bad_quote);
+
+    // ---- operand parsing ---------------------------------------------
+    std::optional<std::int64_t> parseImm(const std::string &tok, int line);
+    int parseReg(const std::string &tok, int line);
+    bool parseMemOperand(const std::string &tok, int line, int &base,
+                         std::int64_t &offset);
+
+    // ---- emission ----------------------------------------------------
+    void emit(const Inst &inst, int line, Fixup fixup = Fixup::None,
+              const std::string &label = {});
+    void emitLi(int rd, std::int64_t value, int line);
+    void emitLa(int rd, const std::string &label, int line);
+
+    void processLine(const std::string &raw, int line);
+    void processDirective(const std::string &mnem,
+                          const std::vector<std::string> &ops, int line);
+    void processInstruction(const std::string &mnem,
+                            const std::vector<std::string> &ops, int line);
+
+    void defineLabel(const std::string &name, int line);
+    void resolveFixups(Program &prog);
+
+    std::uint64_t
+    textPc() const
+    {
+        return kTextBase + 4 * pending.size();
+    }
+
+    // ---- state ---------------------------------------------------------
+    const std::string &source;
+    std::string unit;
+    std::vector<std::string> errors;
+
+    bool inText = true;
+    std::vector<PendingInst> pending;
+    std::vector<std::uint8_t> data;
+    std::map<std::string, std::uint64_t> symbols;
+    std::map<std::string, std::int64_t> equates;
+};
+
+std::string
+Assembler::stripComment(const std::string &line)
+{
+    bool in_str = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (c == '"' && (i == 0 || line[i - 1] != '\\'))
+            in_str = !in_str;
+        if (!in_str && (c == '#' || c == ';'))
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+std::vector<std::string>
+Assembler::splitOperands(const std::string &s, bool &bad_quote)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    bool in_str = false, in_chr = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (c == '"' && !in_chr && (i == 0 || s[i - 1] != '\\'))
+            in_str = !in_str;
+        if (c == '\'' && !in_str && (i == 0 || s[i - 1] != '\\'))
+            in_chr = !in_chr;
+        if (c == ',' && !in_str && !in_chr) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    bad_quote = in_str || in_chr;
+
+    for (auto &tok : out) {
+        std::size_t b = tok.find_first_not_of(" \t");
+        std::size_t e = tok.find_last_not_of(" \t");
+        tok = b == std::string::npos ? "" : tok.substr(b, e - b + 1);
+    }
+    while (!out.empty() && out.back().empty())
+        out.pop_back();
+    return out;
+}
+
+namespace
+{
+
+std::optional<char>
+unescape(char c)
+{
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default: return std::nullopt;
+    }
+}
+
+} // namespace
+
+std::optional<std::int64_t>
+Assembler::parseImm(const std::string &tok, int line)
+{
+    if (tok.empty()) {
+        error(line, "empty immediate");
+        return std::nullopt;
+    }
+    // character literal
+    if (tok.front() == '\'') {
+        if (tok.size() == 3 && tok.back() == '\'')
+            return static_cast<std::int64_t>(tok[1]);
+        if (tok.size() == 4 && tok[1] == '\\' && tok.back() == '\'') {
+            if (auto c = unescape(tok[2]))
+                return static_cast<std::int64_t>(*c);
+        }
+        error(line, "bad character literal " + tok);
+        return std::nullopt;
+    }
+    // .equ constant
+    if (auto it = equates.find(tok); it != equates.end())
+        return it->second;
+
+    // integer literal (decimal or 0x hex, optional leading -)
+    std::size_t pos = 0;
+    bool neg = false;
+    if (tok[pos] == '-') {
+        neg = true;
+        ++pos;
+    }
+    if (pos >= tok.size())
+        return std::nullopt;
+    int base = 10;
+    if (tok.size() - pos > 2 && tok[pos] == '0'
+        && (tok[pos + 1] == 'x' || tok[pos + 1] == 'X')) {
+        base = 16;
+        pos += 2;
+    }
+    std::uint64_t value = 0;
+    for (; pos < tok.size(); ++pos) {
+        char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(tok[pos])));
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return std::nullopt; // not an integer (may be a label)
+        value = value * static_cast<unsigned>(base)
+                + static_cast<unsigned>(digit);
+    }
+    auto sval = static_cast<std::int64_t>(value);
+    return neg ? -sval : sval;
+}
+
+int
+Assembler::parseReg(const std::string &tok, int line)
+{
+    int r = isa::parseRegName(tok);
+    if (r < 0)
+        error(line, "expected register, got '" + tok + "'");
+    return r < 0 ? 0 : r;
+}
+
+bool
+Assembler::parseMemOperand(const std::string &tok, int line, int &base,
+                           std::int64_t &offset)
+{
+    std::size_t lp = tok.find('(');
+    std::size_t rp = tok.rfind(')');
+    if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+        error(line, "expected mem operand 'imm(reg)', got '" + tok + "'");
+        return false;
+    }
+    std::string imm_part = tok.substr(0, lp);
+    std::string reg_part = tok.substr(lp + 1, rp - lp - 1);
+    offset = 0;
+    if (!imm_part.empty()) {
+        auto v = parseImm(imm_part, line);
+        if (!v) {
+            error(line, "bad mem offset '" + imm_part + "'");
+            return false;
+        }
+        offset = *v;
+    }
+    base = parseReg(reg_part, line);
+    return true;
+}
+
+void
+Assembler::emit(const Inst &inst, int line, Fixup fixup,
+                const std::string &label)
+{
+    if (!inText) {
+        error(line, "instruction outside .text section");
+        return;
+    }
+    // Range-check immediates here so a bad user immediate is a
+    // diagnosed assembly error, not an encoder panic. Label-dependent
+    // immediates are checked after fixup resolution instead.
+    if (fixup == Fixup::None) {
+        const isa::OpInfo &oi = inst.info();
+        if (oi.fmt == isa::Format::F_RRI
+            && (inst.imm < -(1 << 14) || inst.imm >= (1 << 14))) {
+            error(line, "immediate " + std::to_string(inst.imm)
+                            + " does not fit in 15 bits (use li)");
+            return;
+        }
+        if (oi.fmt == isa::Format::F_RI20
+            && (inst.imm < -(1 << 19) || inst.imm >= (1 << 19))) {
+            error(line, "immediate " + std::to_string(inst.imm)
+                            + " does not fit in 20 bits");
+            return;
+        }
+    }
+    pending.push_back({inst, fixup, label, line});
+}
+
+void
+Assembler::emitLi(int rd, std::int64_t value, int line)
+{
+    auto fits = [](std::int64_t v, int bits) {
+        return v >= -(std::int64_t(1) << (bits - 1))
+               && v < (std::int64_t(1) << (bits - 1));
+    };
+
+    if (fits(value, 15)) {
+        emit({Op::ADDI, static_cast<std::uint8_t>(rd), 0, 0,
+              static_cast<std::int32_t>(value)},
+             line);
+        return;
+    }
+    if (fits(value, 32)) {
+        const std::int32_t lo = static_cast<std::int32_t>(value & 0xfff);
+        const std::int32_t hi =
+            static_cast<std::int32_t>((value - lo) >> 12);
+        emit({Op::LUI, static_cast<std::uint8_t>(rd), 0, 0, hi}, line);
+        if (lo != 0) {
+            emit({Op::ADDI, static_cast<std::uint8_t>(rd),
+                  static_cast<std::uint8_t>(rd), 0, lo},
+                 line);
+        }
+        return;
+    }
+
+    // General 64-bit constant: build the upper 32 bits, then shift in
+    // the lower 32 bits through zero-extended 11/11/10-bit chunks
+    // (ORI sign-extends, so chunks stay below 2^14).
+    emitLi(rd, value >> 32, line);
+    const std::uint32_t low = static_cast<std::uint32_t>(value);
+    const std::uint8_t rdb = static_cast<std::uint8_t>(rd);
+    emit({Op::SLLI, rdb, rdb, 0, 11}, line);
+    emit({Op::ORI, rdb, rdb, 0,
+          static_cast<std::int32_t>((low >> 21) & 0x7ff)}, line);
+    emit({Op::SLLI, rdb, rdb, 0, 11}, line);
+    emit({Op::ORI, rdb, rdb, 0,
+          static_cast<std::int32_t>((low >> 10) & 0x7ff)}, line);
+    emit({Op::SLLI, rdb, rdb, 0, 10}, line);
+    emit({Op::ORI, rdb, rdb, 0,
+          static_cast<std::int32_t>(low & 0x3ff)}, line);
+}
+
+void
+Assembler::emitLa(int rd, const std::string &label, int line)
+{
+    // Fixed two-instruction expansion so pass-1 sizing never depends
+    // on the label's final address (addresses stay below 2^31).
+    const std::uint8_t rdb = static_cast<std::uint8_t>(rd);
+    emit({Op::LUI, rdb, 0, 0, 0}, line, Fixup::LaHi, label);
+    emit({Op::ADDI, rdb, rdb, 0, 0}, line, Fixup::LaLo, label);
+}
+
+void
+Assembler::defineLabel(const std::string &name, int line)
+{
+    if (symbols.count(name)) {
+        error(line, "duplicate label '" + name + "'");
+        return;
+    }
+    symbols[name] =
+        inText ? textPc() : kDataBase + data.size();
+}
+
+void
+Assembler::processDirective(const std::string &mnem,
+                            const std::vector<std::string> &ops, int line)
+{
+    auto need_data = [&]() {
+        if (inText) {
+            error(line, mnem + " outside .data section");
+            return false;
+        }
+        return true;
+    };
+
+    if (mnem == ".text") {
+        inText = true;
+    } else if (mnem == ".data") {
+        inText = false;
+    } else if (mnem == ".global" || mnem == ".globl") {
+        // accepted for compatibility; has no effect
+    } else if (mnem == ".equ") {
+        if (ops.size() != 2) {
+            error(line, ".equ needs NAME, value");
+            return;
+        }
+        auto v = parseImm(ops[1], line);
+        if (!v) {
+            error(line, "bad .equ value '" + ops[1] + "'");
+            return;
+        }
+        equates[ops[0]] = *v;
+    } else if (mnem == ".align") {
+        if (!need_data())
+            return;
+        auto v = ops.size() == 1 ? parseImm(ops[0], line) : std::nullopt;
+        if (!v || *v <= 0 || (*v & (*v - 1)) != 0) {
+            error(line, ".align needs a power-of-two byte count");
+            return;
+        }
+        while (data.size() % static_cast<std::uint64_t>(*v) != 0)
+            data.push_back(0);
+    } else if (mnem == ".space") {
+        if (!need_data())
+            return;
+        auto v = ops.size() == 1 ? parseImm(ops[0], line) : std::nullopt;
+        if (!v || *v < 0) {
+            error(line, ".space needs a non-negative size");
+            return;
+        }
+        data.insert(data.end(), static_cast<std::size_t>(*v), 0);
+    } else if (mnem == ".byte" || mnem == ".half" || mnem == ".word"
+               || mnem == ".dword") {
+        if (!need_data())
+            return;
+        int size = mnem == ".byte" ? 1
+                   : mnem == ".half" ? 2
+                   : mnem == ".word" ? 4 : 8;
+        for (const auto &op : ops) {
+            auto v = parseImm(op, line);
+            std::int64_t value = 0;
+            if (v) {
+                value = *v;
+            } else if (auto it = symbols.find(op); it != symbols.end()) {
+                value = static_cast<std::int64_t>(it->second);
+            } else {
+                error(line, "bad " + mnem + " value '" + op + "'");
+                continue;
+            }
+            for (int i = 0; i < size; ++i)
+                data.push_back(
+                    static_cast<std::uint8_t>(value >> (8 * i)));
+        }
+    } else if (mnem == ".ascii" || mnem == ".asciiz") {
+        if (!need_data())
+            return;
+        if (ops.size() != 1 || ops[0].size() < 2 || ops[0].front() != '"'
+            || ops[0].back() != '"') {
+            error(line, mnem + " needs one quoted string");
+            return;
+        }
+        const std::string &s = ops[0];
+        for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+            char c = s[i];
+            if (c == '\\' && i + 2 < s.size()) {
+                if (auto e = unescape(s[i + 1])) {
+                    c = *e;
+                    ++i;
+                }
+            }
+            data.push_back(static_cast<std::uint8_t>(c));
+        }
+        if (mnem == ".asciiz")
+            data.push_back(0);
+    } else {
+        error(line, "unknown directive '" + mnem + "'");
+    }
+}
+
+void
+Assembler::processInstruction(const std::string &mnem,
+                              const std::vector<std::string> &ops,
+                              int line)
+{
+    auto nops = ops.size();
+    auto expect = [&](std::size_t n) {
+        if (nops != n) {
+            std::ostringstream os;
+            os << mnem << " expects " << n << " operand(s), got " << nops;
+            error(line, os.str());
+            return false;
+        }
+        return true;
+    };
+    auto reg = [&](std::size_t i) { return parseReg(ops[i], line); };
+    auto imm_or_label = [&](std::size_t i, Inst inst, Fixup fixup) {
+        if (auto v = parseImm(ops[i], line)) {
+            inst.imm = static_cast<std::int32_t>(*v);
+            emit(inst, line);
+        } else {
+            emit(inst, line, fixup, ops[i]);
+        }
+    };
+
+    // Resolve the mnemonic against real opcodes first.
+    Op op = Op::NUM_OPS;
+    for (int i = 0; i < isa::kNumOps; ++i) {
+        if (mnem == isa::opInfo(static_cast<Op>(i)).name) {
+            op = static_cast<Op>(i);
+            break;
+        }
+    }
+
+    if (op != Op::NUM_OPS) {
+        const isa::OpInfo &oi = isa::opInfo(op);
+        Inst inst;
+        inst.op = op;
+        switch (oi.cls) {
+          case isa::ExecClass::Load:
+          case isa::ExecClass::Store: {
+            if (!expect(2))
+                return;
+            inst.ra = static_cast<std::uint8_t>(reg(0));
+            int base;
+            std::int64_t off;
+            if (!parseMemOperand(ops[1], line, base, off))
+                return;
+            inst.rb = static_cast<std::uint8_t>(base);
+            inst.imm = static_cast<std::int32_t>(off);
+            emit(inst, line);
+            return;
+          }
+          case isa::ExecClass::System:
+            if (op == Op::HALT && nops == 0) {
+                emit(inst, line); // halt with exit code in x0 (= 0)
+                return;
+            }
+            if (!expect(1))
+                return;
+            inst.ra = static_cast<std::uint8_t>(reg(0));
+            emit(inst, line);
+            return;
+          default:
+            break;
+        }
+        switch (oi.fmt) {
+          case isa::Format::F_RRR:
+            if (!expect(3))
+                return;
+            inst.ra = static_cast<std::uint8_t>(reg(0));
+            inst.rb = static_cast<std::uint8_t>(reg(1));
+            inst.rc = static_cast<std::uint8_t>(reg(2));
+            emit(inst, line);
+            return;
+          case isa::Format::F_RRI:
+            if (!expect(3))
+                return;
+            inst.ra = static_cast<std::uint8_t>(reg(0));
+            inst.rb = static_cast<std::uint8_t>(reg(1));
+            if (inst.isCondBranch()) {
+                imm_or_label(2, inst, Fixup::BranchOffset);
+            } else {
+                auto v = parseImm(ops[2], line);
+                if (!v) {
+                    error(line, "bad immediate '" + ops[2] + "'");
+                    return;
+                }
+                inst.imm = static_cast<std::int32_t>(*v);
+                emit(inst, line);
+            }
+            return;
+          case isa::Format::F_RI20:
+            if (op == Op::JAL && nops == 1) {
+                // `jal target` implies rd = ra
+                inst.ra = 1;
+                imm_or_label(0, inst, Fixup::BranchOffset);
+                return;
+            }
+            if (!expect(2))
+                return;
+            inst.ra = static_cast<std::uint8_t>(reg(0));
+            if (op == Op::JAL) {
+                imm_or_label(1, inst, Fixup::BranchOffset);
+            } else {
+                auto v = parseImm(ops[1], line);
+                if (!v) {
+                    error(line, "bad immediate '" + ops[1] + "'");
+                    return;
+                }
+                inst.imm = static_cast<std::int32_t>(*v);
+                emit(inst, line);
+            }
+            return;
+        }
+    }
+
+    // ---- pseudo-instructions ----------------------------------------
+    auto cond_branch = [&](Op real, bool swap) {
+        if (!expect(3))
+            return;
+        Inst inst;
+        inst.op = real;
+        inst.ra = static_cast<std::uint8_t>(reg(swap ? 1 : 0));
+        inst.rb = static_cast<std::uint8_t>(reg(swap ? 0 : 1));
+        imm_or_label(2, inst, Fixup::BranchOffset);
+    };
+    auto zero_branch = [&](Op real, bool rs_first) {
+        if (!expect(2))
+            return;
+        Inst inst;
+        inst.op = real;
+        if (rs_first) {
+            inst.ra = static_cast<std::uint8_t>(reg(0));
+            inst.rb = 0;
+        } else {
+            inst.ra = 0;
+            inst.rb = static_cast<std::uint8_t>(reg(0));
+        }
+        imm_or_label(1, inst, Fixup::BranchOffset);
+    };
+
+    if (mnem == "nop") {
+        if (expect(0))
+            emit({Op::ADDI, 0, 0, 0, 0}, line);
+    } else if (mnem == "mv") {
+        if (expect(2))
+            emit({Op::ADDI, static_cast<std::uint8_t>(reg(0)),
+                  static_cast<std::uint8_t>(reg(1)), 0, 0}, line);
+    } else if (mnem == "not") {
+        if (expect(2))
+            emit({Op::XORI, static_cast<std::uint8_t>(reg(0)),
+                  static_cast<std::uint8_t>(reg(1)), 0, -1}, line);
+    } else if (mnem == "neg") {
+        if (expect(2))
+            emit({Op::SUB, static_cast<std::uint8_t>(reg(0)), 0,
+                  static_cast<std::uint8_t>(reg(1)), 0}, line);
+    } else if (mnem == "li") {
+        if (!expect(2))
+            return;
+        auto v = parseImm(ops[1], line);
+        if (!v) {
+            error(line, "li needs a numeric immediate (use la for labels)");
+            return;
+        }
+        emitLi(reg(0), *v, line);
+    } else if (mnem == "la") {
+        if (!expect(2))
+            return;
+        emitLa(reg(0), ops[1], line);
+    } else if (mnem == "j") {
+        if (!expect(1))
+            return;
+        Inst inst{Op::JAL, 0, 0, 0, 0};
+        imm_or_label(0, inst, Fixup::BranchOffset);
+    } else if (mnem == "jr") {
+        if (expect(1))
+            emit({Op::JALR, 0, static_cast<std::uint8_t>(reg(0)), 0, 0},
+                 line);
+    } else if (mnem == "ret") {
+        if (expect(0))
+            emit({Op::JALR, 0, 1, 0, 0}, line);
+    } else if (mnem == "call") {
+        if (!expect(1))
+            return;
+        Inst inst{Op::JAL, 1, 0, 0, 0};
+        imm_or_label(0, inst, Fixup::BranchOffset);
+    } else if (mnem == "seqz") {
+        if (expect(2))
+            emit({Op::SLTIU, static_cast<std::uint8_t>(reg(0)),
+                  static_cast<std::uint8_t>(reg(1)), 0, 1}, line);
+    } else if (mnem == "snez") {
+        if (expect(2))
+            emit({Op::SLTU, static_cast<std::uint8_t>(reg(0)), 0,
+                  static_cast<std::uint8_t>(reg(1)), 0}, line);
+    } else if (mnem == "beqz") {
+        zero_branch(Op::BEQ, true);
+    } else if (mnem == "bnez") {
+        zero_branch(Op::BNE, true);
+    } else if (mnem == "bltz") {
+        zero_branch(Op::BLT, true);
+    } else if (mnem == "bgez") {
+        zero_branch(Op::BGE, true);
+    } else if (mnem == "blez") { // rs <= 0  <=>  0 >= rs
+        zero_branch(Op::BGE, false);
+    } else if (mnem == "bgtz") { // rs > 0   <=>  0 < rs
+        zero_branch(Op::BLT, false);
+    } else if (mnem == "bgt") {
+        cond_branch(Op::BLT, true);
+    } else if (mnem == "ble") {
+        cond_branch(Op::BGE, true);
+    } else if (mnem == "bgtu") {
+        cond_branch(Op::BLTU, true);
+    } else if (mnem == "bleu") {
+        cond_branch(Op::BGEU, true);
+    } else {
+        error(line, "unknown mnemonic '" + mnem + "'");
+    }
+}
+
+void
+Assembler::processLine(const std::string &raw, int line)
+{
+    std::string text = stripComment(raw);
+
+    // Peel off any leading labels (outside quotes, ':' only appears in
+    // labels in this grammar).
+    for (;;) {
+        std::size_t b = text.find_first_not_of(" \t");
+        if (b == std::string::npos)
+            return;
+        std::size_t colon = text.find(':');
+        std::size_t quote = text.find_first_of("\"'");
+        if (colon == std::string::npos
+            || (quote != std::string::npos && quote < colon)) {
+            break;
+        }
+        std::string name = text.substr(b, colon - b);
+        std::size_t ws = name.find_first_of(" \t");
+        if (ws != std::string::npos) // e.g. "lw a0, 0(sp):" — not a label
+            break;
+        if (name.empty()) {
+            error(line, "empty label");
+            return;
+        }
+        defineLabel(name, line);
+        text = text.substr(colon + 1);
+    }
+
+    std::size_t b = text.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return;
+    std::size_t e = text.find_first_of(" \t", b);
+    std::string mnem = text.substr(b, e == std::string::npos ? e : e - b);
+    std::string rest = e == std::string::npos ? "" : text.substr(e);
+
+    bool bad_quote = false;
+    std::vector<std::string> ops = splitOperands(rest, bad_quote);
+    if (bad_quote) {
+        error(line, "unterminated string/char literal");
+        return;
+    }
+
+    if (mnem[0] == '.')
+        processDirective(mnem, ops, line);
+    else
+        processInstruction(mnem, ops, line);
+}
+
+void
+Assembler::resolveFixups(Program &prog)
+{
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        PendingInst &pi = pending[i];
+        if (pi.fixup == Fixup::None)
+            continue;
+        auto it = symbols.find(pi.label);
+        if (it == symbols.end()) {
+            error(pi.line, "undefined label '" + pi.label + "'");
+            continue;
+        }
+        const std::uint64_t addr = it->second;
+        switch (pi.fixup) {
+          case Fixup::BranchOffset: {
+            const std::uint64_t pc = kTextBase + 4 * i;
+            const std::int64_t delta =
+                (static_cast<std::int64_t>(addr)
+                 - static_cast<std::int64_t>(pc)) / 4;
+            const bool is_jal = pi.inst.op == isa::Op::JAL;
+            const std::int64_t bound = is_jal ? (1 << 19) : (1 << 14);
+            if (delta < -bound || delta >= bound) {
+                error(pi.line, "branch target '" + pi.label
+                                   + "' out of range");
+                continue;
+            }
+            pi.inst.imm = static_cast<std::int32_t>(delta);
+            break;
+          }
+          case Fixup::LaHi: {
+            const std::int64_t lo =
+                static_cast<std::int64_t>(addr) & 0xfff;
+            pi.inst.imm = static_cast<std::int32_t>(
+                (static_cast<std::int64_t>(addr) - lo) >> 12);
+            break;
+          }
+          case Fixup::LaLo:
+            pi.inst.imm = static_cast<std::int32_t>(addr & 0xfff);
+            break;
+          case Fixup::None:
+            break;
+        }
+    }
+    for (const auto &pi : pending)
+        prog.text.push_back(isa::encode(pi.inst));
+}
+
+Program
+Assembler::run()
+{
+    std::istringstream is(source);
+    std::string line_text;
+    int line = 0;
+    while (std::getline(is, line_text))
+        processLine(line_text, ++line);
+
+    Program prog;
+    if (errors.empty())
+        resolveFixups(prog);
+
+    if (!errors.empty()) {
+        std::ostringstream os;
+        os << "assembly failed with " << errors.size() << " error(s):";
+        for (const auto &err : errors)
+            os << "\n  " << err;
+        VSIM_FATAL(os.str());
+    }
+
+    prog.data = std::move(data);
+    prog.symbols = symbols;
+    if (auto it = symbols.find("_start"); it != symbols.end())
+        prog.entry = it->second;
+    return prog;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &name)
+{
+    Assembler as(source, name);
+    return as.run();
+}
+
+} // namespace vsim::assembler

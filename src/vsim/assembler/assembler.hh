@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Two-pass assembler for VRISC assembly text.
+ *
+ * Syntax summary:
+ *   - comments: `#` or `;` to end of line
+ *   - labels:   `name:` (may share a line with an instruction)
+ *   - sections: `.text`, `.data`
+ *   - data directives: `.byte`, `.half`, `.word`, `.dword`, `.space N`,
+ *     `.ascii "s"`, `.asciiz "s"`, `.align N` (byte alignment, power
+ *     of two)
+ *   - constants: `.equ NAME, value` (must precede use)
+ *   - immediates: decimal, 0x hex, negative, character 'c', or an
+ *     .equ constant
+ *   - pseudo-instructions: nop, mv, not, neg, li, la, j, jr, ret,
+ *     call, seqz, snez, beqz, bnez, bltz, bgez, blez, bgtz, bgt, ble,
+ *     bgtu, bleu
+ *
+ * Branch/jump operands may be labels (converted to word offsets) or
+ * explicit numeric word offsets.
+ */
+
+#ifndef VSIM_ASSEMBLER_ASSEMBLER_HH
+#define VSIM_ASSEMBLER_ASSEMBLER_HH
+
+#include <string>
+
+#include "program.hh"
+
+namespace vsim::assembler
+{
+
+/**
+ * Assemble VRISC source text into a Program.
+ *
+ * @param source   assembly text
+ * @param name     name used in error messages (e.g. a file name)
+ * @throws vsim::FatalError listing every diagnosed error with its
+ *         line number
+ */
+Program assemble(const std::string &source,
+                 const std::string &name = "<asm>");
+
+} // namespace vsim::assembler
+
+#endif // VSIM_ASSEMBLER_ASSEMBLER_HH

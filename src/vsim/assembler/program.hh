@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Assembled-program image: text section, data section, entry point
+ * and symbol table. Produced by the assembler, consumed by the
+ * loader (vsim/arch) which materialises it into a MemImage.
+ */
+
+#ifndef VSIM_ASSEMBLER_PROGRAM_HH
+#define VSIM_ASSEMBLER_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vsim::assembler
+{
+
+/** Default placement of the three program regions (see DESIGN.md). */
+constexpr std::uint64_t kTextBase = 0x1000;
+constexpr std::uint64_t kDataBase = 0x100000;
+constexpr std::uint64_t kStackTop = 0x800000;
+
+/** A fully assembled VRISC program. */
+struct Program
+{
+    /** Encoded instruction words, placed at textBase. */
+    std::vector<std::uint32_t> text;
+
+    /** Initialised data bytes, placed at dataBase. */
+    std::vector<std::uint8_t> data;
+
+    std::uint64_t textBase = kTextBase;
+    std::uint64_t dataBase = kDataBase;
+    std::uint64_t stackTop = kStackTop;
+
+    /** Entry PC; label `_start` if present, else textBase. */
+    std::uint64_t entry = kTextBase;
+
+    /** Label -> absolute address (text labels) or data address. */
+    std::map<std::string, std::uint64_t> symbols;
+
+    /** Byte address one past the last text word. */
+    std::uint64_t
+    textEnd() const
+    {
+        return textBase + 4 * text.size();
+    }
+};
+
+} // namespace vsim::assembler
+
+#endif // VSIM_ASSEMBLER_PROGRAM_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Error reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() flags a simulator bug and
+ * aborts; fatal() flags a user error (bad configuration, malformed
+ * assembly input) and exits cleanly; warn()/inform() print status
+ * without stopping the simulation.
+ */
+
+#ifndef VSIM_BASE_LOGGING_HH
+#define VSIM_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace vsim
+{
+
+namespace detail
+{
+
+/** Stream-concatenate any set of arguments into a std::string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Exception thrown by fatal() so that library users (and tests) can
+ * trap user-level errors instead of terminating the process.
+ */
+class FatalError : public std::exception
+{
+  public:
+    explicit FatalError(std::string msg) : message(std::move(msg)) {}
+
+    const char *what() const noexcept override { return message.c_str(); }
+
+  private:
+    std::string message;
+};
+
+} // namespace vsim
+
+/** Simulator bug: print location and abort. */
+#define VSIM_PANIC(...) \
+    ::vsim::detail::panicImpl(__FILE__, __LINE__, \
+                              ::vsim::detail::concat(__VA_ARGS__))
+
+/** User error: throw vsim::FatalError with location info. */
+#define VSIM_FATAL(...) \
+    ::vsim::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::vsim::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define VSIM_WARN(...) \
+    ::vsim::detail::warnImpl(::vsim::detail::concat(__VA_ARGS__))
+
+/** Informational message to stderr. */
+#define VSIM_INFORM(...) \
+    ::vsim::detail::informImpl(::vsim::detail::concat(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG builds; panics on violation. */
+#define VSIM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            VSIM_PANIC("assertion failed: " #cond \
+                       __VA_OPT__(, " -- ", __VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // VSIM_BASE_LOGGING_HH

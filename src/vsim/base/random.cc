@@ -1,0 +1,79 @@
+#include "random.hh"
+
+#include "logging.hh"
+
+namespace vsim
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+void
+Xoshiro256::reseed(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : state)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Xoshiro256::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Xoshiro256::nextBounded(std::uint64_t bound)
+{
+    VSIM_ASSERT(bound != 0, "nextBounded(0)");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Xoshiro256::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    VSIM_ASSERT(lo <= hi, "nextRange with lo > hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+bool
+Xoshiro256::nextBool(double p)
+{
+    return static_cast<double>(next() >> 11)
+               * (1.0 / 9007199254740992.0)
+           < p;
+}
+
+} // namespace vsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used by
+ * workload input generation and the differential fuzz tests. Kept
+ * self-contained so experiment results are reproducible across
+ * standard-library implementations (std::mt19937 streams are
+ * standardised, but distributions are not).
+ */
+
+#ifndef VSIM_BASE_RANDOM_HH
+#define VSIM_BASE_RANDOM_HH
+
+#include <cstdint>
+
+namespace vsim
+{
+
+/** xoshiro256** by Blackman & Vigna (public domain algorithm). */
+class Xoshiro256
+{
+  public:
+    explicit Xoshiro256(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-seed via splitmix64 so any 64-bit seed gives a good state. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace vsim
+
+#endif // VSIM_BASE_RANDOM_HH

@@ -1,0 +1,109 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace vsim
+{
+
+double
+arithmeticMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs) {
+        VSIM_ASSERT(x > 0.0, "harmonic mean needs positive samples");
+        sum += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / sum;
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        VSIM_ASSERT(x > 0.0, "geometric mean needs positive samples");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+void
+TextTable::setHeader(std::vector<std::string> names)
+{
+    header = std::move(names);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::fmt(double value, int digits)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(digits);
+    os << value;
+    return os.str();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c >= widths.size())
+                widths.resize(c + 1, 0);
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::ostringstream &os) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            std::string cell = c < row.size() ? row[c] : "";
+            os << cell;
+            if (c + 1 < widths.size())
+                os << std::string(widths[c] - cell.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    if (!header.empty()) {
+        emit_row(header, os);
+        std::size_t line = 0;
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            line += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+        os << std::string(line, '-') << '\n';
+    }
+    for (const auto &row : rows)
+        emit_row(row, os);
+    return os.str();
+}
+
+} // namespace vsim

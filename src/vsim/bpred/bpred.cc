@@ -1,0 +1,102 @@
+#include "bpred.hh"
+
+#include "vsim/base/logging.hh"
+
+namespace vsim::bpred
+{
+
+Gshare::Gshare(int history_bits, int table_bits)
+    : historyBits(history_bits), tableBits(table_bits),
+      table(1u << table_bits, SatCounter(2, 1))
+{
+    VSIM_ASSERT(history_bits <= table_bits,
+                "gshare history wider than table index");
+}
+
+std::size_t
+Gshare::index(std::uint64_t pc) const
+{
+    const std::uint64_t mask = (1ull << tableBits) - 1;
+    const std::uint64_t hist_mask = (1ull << historyBits) - 1;
+    return static_cast<std::size_t>(((pc >> 2) ^ (history & hist_mask))
+                                    & mask);
+}
+
+bool
+Gshare::predict(std::uint64_t pc)
+{
+    return table[index(pc)].taken();
+}
+
+void
+Gshare::update(std::uint64_t pc, bool taken)
+{
+    SatCounter &ctr = table[index(pc)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+    history = (history << 1) | (taken ? 1 : 0);
+}
+
+Bimodal::Bimodal(int table_bits)
+    : tableBits(table_bits), table(1u << table_bits, SatCounter(2, 1))
+{}
+
+bool
+Bimodal::predict(std::uint64_t pc)
+{
+    const std::uint64_t mask = (1ull << tableBits) - 1;
+    return table[static_cast<std::size_t>((pc >> 2) & mask)].taken();
+}
+
+void
+Bimodal::update(std::uint64_t pc, bool taken)
+{
+    const std::uint64_t mask = (1ull << tableBits) - 1;
+    SatCounter &ctr = table[static_cast<std::size_t>((pc >> 2) & mask)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+GAg::GAg(int history_bits)
+    : historyBits(history_bits),
+      table(1u << history_bits, SatCounter(2, 1))
+{}
+
+bool
+GAg::predict(std::uint64_t pc)
+{
+    (void)pc;
+    const std::uint64_t mask = (1ull << historyBits) - 1;
+    return table[static_cast<std::size_t>(history & mask)].taken();
+}
+
+void
+GAg::update(std::uint64_t pc, bool taken)
+{
+    (void)pc;
+    const std::uint64_t mask = (1ull << historyBits) - 1;
+    SatCounter &ctr = table[static_cast<std::size_t>(history & mask)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+    history = (history << 1) | (taken ? 1 : 0);
+}
+
+std::unique_ptr<BranchPredictor>
+makeBranchPredictor(const std::string &kind)
+{
+    if (kind == "gshare")
+        return std::make_unique<Gshare>();
+    if (kind == "bimodal")
+        return std::make_unique<Bimodal>();
+    if (kind == "gag")
+        return std::make_unique<GAg>();
+    VSIM_FATAL("unknown branch predictor '", kind, "'");
+}
+
+} // namespace vsim::bpred

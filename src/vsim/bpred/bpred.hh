@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Conditional-branch direction predictors.
+ *
+ * The paper's configuration (§5.1): a gshare predictor hashing 16 bits
+ * of global history with the low 16 bits of the branch PC into a 64K
+ * 2-bit-counter table, updated with correct information following each
+ * prediction. Direct/unconditional jumps are always predicted
+ * correctly and conditional-branch *targets* are correct whenever the
+ * direction is correct, so only direction prediction is modelled here;
+ * the fetch engine implements the target rules.
+ *
+ * Bimodal and GAg predictors are provided for ablation studies.
+ */
+
+#ifndef VSIM_BPRED_BPRED_HH
+#define VSIM_BPRED_BPRED_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vsim/base/stats.hh"
+
+namespace vsim::bpred
+{
+
+/** Direction predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    virtual bool predict(std::uint64_t pc) = 0;
+
+    /**
+     * Train with the resolved direction. The paper's idealised timing
+     * updates immediately after each prediction; the simulator calls
+     * this as soon as the correct outcome is known.
+     */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    virtual std::string name() const = 0;
+
+    const vsim::RatioStat &stats() const { return accuracy; }
+
+    /** Record whether a completed prediction was correct. */
+    void recordOutcome(bool correct) { accuracy.record(correct); }
+
+  protected:
+    vsim::RatioStat accuracy;
+};
+
+/** Saturating n-bit counter helper shared by the predictors. */
+class SatCounter
+{
+  public:
+    explicit SatCounter(int bits = 2, int initial = 1)
+        : value(initial), maxValue((1 << bits) - 1)
+    {}
+
+    void
+    increment()
+    {
+        if (value < maxValue)
+            ++value;
+    }
+
+    void
+    decrement()
+    {
+        if (value > 0)
+            --value;
+    }
+
+    bool taken() const { return value > maxValue / 2; }
+    int raw() const { return value; }
+
+  private:
+    int value;
+    int maxValue;
+};
+
+/** gshare: GHR(16) xor PC[17:2] indexing 64K 2-bit counters. */
+class Gshare : public BranchPredictor
+{
+  public:
+    explicit Gshare(int history_bits = 16, int table_bits = 16);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::string name() const override { return "gshare"; }
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+
+    int historyBits;
+    int tableBits;
+    std::uint64_t history = 0;
+    std::vector<SatCounter> table;
+};
+
+/** Classic per-PC 2-bit counter table. */
+class Bimodal : public BranchPredictor
+{
+  public:
+    explicit Bimodal(int table_bits = 16);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::string name() const override { return "bimodal"; }
+
+  private:
+    int tableBits;
+    std::vector<SatCounter> table;
+};
+
+/** GAg: global history alone indexes the counter table. */
+class GAg : public BranchPredictor
+{
+  public:
+    explicit GAg(int history_bits = 16);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::string name() const override { return "gag"; }
+
+  private:
+    int historyBits;
+    std::uint64_t history = 0;
+    std::vector<SatCounter> table;
+};
+
+/** Factory for the ablation bench: "gshare", "bimodal", "gag". */
+std::unique_ptr<BranchPredictor> makeBranchPredictor(
+    const std::string &kind);
+
+} // namespace vsim::bpred
+
+#endif // VSIM_BPRED_BPRED_HH

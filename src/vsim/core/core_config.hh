@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Configuration of the out-of-order core, defaulting to the paper's
+ * §5.1 parameters (the 8-wide / 48-entry middle configuration).
+ */
+
+#ifndef VSIM_CORE_CORE_CONFIG_HH
+#define VSIM_CORE_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "spec_model.hh"
+#include "vsim/mem/cache.hh"
+
+namespace vsim::core
+{
+
+/** How the value predictor and confidence tables are trained (§5.2). */
+enum class UpdateTiming
+{
+    Immediate, //!< (I) trained with the correct value after predicting
+    Delayed,   //!< (D) table at retire; history speculatively at predict
+};
+
+/** Confidence estimation mode (§3.6 / §6). */
+enum class ConfidenceKind
+{
+    Real,   //!< table of resetting counters
+    Oracle, //!< speculate exactly on correct predictions
+    Always, //!< speculate on every prediction (stress configuration)
+};
+
+struct CoreConfig
+{
+    // ---- machine width / window (paper: 4/24, 8/48, 16/96) -----------
+    int issueWidth = 8;
+    int windowSize = 48;
+    int fetchWidth = -1;   //!< -1 = issueWidth
+    int retireWidth = -1;  //!< -1 = issueWidth
+    int dcachePorts = -1;  //!< -1 = issueWidth / 2 (paper §5.1)
+
+    // ---- value speculation --------------------------------------------
+    bool useValuePrediction = false;
+    SpecModel model = SpecModel::greatModel();
+    std::string valuePredictor = "fcm";
+    ConfidenceKind confidence = ConfidenceKind::Real;
+    int confidenceBits = 3;      //!< resetting-counter width
+    int confidenceThreshold = -1; //!< -1 = confident only at max
+    UpdateTiming updateTiming = UpdateTiming::Delayed;
+
+    // ---- front end ------------------------------------------------------
+    std::string branchPredictor = "gshare";
+
+    // ---- memory hierarchy (paper §5.1) ---------------------------------
+    mem::CacheConfig icache{"l1i", 64 * 1024, 4, 32};
+    mem::CacheConfig dcache{"l1d", 64 * 1024, 4, 32};
+    mem::CacheConfig l2cache{"l2", 1024 * 1024, 4, 64};
+    int icacheHitLat = 1;
+    int dcacheHitLat = 2;
+    int l2HitLat = 12;
+    int l2MissLat = 36;
+    int storeForwardLat = 1;
+
+    // ---- functional-unit latencies -------------------------------------
+    int aluLat = 1;
+    int mulLat = 3;
+    int divLat = 20;
+
+    // ---- run control -----------------------------------------------------
+    std::uint64_t maxCycles = 2'000'000'000;
+    bool tracePipeline = false;
+
+    int effFetchWidth() const { return fetchWidth < 0 ? issueWidth : fetchWidth; }
+    int effRetireWidth() const { return retireWidth < 0 ? issueWidth : retireWidth; }
+    int
+    effDcachePorts() const
+    {
+        if (dcachePorts >= 0)
+            return dcachePorts;
+        return issueWidth / 2 > 0 ? issueWidth / 2 : 1;
+    }
+};
+
+} // namespace vsim::core
+
+#endif // VSIM_CORE_CORE_CONFIG_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Statistics gathered by one out-of-order simulation run. Fields map
+ * directly onto the paper's reported quantities: IPC/speedup (Fig. 3),
+ * the CH/CL/IH/IL prediction breakdown (Fig. 4), and the Table 1
+ * characteristics.
+ */
+
+#ifndef VSIM_CORE_CORE_STATS_HH
+#define VSIM_CORE_CORE_STATS_HH
+
+#include <cstdint>
+
+namespace vsim::core
+{
+
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t issued = 0;
+
+    // ---- instruction mix (committed) -----------------------------------
+    std::uint64_t retiredLoads = 0;
+    std::uint64_t retiredStores = 0;
+    std::uint64_t retiredBranches = 0;
+
+    // ---- branch prediction ----------------------------------------------
+    std::uint64_t condBranches = 0;   //!< committed conditional branches
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t squashes = 0;       //!< pipeline squashes (any path)
+
+    // ---- value prediction (committed, eligible instructions) ------------
+    std::uint64_t vpEligible = 0;  //!< predictions made (Table 1 "%")
+    std::uint64_t vpCH = 0;        //!< correct, high confidence
+    std::uint64_t vpCL = 0;        //!< correct, low confidence
+    std::uint64_t vpIH = 0;        //!< incorrect, high confidence
+    std::uint64_t vpIL = 0;        //!< incorrect, low confidence
+    std::uint64_t vpSpeculated = 0; //!< entries consumers could use
+
+    // ---- speculation machinery -------------------------------------------
+    std::uint64_t verifyEvents = 0;
+    std::uint64_t invalidateEvents = 0;
+    std::uint64_t nullifications = 0; //!< issued-work thrown away
+    std::uint64_t reissues = 0;       //!< re-executions after nullify
+
+    // ---- memory -------------------------------------------------------------
+    std::uint64_t loadsForwarded = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheMisses = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(retired)
+                                 / static_cast<double>(cycles);
+    }
+
+    double
+    predictionAccuracy() const
+    {
+        const std::uint64_t total = vpCH + vpCL + vpIH + vpIL;
+        return total == 0 ? 0.0
+                          : static_cast<double>(vpCH + vpCL)
+                                / static_cast<double>(total);
+    }
+};
+
+} // namespace vsim::core
+
+#endif // VSIM_CORE_CORE_STATS_HH

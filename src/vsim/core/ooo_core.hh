@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Cycle-level out-of-order core with value speculation.
+ *
+ * The base microarchitecture follows the paper's §2.1: a Register
+ * Update Unit (unified issue + retirement window of reservation
+ * stations), values living in the register file / window / bypass,
+ * selection prioritising branches and loads then oldest-first, loads
+ * waiting for all preceding store addresses, perfect load-hit
+ * scheduling (consumers wake when the load's actual latency elapses),
+ * wrong-path execution with modelled side effects, and no functional
+ * unit limits except data-cache ports.
+ *
+ * Value speculation (§2.2) adds the four operand states
+ * (invalid / predicted / speculative / valid), a value predictor +
+ * confidence estimator consulted at dispatch, and the verification
+ * network. Dependence on unresolved predictions is tracked exactly:
+ * every operand and every produced value carries a bitmask (over
+ * window slots) of the predictions it transitively depends on, so the
+ * flattened-hierarchical verify/invalidate events of the model are a
+ * single mask sweep — precisely the parallel semantics of §3.1/§3.2.
+ *
+ * Timing of the speculation events is governed entirely by the
+ * SpecModel latency variables (§4); with value prediction disabled the
+ * machine is the paper's base processor.
+ *
+ * Correctness is enforced by construction: the retire stage compares
+ * every committed instruction against the functional pre-execution
+ * trace and panics on divergence, so timing bugs cannot silently
+ * corrupt results.
+ */
+
+#ifndef VSIM_CORE_OOO_CORE_HH
+#define VSIM_CORE_OOO_CORE_HH
+
+#include <bitset>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core_config.hh"
+#include "core_stats.hh"
+#include "pipeline_trace.hh"
+#include "spec_model.hh"
+#include "vsim/arch/functional_core.hh"
+#include "vsim/assembler/program.hh"
+#include "vsim/bpred/bpred.hh"
+#include "vsim/mem/cache.hh"
+#include "vsim/mem/mem_image.hh"
+#include "vsim/vpred/vpred.hh"
+
+namespace vsim::core
+{
+
+/** Upper bound on the instruction window (paper's largest is 96). */
+constexpr int kMaxWindow = 128;
+
+/** Set of unresolved predictions a value transitively depends on. */
+using SpecMask = std::bitset<kMaxWindow>;
+
+/** State of a reservation-station input operand (§2.2). */
+enum class OperandState : std::uint8_t
+{
+    Unused,      //!< the instruction has no such operand
+    Invalid,     //!< no value yet; waiting on the result bus
+    Predicted,   //!< value came directly from the value predictor
+    Speculative, //!< computed from >=1 predicted/speculative input
+    Valid,       //!< architecturally correct
+};
+
+/** Final result of a simulation run. */
+struct SimOutcome
+{
+    CoreStats stats;
+    std::uint64_t exitCode = 0;
+    std::string output;
+    bool halted = false; //!< false if maxCycles was hit
+};
+
+/**
+ * Optional hook that replaces the value predictor for specific PCs —
+ * used by the Figure 1 reproduction to force correct or incorrect
+ * predictions onto chosen instructions. Returning nullopt falls back
+ * to "no prediction" for that instruction.
+ */
+using PredictionOverride = std::function<std::optional<std::uint64_t>(
+    std::uint64_t pc, std::uint64_t correct_value)>;
+
+class OooCore
+{
+  public:
+    /**
+     * Build a core for @p prog. The constructor runs the functional
+     * pre-execution to obtain the oracle trace.
+     */
+    OooCore(const assembler::Program &prog, const CoreConfig &config);
+    ~OooCore();
+
+    OooCore(const OooCore &) = delete;
+    OooCore &operator=(const OooCore &) = delete;
+
+    /** Replace predictor output for matching PCs (Fig. 1 harness). */
+    void setPredictionOverride(PredictionOverride override_fn);
+
+    /** Run to completion (HALT retires) or cfg.maxCycles. */
+    SimOutcome run();
+
+    /** Advance one cycle; @return false once halted. */
+    bool tick();
+
+    const CoreStats &stats() const { return stats_; }
+    const PipelineTracer &tracer() const { return tracer_; }
+    std::uint64_t now() const { return cycle; }
+
+    /** Per-PC value-prediction outcome counts: (eligible, correct). */
+    using PerPcVp =
+        std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>;
+    const PerPcVp &perPcVpStats() const { return perPcVp; }
+
+    /** Dynamic instruction count of the program (pre-execution). */
+    std::uint64_t programLength() const { return trace.entries.size(); }
+
+  private:
+    // ---- per-operand / per-entry structures ---------------------------
+
+    struct Operand
+    {
+        OperandState state = OperandState::Unused;
+        int reg = -1;
+        int tag = -1;            //!< producing slot; -1 = register file
+        std::uint64_t value = 0;
+        SpecMask deps;
+        std::uint64_t readyAt = 0;  //!< cycle the value can be consumed
+        std::uint64_t validAt = 0;  //!< cycle state became Valid
+        bool validViaEvent = false; //!< validity arrived via the network
+
+        bool hasValue() const { return state != OperandState::Invalid
+                                       && state != OperandState::Unused; }
+        bool used() const { return state != OperandState::Unused; }
+    };
+
+    struct RsEntry
+    {
+        bool busy = false;
+        int slot = -1; //!< own physical index (= prediction bit)
+        std::uint64_t seq = 0;
+        std::uint64_t nonce = 0; //!< bumps on (re)issue/nullify
+        std::uint64_t pc = 0;
+        isa::Inst inst;
+        std::int64_t traceIndex = -1; //!< -1 on the wrong path
+
+        Operand src[2];
+
+        bool issued = false;
+        bool executed = false;
+        std::uint64_t dispatchAt = 0;
+        std::uint64_t execDoneAt = 0;
+        std::uint64_t reissueAt = 0; //!< earliest re-select after nullify
+        int execCount = 0;
+
+        std::uint64_t outValue = 0;
+        SpecMask outDeps;
+        bool outValid = false;
+        std::uint64_t outValidAt = 0;
+        bool outValidViaEvent = false;
+
+        // value prediction bookkeeping
+        bool vpEligible = false;
+        bool predicted = false; //!< confident prediction visible to users
+        bool predResolved = false;
+        bool eqScheduled = false;
+        std::uint64_t predValue = 0;
+        std::uint64_t predToken = 0;
+        bool predConfident = false;
+        bool predWasCorrect = false; //!< filled at retire
+
+        // control
+        bool predTaken = false;
+        std::uint64_t predNextPc = 0;
+        bool mispredicted = false; //!< caused a squash at resolution
+
+        // memory
+        bool addrReady = false;
+        std::uint64_t memAddr = 0;
+        std::uint64_t addrReadyAt = 0;
+
+        // retire gating
+        std::uint64_t verifiedAt = 0;
+    };
+
+    /** In-flight execution whose completion is pending. */
+    struct Completion
+    {
+        int slot;
+        std::uint64_t seq;
+        std::uint64_t nonce;
+        std::uint64_t value;   //!< result computed at issue
+        bool taken;            //!< branch outcome
+        std::uint64_t nextPc;  //!< branch target / next pc
+    };
+
+    enum class EventKind : std::uint8_t { EqCheck, Verify, Invalidate };
+
+    struct Event
+    {
+        EventKind kind;
+        int slot;
+        std::uint64_t seq;
+        /** Hierarchical schemes: remaining wave depth (unused = -1). */
+        int depth = -1;
+    };
+
+    // ---- pipeline stages (called in reverse order each cycle) ----------
+    void applyCompletions();
+    void processEvents();
+    void retireStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    // ---- helpers --------------------------------------------------------
+    int allocSlot();
+    void freeSlot(int slot);
+    int windowCount() const { return liveEntries; }
+    RsEntry &entry(int slot) { return window[static_cast<std::size_t>(slot)]; }
+
+    void captureOperand(RsEntry &e, int idx, int reg);
+    void broadcast(RsEntry &producer);
+    bool canIssue(const RsEntry &e) const;
+    bool loadOrderingSatisfied(const RsEntry &e) const;
+    bool loadValue(const RsEntry &e, std::uint64_t &value,
+                   bool &forwarded) const;
+    void issueEntry(RsEntry &e);
+    void scheduleEvent(std::uint64_t at, const Event &ev);
+    void doEqCheck(RsEntry &e);
+    void doVerify(RsEntry &p, int depth);
+    void doInvalidate(RsEntry &p, int depth);
+    void nullify(RsEntry &e);
+    void noteOutputValid(RsEntry &e, bool via_event);
+    void squashAfter(std::uint64_t seq, std::uint64_t new_fetch_pc,
+                     std::int64_t resume_trace_idx);
+    void rebuildRegTags();
+    bool retireOne();
+    void predictValueAt(RsEntry &e);
+
+    // ---- configuration / substrate --------------------------------------
+    CoreConfig cfg;
+    SpecModel model;
+    arch::ExecTrace trace;
+    mem::MemImage memory; //!< committed memory state
+    std::array<std::uint64_t, isa::kNumRegs> archRegs{};
+    std::string output;
+
+    std::unique_ptr<bpred::BranchPredictor> bpred_;
+    std::unique_ptr<vpred::ValuePredictor> vpred_;
+    std::unique_ptr<vpred::ResettingConfidence> conf_;
+    PredictionOverride predOverride;
+
+    mem::Cache l2;
+    mem::CacheHierarchy icacheH;
+    mem::CacheHierarchy dcacheH;
+
+    // ---- machine state ----------------------------------------------------
+    std::uint64_t cycle = 0;
+    std::uint64_t nextSeq = 1;
+    bool halted = false;
+    std::uint64_t exitCode = 0;
+
+    std::vector<RsEntry> window; //!< physical slots
+    std::vector<int> freeSlots;
+    std::deque<int> windowOrder; //!< slots in program (seq) order
+    int liveEntries = 0;
+
+    std::array<int, isa::kNumRegs> regTag; //!< youngest producer slot
+
+    /** LSQ: slots of in-flight memory instructions in program order. */
+    std::deque<int> lsq;
+
+    // fetch
+    struct FetchedInst
+    {
+        std::uint64_t pc;
+        isa::Inst inst;
+        std::uint64_t availableAt;
+        bool predTaken;
+        std::uint64_t predNextPc;
+        std::int64_t traceIndex;
+    };
+    std::deque<FetchedInst> fetchQueue;
+    std::uint64_t fetchPc = 0;
+    bool fetchOnCorrectPath = true;
+    std::int64_t fetchTraceIdx = 0;
+    std::uint64_t fetchResumeAt = 0; //!< stall for icache misses/redirect
+    bool fetchSawHalt = false;
+
+    std::map<std::uint64_t, std::vector<Completion>> completions;
+    std::map<std::uint64_t, std::vector<Event>> events;
+
+    std::uint64_t retiredCount = 0;
+    int dcachePortsUsed = 0; //!< reset each cycle
+
+    /**
+     * Once-per-dynamic-instance training guards: an instruction that
+     * is squashed and refetched must not train the predictors twice
+     * (duplicate history pushes desynchronise the contexts).
+     */
+    std::vector<bool> vpTrained;
+    std::vector<bool> bpTrained;
+
+    CoreStats stats_;
+    PipelineTracer tracer_;
+    PerPcVp perPcVp;
+};
+
+} // namespace vsim::core
+
+#endif // VSIM_CORE_OOO_CORE_HH

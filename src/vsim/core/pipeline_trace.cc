@@ -1,0 +1,92 @@
+#include "pipeline_trace.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vsim::core
+{
+
+void
+PipelineTracer::note(std::uint64_t seq, std::uint64_t cycle,
+                     const std::string &tag)
+{
+    std::string &cell = events[seq].byCycle[cycle];
+    if (!cell.empty())
+        cell += "/";
+    cell += tag;
+}
+
+void
+PipelineTracer::label(std::uint64_t seq, const std::string &text)
+{
+    events[seq].text = text;
+}
+
+void
+PipelineTracer::clear()
+{
+    events.clear();
+}
+
+std::string
+PipelineTracer::render(std::uint64_t first_cycle,
+                       std::uint64_t last_cycle) const
+{
+    if (events.empty())
+        return "(no pipeline events)\n";
+
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (const auto &[seq, row] : events) {
+        for (const auto &[cycle, tag] : row.byCycle) {
+            lo = std::min(lo, cycle);
+            hi = std::max(hi, cycle);
+        }
+    }
+    lo = std::max(lo, first_cycle);
+    hi = std::min(hi, last_cycle);
+    if (lo > hi)
+        return "(no pipeline events in range)\n";
+
+    // Column width: widest cell or cycle header.
+    std::size_t cell_w = 2;
+    for (const auto &[seq, row] : events)
+        for (const auto &[cycle, tag] : row.byCycle)
+            if (cycle >= lo && cycle <= hi)
+                cell_w = std::max(cell_w, tag.size());
+    for (std::uint64_t c = lo; c <= hi; ++c)
+        cell_w = std::max(cell_w, std::to_string(c).size());
+
+    std::size_t label_w = 4;
+    for (const auto &[seq, row] : events) {
+        std::ostringstream os;
+        os << "#" << seq << " " << row.text;
+        label_w = std::max(label_w, os.str().size());
+    }
+
+    auto pad = [](const std::string &s, std::size_t w) {
+        return s + std::string(w > s.size() ? w - s.size() : 0, ' ');
+    };
+
+    std::ostringstream os;
+    os << pad("", label_w) << " |";
+    for (std::uint64_t c = lo; c <= hi; ++c)
+        os << " " << pad(std::to_string(c), cell_w);
+    os << "\n";
+    os << std::string(label_w, '-') << "-+"
+       << std::string((hi - lo + 1) * (cell_w + 1), '-') << "\n";
+
+    for (const auto &[seq, row] : events) {
+        std::ostringstream lbl;
+        lbl << "#" << seq << " " << row.text;
+        os << pad(lbl.str(), label_w) << " |";
+        for (std::uint64_t c = lo; c <= hi; ++c) {
+            auto it = row.byCycle.find(c);
+            os << " "
+               << pad(it == row.byCycle.end() ? "." : it->second, cell_w);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace vsim::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cycle-by-cycle pipeline tracer used to reproduce Figure 1: it
+ * records, per dynamic instruction, which pipeline activity happened
+ * in which cycle, and renders the same style of diagram the paper
+ * uses (EX = execute, W = write/verify, I = invalidated, V = verified,
+ * RT = retire, ...).
+ */
+
+#ifndef VSIM_CORE_PIPELINE_TRACE_HH
+#define VSIM_CORE_PIPELINE_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vsim::core
+{
+
+class PipelineTracer
+{
+  public:
+    /** Record that instruction @p seq performed @p tag during @p cycle. */
+    void note(std::uint64_t seq, std::uint64_t cycle,
+              const std::string &tag);
+
+    /** Attach a human-readable label (disassembly) to @p seq. */
+    void label(std::uint64_t seq, const std::string &text);
+
+    /**
+     * Render a diagram with one row per instruction and one column per
+     * cycle, restricted to [first_cycle, last_cycle] when given.
+     */
+    std::string render(std::uint64_t first_cycle = 0,
+                       std::uint64_t last_cycle = ~0ull) const;
+
+    bool empty() const { return events.empty(); }
+    void clear();
+
+  private:
+    struct Row
+    {
+        std::string text;
+        std::map<std::uint64_t, std::string> byCycle;
+    };
+
+    std::map<std::uint64_t, Row> events; //!< keyed by seq
+};
+
+} // namespace vsim::core
+
+#endif // VSIM_CORE_PIPELINE_TRACE_HH

@@ -1,0 +1,21 @@
+#include "spec_model.hh"
+
+#include "vsim/base/logging.hh"
+
+namespace vsim::core
+{
+
+SpecModel
+SpecModel::byName(const std::string &name)
+{
+    if (name == "super")
+        return superModel();
+    if (name == "great")
+        return greatModel();
+    if (name == "good")
+        return goodModel();
+    VSIM_FATAL("unknown speculative execution model '", name,
+               "' (expected super/great/good)");
+}
+
+} // namespace vsim::core

@@ -1,0 +1,119 @@
+#include "cache.hh"
+
+#include "vsim/base/logging.hh"
+
+namespace vsim::mem
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config) : cfg(config)
+{
+    VSIM_ASSERT(isPow2(cfg.sizeBytes), cfg.name, ": size not power of 2");
+    VSIM_ASSERT(isPow2(static_cast<std::uint64_t>(cfg.blockBytes)),
+                cfg.name, ": block size not power of 2");
+    VSIM_ASSERT(cfg.assoc > 0, cfg.name, ": bad associativity");
+    const std::uint64_t blocks =
+        cfg.sizeBytes / static_cast<std::uint64_t>(cfg.blockBytes);
+    VSIM_ASSERT(blocks % static_cast<std::uint64_t>(cfg.assoc) == 0,
+                cfg.name, ": blocks not divisible by associativity");
+    numSets = static_cast<int>(blocks / static_cast<std::uint64_t>(cfg.assoc));
+    VSIM_ASSERT(isPow2(static_cast<std::uint64_t>(numSets)),
+                cfg.name, ": set count not power of 2");
+    lines.resize(blocks);
+}
+
+std::uint64_t
+Cache::blockAddr(std::uint64_t addr) const
+{
+    return addr / static_cast<std::uint64_t>(cfg.blockBytes);
+}
+
+std::uint64_t
+Cache::setIndex(std::uint64_t block) const
+{
+    return block & static_cast<std::uint64_t>(numSets - 1);
+}
+
+bool
+Cache::access(std::uint64_t addr, bool is_write)
+{
+    const std::uint64_t block = blockAddr(addr);
+    const std::uint64_t set = setIndex(block);
+    Line *base = &lines[set * static_cast<std::uint64_t>(cfg.assoc)];
+
+    // Tags store the whole block number so they are always unambiguous.
+    Line *victim = base;
+    for (int w = 0; w < cfg.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == block) {
+            line.lastUse = ++useCounter;
+            line.dirty = line.dirty || is_write;
+            accesses.record(true);
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    accesses.record(false);
+    if (victim->valid && victim->dirty)
+        ++writebackCount;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = block;
+    victim->lastUse = ++useCounter;
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t block = blockAddr(addr);
+    const std::uint64_t set = setIndex(block);
+    const Line *base = &lines[set * static_cast<std::uint64_t>(cfg.assoc)];
+    for (int w = 0; w < cfg.assoc; ++w) {
+        if (base[w].valid && base[w].tag == block)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines)
+        line = Line{};
+    useCounter = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig &l1_cfg, Cache &l2,
+                               const HierarchyLatencies &lat)
+    : l1Cache(l1_cfg), l2Cache(l2), lat(lat)
+{}
+
+int
+CacheHierarchy::access(std::uint64_t addr, bool is_write)
+{
+    if (l1Cache.access(addr, is_write))
+        return lat.l1Hit;
+    // Fill from L2; the L2 sees the miss as a (clean) read, since this
+    // is a timing-only model.
+    if (l2Cache.access(addr, false))
+        return lat.l2Hit;
+    return lat.l2Miss;
+}
+
+} // namespace vsim::mem

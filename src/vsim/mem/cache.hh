@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Set-associative cache timing model with LRU replacement and
+ * write-back dirty tracking.
+ *
+ * The cache models *timing only*: data always lives in the shared
+ * MemImage, so a lookup answers "hit or miss" and maintains the tag
+ * state; the caller combines hit/miss answers across the hierarchy to
+ * derive access latency (paper §5.1 quotes end-to-end latencies:
+ * L1I hit 1, L1D hit 2, L2 hit 12, L2 miss 36).
+ */
+
+#ifndef VSIM_MEM_CACHE_HH
+#define VSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vsim/base/stats.hh"
+
+namespace vsim::mem
+{
+
+/** Static geometry of a cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    int assoc = 4;
+    int blockBytes = 32;
+};
+
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up @p addr, updating LRU and allocating on miss.
+     * @param is_write marks the block dirty on a write hit/allocate.
+     * @return true on hit.
+     */
+    bool access(std::uint64_t addr, bool is_write);
+
+    /** Probe without changing any state (used by tests/stats). */
+    bool probe(std::uint64_t addr) const;
+
+    /** Drop all blocks (used between simulation phases). */
+    void flush();
+
+    const CacheConfig &config() const { return cfg; }
+    const vsim::RatioStat &stats() const { return accesses; }
+    std::uint64_t writebacks() const { return writebackCount; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0; //!< LRU timestamp
+    };
+
+    std::uint64_t blockAddr(std::uint64_t addr) const;
+    std::uint64_t setIndex(std::uint64_t block) const;
+
+    CacheConfig cfg;
+    int numSets;
+    std::vector<Line> lines; //!< numSets * assoc, set-major
+    std::uint64_t useCounter = 0;
+
+    vsim::RatioStat accesses;
+    std::uint64_t writebackCount = 0;
+};
+
+/**
+ * Two-level hierarchy (L1 + unified L2) that converts hit/miss
+ * outcomes into the paper's end-to-end access latencies.
+ */
+struct HierarchyLatencies
+{
+    int l1Hit = 2;    //!< L1D hit (L1I uses 1)
+    int l2Hit = 12;
+    int l2Miss = 36;
+};
+
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const CacheConfig &l1_cfg, Cache &l2,
+                   const HierarchyLatencies &lat);
+
+    /**
+     * Access @p addr and return the end-to-end latency in cycles.
+     * The L2 is only touched on an L1 miss.
+     */
+    int access(std::uint64_t addr, bool is_write);
+
+    Cache &l1() { return l1Cache; }
+    const Cache &l1() const { return l1Cache; }
+
+  private:
+    Cache l1Cache;
+    Cache &l2Cache;
+    HierarchyLatencies lat;
+};
+
+} // namespace vsim::mem
+
+#endif // VSIM_MEM_CACHE_HH

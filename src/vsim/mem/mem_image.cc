@@ -1,0 +1,83 @@
+#include "mem_image.hh"
+
+#include "vsim/base/logging.hh"
+
+namespace vsim::mem
+{
+
+MemImage::MemImage(const MemImage &other)
+{
+    *this = other;
+}
+
+MemImage &
+MemImage::operator=(const MemImage &other)
+{
+    if (this == &other)
+        return *this;
+    pages.clear();
+    for (const auto &[key, page] : other.pages)
+        pages.emplace(key, std::make_unique<Page>(*page));
+    return *this;
+}
+
+const MemImage::Page *
+MemImage::findPage(std::uint64_t addr) const
+{
+    auto it = pages.find(addr >> kPageBits);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+MemImage::Page &
+MemImage::touchPage(std::uint64_t addr)
+{
+    auto &slot = pages[addr >> kPageBits];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+std::uint8_t
+MemImage::readByte(std::uint64_t addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr & (kPageSize - 1)] : 0;
+}
+
+void
+MemImage::writeByte(std::uint64_t addr, std::uint8_t value)
+{
+    touchPage(addr)[addr & (kPageSize - 1)] = value;
+}
+
+std::uint64_t
+MemImage::read(std::uint64_t addr, int size) const
+{
+    VSIM_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                "bad access size ", size);
+    std::uint64_t value = 0;
+    for (int i = 0; i < size; ++i)
+        value |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+MemImage::write(std::uint64_t addr, std::uint64_t value, int size)
+{
+    VSIM_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                "bad access size ", size);
+    for (int i = 0; i < size; ++i)
+        writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+MemImage::writeBlock(std::uint64_t addr, const std::uint8_t *data,
+                     std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        writeByte(addr + i, data[i]);
+}
+
+} // namespace vsim::mem

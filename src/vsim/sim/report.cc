@@ -1,0 +1,69 @@
+#include "report.hh"
+
+#include <sstream>
+
+namespace vsim::sim
+{
+
+namespace
+{
+
+void
+field(std::ostringstream &os, const char *name, std::uint64_t value,
+      bool comma = true)
+{
+    os << "\"" << name << "\": " << value;
+    if (comma)
+        os << ", ";
+}
+
+} // namespace
+
+std::string
+toJson(const RunResult &r)
+{
+    const core::CoreStats &s = r.stats;
+    std::ostringstream os;
+    os << "{";
+    os << "\"workload\": \"" << r.workload << "\", ";
+    os << "\"ipc\": " << r.ipc << ", ";
+    field(os, "cycles", s.cycles);
+    field(os, "retired", s.retired);
+    field(os, "exit_code", r.exitCode);
+    field(os, "loads", s.retiredLoads);
+    field(os, "stores", s.retiredStores);
+    field(os, "branches", s.retiredBranches);
+    field(os, "cond_branches", s.condBranches);
+    field(os, "cond_mispredicts", s.condMispredicts);
+    field(os, "squashes", s.squashes);
+    field(os, "vp_eligible", s.vpEligible);
+    field(os, "vp_ch", s.vpCH);
+    field(os, "vp_cl", s.vpCL);
+    field(os, "vp_ih", s.vpIH);
+    field(os, "vp_il", s.vpIL);
+    field(os, "verify_events", s.verifyEvents);
+    field(os, "invalidate_events", s.invalidateEvents);
+    field(os, "nullifications", s.nullifications);
+    field(os, "reissues", s.reissues);
+    field(os, "loads_forwarded", s.loadsForwarded);
+    field(os, "icache_misses", s.icacheMisses);
+    field(os, "dcache_misses", s.dcacheMisses, false);
+    os << "}";
+    return os.str();
+}
+
+std::string
+toJson(const std::vector<RunResult> &runs)
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (i)
+            os << ",\n ";
+        os << toJson(runs[i]);
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace vsim::sim

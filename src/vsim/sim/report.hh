@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Machine-readable result export: serialise a RunResult (or a whole
+ * set of them) to JSON for plotting pipelines. Kept dependency-free —
+ * the schema is flat and the writer is ~50 lines.
+ */
+
+#ifndef VSIM_SIM_REPORT_HH
+#define VSIM_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "simulator.hh"
+
+namespace vsim::sim
+{
+
+/** One run as a flat JSON object. */
+std::string toJson(const RunResult &r);
+
+/** A JSON array of runs (e.g. one sweep). */
+std::string toJson(const std::vector<RunResult> &runs);
+
+} // namespace vsim::sim
+
+#endif // VSIM_SIM_REPORT_HH

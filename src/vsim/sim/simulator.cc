@@ -1,0 +1,81 @@
+#include "simulator.hh"
+
+#include "vsim/base/logging.hh"
+#include "vsim/core/ooo_core.hh"
+#include "vsim/workloads/workloads.hh"
+
+namespace vsim::sim
+{
+
+std::vector<MachineConfig>
+paperMachines()
+{
+    return {{4, 24}, {8, 48}, {16, 96}};
+}
+
+core::CoreConfig
+baseConfig(const MachineConfig &m)
+{
+    core::CoreConfig cfg;
+    cfg.issueWidth = m.issueWidth;
+    cfg.windowSize = m.windowSize;
+    cfg.useValuePrediction = false;
+    return cfg;
+}
+
+core::CoreConfig
+vpConfig(const MachineConfig &m, const core::SpecModel &model,
+         core::ConfidenceKind confidence, core::UpdateTiming timing)
+{
+    core::CoreConfig cfg = baseConfig(m);
+    cfg.useValuePrediction = true;
+    cfg.model = model;
+    cfg.confidence = confidence;
+    cfg.updateTiming = timing;
+    return cfg;
+}
+
+std::string
+timingConfLabel(core::UpdateTiming timing, core::ConfidenceKind confidence)
+{
+    std::string label =
+        timing == core::UpdateTiming::Delayed ? "D/" : "I/";
+    switch (confidence) {
+      case core::ConfidenceKind::Real: label += "R"; break;
+      case core::ConfidenceKind::Oracle: label += "O"; break;
+      case core::ConfidenceKind::Always: label += "A"; break;
+    }
+    return label;
+}
+
+RunResult
+runWorkload(const std::string &name, int scale,
+            const core::CoreConfig &cfg)
+{
+    const workloads::Workload &w = workloads::byName(name);
+    const assembler::Program prog = workloads::buildProgram(w, scale);
+    core::OooCore core(prog, cfg);
+    const core::SimOutcome out = core.run();
+    VSIM_ASSERT(out.halted, "workload ", name,
+                " did not finish within the cycle limit");
+
+    RunResult r;
+    r.workload = name;
+    r.stats = out.stats;
+    r.instructions = out.stats.retired;
+    r.ipc = out.stats.ipc();
+    r.exitCode = out.exitCode;
+    return r;
+}
+
+double
+speedup(const RunResult &base, const RunResult &vp)
+{
+    VSIM_ASSERT(base.workload == vp.workload,
+                "speedup across different workloads");
+    VSIM_ASSERT(vp.stats.cycles > 0, "zero-cycle run");
+    return static_cast<double>(base.stats.cycles)
+           / static_cast<double>(vp.stats.cycles);
+}
+
+} // namespace vsim::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * High-level experiment driver: builds a workload, runs it through the
+ * out-of-order core, and aggregates results the way the paper reports
+ * them (harmonic-mean speedups over the benchmark suite, Fig. 3;
+ * arithmetic-mean prediction-rate breakdowns, Fig. 4).
+ */
+
+#ifndef VSIM_SIM_SIMULATOR_HH
+#define VSIM_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vsim/core/core_config.hh"
+#include "vsim/core/core_stats.hh"
+#include "vsim/core/spec_model.hh"
+
+namespace vsim::sim
+{
+
+/** One of the paper's three machine sizes (issue width / window). */
+struct MachineConfig
+{
+    int issueWidth;
+    int windowSize;
+
+    std::string
+    label() const
+    {
+        return std::to_string(issueWidth) + "/"
+               + std::to_string(windowSize);
+    }
+};
+
+/** The paper's §6 configurations: 4/24, 8/48 and 16/96. */
+std::vector<MachineConfig> paperMachines();
+
+/** Base-processor configuration (no value prediction). */
+core::CoreConfig baseConfig(const MachineConfig &m);
+
+/**
+ * Value-speculation configuration for a machine size, speculative
+ * execution model, confidence mode and predictor update timing
+ * (paper notation: D/R, I/R, D/O, I/O).
+ */
+core::CoreConfig vpConfig(const MachineConfig &m,
+                          const core::SpecModel &model,
+                          core::ConfidenceKind confidence,
+                          core::UpdateTiming timing);
+
+/** Short label for a confidence/timing pair, e.g. "D/R". */
+std::string timingConfLabel(core::UpdateTiming timing,
+                            core::ConfidenceKind confidence);
+
+/** Result of one simulation run. */
+struct RunResult
+{
+    std::string workload;
+    core::CoreStats stats;
+    std::uint64_t instructions = 0; //!< committed instructions
+    double ipc = 0.0;
+    std::uint64_t exitCode = 0;
+};
+
+/**
+ * Build workload @p name at @p scale (-1 = default) and run it under
+ * @p cfg. Correctness against the functional model is enforced inside
+ * the core.
+ */
+RunResult runWorkload(const std::string &name, int scale,
+                      const core::CoreConfig &cfg);
+
+/**
+ * Speedup of @p vp over @p base (cycles ratio); both runs must be of
+ * the same workload and scale.
+ */
+double speedup(const RunResult &base, const RunResult &vp);
+
+} // namespace vsim::sim
+
+#endif // VSIM_SIM_SIMULATOR_HH

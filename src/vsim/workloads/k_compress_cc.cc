@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Workload kernels: `compress` (run-length + dictionary coder over
+ * generated text, standing in for 099.compress) and `cc` (expression
+ * generator + stack-machine evaluator, standing in for 126.gcc).
+ */
+
+#include "kernels.hh"
+
+namespace vsim::workloads::detail
+{
+
+namespace
+{
+
+const char *kCompressAsm = R"(
+# compress_k -- text generation, run-length coding, bigram dictionary.
+# Mirrors the value behaviour of a compressor: tight byte loops, table
+# updates, highly repetitive values.
+        .equ BUFN, 2048
+
+        .data
+srcbuf: .space 8192
+outbuf: .space 32768
+dict:   .space 2048
+
+        .text
+        li s10, WORK_SCALE
+        li s9, 0                 # checksum
+outer:
+        li s8, 0                 # per-repetition checksum
+        la s4, dict              # clear the dictionary
+        li t0, 0
+dclr:
+        slli t1, t0, 3
+        add t2, s4, t1
+        sd zero, 0(t2)
+        addi t0, t0, 1
+        li t3, 256
+        blt t0, t3, dclr
+        # ---- phase 1: generate text-like data with runs ----
+        la s0, srcbuf
+        li s1, 0
+        li s7, 1234567
+        li s6, 'a'
+gen:
+        andi t0, s1, 7
+        slti t1, t0, 3
+        bnez t1, rpt             # 3 of every 8 bytes repeat
+        slli t2, s7, 13
+        xor s7, s7, t2
+        srli t2, s7, 7
+        xor s7, s7, t2
+        andi t3, s7, 15
+        addi t3, t3, 'a'
+        j stor
+rpt:
+        mv t3, s6
+stor:
+        mv s6, t3
+        add t4, s0, s1
+        sb t3, 0(t4)
+        addi s1, s1, 1
+        li t5, BUFN
+        bne s1, t5, gen
+
+        # ---- phase 2: run-length encode ----
+        la s0, srcbuf
+        la s2, outbuf
+        li s1, 0                 # input index
+        li s3, 0                 # output index
+rle_outer:
+        add t0, s0, s1
+        lbu t1, 0(t0)            # run character
+        li t2, 1                 # run length
+rle_run:
+        add t3, s1, t2
+        li t4, BUFN
+        bge t3, t4, rle_emit
+        add t5, s0, t3
+        lbu t6, 0(t5)
+        bne t6, t1, rle_emit
+        addi t2, t2, 1
+        j rle_run
+rle_emit:
+        add t3, s2, s3
+        sb t1, 0(t3)
+        sb t2, 1(t3)
+        addi s3, s3, 2
+        mul t4, t1, t2
+        add s8, s8, t4
+        add s1, s1, t2
+        li t4, BUFN
+        blt s1, t4, rle_outer
+
+        # ---- phase 3: bigram dictionary counting ----
+        la s0, srcbuf
+        la s4, dict
+        li s1, 0
+dic:
+        add t0, s0, s1
+        lbu t1, 0(t0)
+        lbu t2, 1(t0)
+        slli t3, t1, 3
+        xor t3, t3, t2
+        andi t3, t3, 255
+        slli t3, t3, 3
+        add t4, s4, t3
+        ld t5, 0(t4)
+        addi t5, t5, 1
+        sd t5, 0(t4)
+        add s8, s8, t5
+        addi s1, s1, 1
+        li t6, 2047
+        blt s1, t6, dic
+
+        add s9, s9, s8
+        addi s10, s10, -1
+        bnez s10, outer
+        halt s9
+)";
+
+const char *kCcAsm = R"(
+# cc_k -- generates short RPN expression programs and evaluates them
+# on an explicit operand stack: token dispatch, pointer arithmetic and
+# irregular values, mimicking a compiler's expression walker.
+        .equ NEXPR, 120
+
+        .data
+prog:   .space 256               # (opcode, imm) byte pairs
+stk:    .space 512               # operand stack of dwords
+
+        .text
+        li s10, WORK_SCALE
+        li s9, 0                 # checksum
+outer:
+        li s8, 0                 # per-repetition checksum
+        li s7, 987654321
+        li s5, 0                 # expression counter
+expr_loop:
+        # ---- generate one expression of ~30 tokens ----
+        la s0, prog
+        li s1, 0                 # token index
+        li s2, 0                 # tracked stack depth
+gen_tok:
+        slli t0, s7, 13
+        xor s7, s7, t0
+        srli t0, s7, 7
+        xor s7, s7, t0
+        slli t0, s7, 17
+        xor s7, s7, t0
+        li t1, 2
+        blt s2, t1, do_push      # keep two operands available
+        andi t2, s7, 3
+        beqz t2, do_push
+        srli t3, s7, 2
+        andi t3, t3, 3
+        addi t3, t3, 1           # opcode 1..4
+        slli t4, s1, 1
+        add t5, s0, t4
+        sb t3, 0(t5)
+        sb zero, 1(t5)
+        addi s2, s2, -1
+        j gen_next
+do_push:
+        slli t4, s1, 1
+        add t5, s0, t4
+        sb zero, 0(t5)           # opcode 0 = push imm
+        srli t6, s7, 5
+        andi t6, t6, 127
+        sb t6, 1(t5)
+        addi s2, s2, 1
+gen_next:
+        addi s1, s1, 1
+        li t0, 30
+        blt s1, t0, gen_tok
+drain:                           # reduce stack to one value
+        li t1, 1
+        ble s2, t1, interp
+        slli t4, s1, 1
+        add t5, s0, t4
+        li t3, 1                 # add
+        sb t3, 0(t5)
+        sb zero, 1(t5)
+        addi s1, s1, 1
+        addi s2, s2, -1
+        j drain
+
+        # ---- interpret the token buffer ----
+interp:
+        la s3, stk
+        li s4, 0                 # stack pointer (index)
+        li s6, 0                 # token cursor
+interp_loop:
+        bge s6, s1, expr_done
+        slli t1, s6, 1
+        add t2, s0, t1
+        lbu t3, 0(t2)            # opcode
+        lbu t4, 1(t2)            # immediate
+        bnez t3, i_op
+        slli t5, s4, 3           # push imm
+        add t6, s3, t5
+        sd t4, 0(t6)
+        addi s4, s4, 1
+        j interp_next
+i_op:
+        addi s4, s4, -1          # pop rhs
+        slli t5, s4, 3
+        add t6, s3, t5
+        ld t1, 0(t6)
+        addi t5, s4, -1          # peek lhs
+        slli t5, t5, 3
+        add t6, s3, t5
+        ld t2, 0(t6)
+        li t5, 1
+        beq t3, t5, op_add
+        li t5, 2
+        beq t3, t5, op_sub
+        li t5, 3
+        beq t3, t5, op_mul
+        xor t2, t2, t1
+        j op_store
+op_add:
+        add t2, t2, t1
+        j op_store
+op_sub:
+        sub t2, t2, t1
+        j op_store
+op_mul:
+        mul t2, t2, t1
+op_store:
+        addi t5, s4, -1
+        slli t5, t5, 3
+        add t6, s3, t5
+        sd t2, 0(t6)
+interp_next:
+        addi s6, s6, 1
+        j interp_loop
+expr_done:
+        ld t1, 0(s3)
+        add s8, s8, t1
+        addi s5, s5, 1
+        li t0, NEXPR
+        blt s5, t0, expr_loop
+        add s9, s9, s8
+        addi s10, s10, -1
+        bnez s10, outer
+        halt s9
+)";
+
+} // namespace
+
+Workload
+makeCompress()
+{
+    Workload w;
+    w.name = "compress";
+    w.specAnalog = "099.compress";
+    w.description = "run-length + bigram-dictionary coder over "
+                    "generated text with repetitive runs";
+    w.source = kCompressAsm;
+    w.defaultScale = 8;
+    return w;
+}
+
+Workload
+makeCc()
+{
+    Workload w;
+    w.name = "cc";
+    w.specAnalog = "126.gcc";
+    w.description = "RPN expression generator + stack-machine "
+                    "evaluator with token dispatch";
+    w.source = kCcAsm;
+    w.defaultScale = 6;
+    return w;
+}
+
+} // namespace vsim::workloads::detail

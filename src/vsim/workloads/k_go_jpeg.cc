@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Workload kernels: `go` (board-scanning move evaluator, standing in
+ * for 099.go) and `jpeg` (8x8 integer transform + quantisation,
+ * standing in for 132.ijpeg).
+ */
+
+#include "kernels.hh"
+
+namespace vsim::workloads::detail
+{
+
+namespace
+{
+
+const char *kGoAsm = R"(
+# go_k -- 19x19 board with a sentinel border (21x21 bytes). Stones are
+# seeded pseudo-randomly; each pass scans every empty cell, scores it
+# from its neighbourhood and greedily plays the best move. Branchy
+# 2-D array code with data-dependent control, like a go engine's
+# board evaluator.
+        .equ PASSES, 30
+
+        .data
+board:  .space 441               # 21*21
+
+        .text
+        li s10, WORK_SCALE
+        li s9, 0                 # checksum
+outer:
+        li s8, 0                 # per-repetition checksum
+        # ---- seed the board ----
+        la s0, board
+        li s7, 55555
+        li s1, 0
+init:
+        slli t0, s7, 13
+        xor s7, s7, t0
+        srli t0, s7, 7
+        xor s7, s7, t0
+        andi t1, s7, 3           # 0..3
+        li t2, 3
+        bne t1, t2, init_store
+        li t1, 0                 # map 3 -> empty as well
+init_store:
+        add t3, s0, s1
+        sb t1, 0(t3)
+        addi s1, s1, 1
+        li t4, 441
+        blt s1, t4, init
+
+        # ---- evaluation passes ----
+        li s2, 0                 # pass number
+pass_loop:
+        li s3, 0                 # best score
+        li s4, 0                 # best position
+        li s1, 22                # first interior cell (row 1, col 1)
+cell:
+        add t0, s0, s1
+        lbu t1, 0(t0)
+        bnez t1, next_cell       # only empty cells are candidates
+        lbu t2, -1(t0)           # west
+        lbu t3, 1(t0)            # east
+        lbu t4, -21(t0)          # north
+        lbu t5, 21(t0)           # south
+        add t6, t2, t3
+        add t6, t6, t4
+        add t6, t6, t5           # neighbourhood pressure
+        slli t6, t6, 2
+        andi t2, s1, 3           # positional tiebreak
+        add t6, t6, t2
+        ble t6, s3, next_cell
+        mv s3, t6
+        mv s4, s1
+next_cell:
+        addi s1, s1, 1
+        li t0, 419               # last interior cell + 1
+        blt s1, t0, cell
+        # play the best move, alternating colours
+        andi t1, s2, 1
+        addi t1, t1, 1
+        add t2, s0, s4
+        sb t1, 0(t2)
+        add s8, s8, s3
+        add s8, s8, s4
+        addi s2, s2, 1
+        li t3, PASSES
+        blt s2, t3, pass_loop
+
+        add s9, s9, s8
+        addi s10, s10, -1
+        bnez s10, outer
+        halt s9
+)";
+
+const char *kJpegAsm = R"(
+# jpeg_k -- integer 8x8 block transform: C = K * B * K with a constant
+# coefficient matrix, followed by quantisation. Long multiply chains
+# and strided loads, like a JPEG encoder's DCT stage.
+        .equ BLOCKS, 20
+
+        .data
+coef:   .space 512               # 8x8 dwords
+blk:    .space 512
+tmpm:   .space 512
+outm:   .space 512
+
+        .text
+        li s10, WORK_SCALE
+        li s9, 0                 # checksum
+
+        # ---- build the coefficient matrix once ----
+        la s0, coef
+        li s1, 0                 # i
+ci:
+        li t0, 0                 # j
+cj:
+        slli t1, s1, 1
+        add t1, t1, s1           # 3*i
+        slli t2, t0, 2
+        add t2, t2, t0           # 5*j
+        add t3, t1, t2
+        andi t3, t3, 15
+        addi t3, t3, -8          # small signed coefficients
+        slli t4, s1, 3
+        add t4, t4, t0
+        slli t4, t4, 3
+        add t5, s0, t4
+        sd t3, 0(t5)
+        addi t0, t0, 1
+        li t6, 8
+        blt t0, t6, cj
+        addi s1, s1, 1
+        li t6, 8
+        blt s1, t6, ci
+
+outer:
+        li s8, 0                 # per-repetition checksum
+        li s5, 0                 # block counter
+        li s7, 24680
+blk_loop:
+        # ---- fill the block with pixel-like values ----
+        la s1, blk
+        li t0, 0
+fill:
+        slli t1, s7, 13
+        xor s7, s7, t1
+        srli t1, s7, 7
+        xor s7, s7, t1
+        andi t2, s7, 255
+        slli t3, t0, 3
+        add t4, s1, t3
+        sd t2, 0(t4)
+        addi t0, t0, 1
+        li t5, 64
+        blt t0, t5, fill
+
+        la a0, coef
+        la a1, blk
+        la a2, tmpm
+        call matmul8
+        la a0, tmpm
+        la a1, coef
+        la a2, outm
+        call matmul8
+
+        # ---- quantise and accumulate ----
+        la s1, outm
+        li t0, 0
+quant:
+        slli t1, t0, 3
+        add t2, s1, t1
+        ld t3, 0(t2)
+        srai t3, t3, 4
+        add s8, s8, t3
+        addi t0, t0, 1
+        li t4, 64
+        blt t0, t4, quant
+
+        addi s5, s5, 1
+        li t5, BLOCKS
+        blt s5, t5, blk_loop
+        add s9, s9, s8
+        addi s10, s10, -1
+        bnez s10, outer
+        halt s9
+
+# matmul8: C = A * B over 8x8 dword matrices. a0=A, a1=B, a2=C.
+matmul8:
+        li t0, 0                 # i
+mm_i:
+        li t1, 0                 # j
+mm_j:
+        li t2, 0                 # k
+        li t3, 0                 # accumulator
+mm_k:
+        slli t4, t0, 3
+        add t4, t4, t2
+        slli t4, t4, 3
+        add t5, a0, t4
+        ld t6, 0(t5)             # A[i][k]
+        slli t4, t2, 3
+        add t4, t4, t1
+        slli t4, t4, 3
+        add t5, a1, t4
+        ld t4, 0(t5)             # B[k][j]
+        mul t6, t6, t4
+        add t3, t3, t6
+        addi t2, t2, 1
+        li t4, 8
+        blt t2, t4, mm_k
+        slli t4, t0, 3
+        add t4, t4, t1
+        slli t4, t4, 3
+        add t5, a2, t4
+        sd t3, 0(t5)
+        addi t1, t1, 1
+        li t4, 8
+        blt t1, t4, mm_j
+        addi t0, t0, 1
+        li t4, 8
+        blt t0, t4, mm_i
+        ret
+)";
+
+} // namespace
+
+Workload
+makeGo()
+{
+    Workload w;
+    w.name = "go";
+    w.specAnalog = "099.go";
+    w.description = "19x19 board scan + greedy move evaluator with "
+                    "data-dependent branching";
+    w.source = kGoAsm;
+    w.defaultScale = 3;
+    return w;
+}
+
+Workload
+makeJpeg()
+{
+    Workload w;
+    w.name = "jpeg";
+    w.specAnalog = "132.ijpeg";
+    w.description = "8x8 integer block transform and quantisation "
+                    "(multiply-heavy DCT analogue)";
+    w.source = kJpegAsm;
+    w.defaultScale = 2;
+    return w;
+}
+
+} // namespace vsim::workloads::detail

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Workload kernels: `m88k` (interpreter of a toy accumulator machine,
+ * standing in for 124.m88ksim) and `perl` (word hashing into a probed
+ * table, standing in for 134.perl).
+ */
+
+#include "kernels.hh"
+
+namespace vsim::workloads::detail
+{
+
+namespace
+{
+
+const char *kM88kAsm = R"(
+# m88k_k -- fetch/decode/dispatch interpreter running a guest
+# accumulator-machine program (a counted summation loop), like a CPU
+# simulator's main loop: indirect dispatch and state-machine values.
+#
+# Guest ISA: (op, arg) byte pairs.
+#   0 LOADI  ACC = arg          1 ADDM  ACC += mem[arg]
+#   2 STOREM mem[arg] = ACC     3 SUBI  ACC -= arg
+#   4 JNZ    if ACC != 0 pc = arg
+#   5 HALT                      6 LOADM ACC = mem[arg]
+        .equ GRUNS, 30
+
+        .data
+gcode:  .byte 0,0, 2,1, 0,200, 2,0, 6,1, 1,0, 2,1
+        .byte 6,0, 3,1, 2,0, 4,4, 6,1, 5,0
+gmem:   .space 2048              # 256 guest dwords
+
+        .text
+        li s10, WORK_SCALE
+        li s9, 0                 # checksum
+outer:
+        li s8, 0                 # per-repetition checksum
+        li s5, 0                 # guest-run counter
+grun:
+        la s0, gcode
+        la s1, gmem
+        li s2, 0                 # guest pc
+        li s3, 0                 # guest ACC
+step:
+        slli t0, s2, 1
+        add t1, s0, t0
+        lbu t2, 0(t1)            # opcode
+        lbu t3, 1(t1)            # argument
+        addi s2, s2, 1
+        beqz t2, g_loadi
+        li t4, 1
+        beq t2, t4, g_addm
+        li t4, 2
+        beq t2, t4, g_storem
+        li t4, 3
+        beq t2, t4, g_subi
+        li t4, 4
+        beq t2, t4, g_jnz
+        li t4, 6
+        beq t2, t4, g_loadm
+        j g_halt
+g_loadi:
+        mv s3, t3
+        j step
+g_addm:
+        slli t5, t3, 3
+        add t6, s1, t5
+        ld t5, 0(t6)
+        add s3, s3, t5
+        j step
+g_storem:
+        slli t5, t3, 3
+        add t6, s1, t5
+        sd s3, 0(t6)
+        j step
+g_subi:
+        sub s3, s3, t3
+        j step
+g_jnz:
+        beqz s3, step
+        mv s2, t3
+        j step
+g_loadm:
+        slli t5, t3, 3
+        add t6, s1, t5
+        ld s3, 0(t6)
+        j step
+g_halt:
+        add s8, s8, s3
+        addi s5, s5, 1
+        li t0, GRUNS
+        blt s5, t0, grun
+        add s9, s9, s8
+        addi s10, s10, -1
+        bnez s10, outer
+        halt s9
+)";
+
+const char *kPerlAsm = R"(
+# perl_k -- generates pseudo-words, computes a h*31+c rolling hash and
+# maintains a linearly probed (bounded, evicting) hash table of word
+# counts: byte loads, hash arithmetic and table churn, like a perl
+# associative-array workload.
+        .equ NWORDS, 1200
+
+        .data
+wbuf:   .space 32
+htab:   .space 16384             # 1024 entries of [hash, count]
+
+        .text
+        li s10, WORK_SCALE
+        li s9, 0                 # checksum
+outer:
+        li s8, 0                 # per-repetition checksum
+        li s7, 777777
+        la s4, htab
+        li t0, 0                 # clear the table
+clr:
+        slli t1, t0, 3
+        add t2, s4, t1
+        sd zero, 0(t2)
+        addi t0, t0, 1
+        li t3, 2048
+        blt t0, t3, clr
+        li s5, 0                 # word counter
+word:
+        slli t0, s7, 13
+        xor s7, s7, t0
+        srli t0, s7, 7
+        xor s7, s7, t0
+        slli t0, s7, 17
+        xor s7, s7, t0
+        andi s2, s7, 7
+        addi s2, s2, 4           # word length 4..11
+        la s0, wbuf
+        li s1, 0
+        li s3, 0                 # rolling hash
+mkch:
+        srli t1, s7, 3
+        xor t1, t1, s1
+        andi t1, t1, 15
+        addi t1, t1, 'a'
+        add t2, s0, s1
+        sb t1, 0(t2)
+        slli t3, s3, 5           # h = h*31 + c
+        sub t3, t3, s3
+        add s3, t3, t1
+        addi s1, s1, 1
+        blt s1, s2, mkch
+
+        andi t4, s3, 1023        # probe, capped at 8 steps
+        li a3, 0
+probe:
+        slli t5, t4, 4
+        add t6, s4, t5
+        ld t0, 0(t6)
+        beqz t0, ins_new
+        beq t0, s3, ins_hit
+        addi a3, a3, 1
+        li t1, 8
+        bge a3, t1, ins_evict
+        addi t4, t4, 1
+        andi t4, t4, 1023
+        j probe
+ins_new:
+        sd s3, 0(t6)
+        li t1, 1
+        sd t1, 8(t6)
+        j word_done
+ins_evict:
+        sd s3, 0(t6)
+        li t1, 1
+        sd t1, 8(t6)
+        j word_done
+ins_hit:
+        ld t1, 8(t6)
+        addi t1, t1, 1
+        sd t1, 8(t6)
+        add s8, s8, t1
+word_done:
+        add s8, s8, s3
+        addi s5, s5, 1
+        li t0, NWORDS
+        blt s5, t0, word
+        add s9, s9, s8
+        addi s10, s10, -1
+        bnez s10, outer
+        halt s9
+)";
+
+} // namespace
+
+Workload
+makeM88k()
+{
+    Workload w;
+    w.name = "m88k";
+    w.specAnalog = "124.m88ksim";
+    w.description = "fetch/decode/dispatch interpreter of a toy "
+                    "accumulator machine";
+    w.source = kM88kAsm;
+    w.defaultScale = 1;
+    return w;
+}
+
+Workload
+makePerl()
+{
+    Workload w;
+    w.name = "perl";
+    w.specAnalog = "134.perl";
+    w.description = "pseudo-word generation, rolling hash and probed "
+                    "hash-table of counts";
+    w.source = kPerlAsm;
+    w.defaultScale = 6;
+    return w;
+}
+
+} // namespace vsim::workloads::detail

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Workload kernels: `vortex` (in-memory database with hash buckets and
+ * linked records, standing in for 147.vortex) and `queens` (recursive
+ * 7-queens solver, standing in for 130.li — the paper's xlisp input
+ * *is* "7 queens").
+ */
+
+#include "kernels.hh"
+
+namespace vsim::workloads::detail
+{
+
+namespace
+{
+
+const char *kVortexAsm = R"(
+# vortex_k -- in-memory DB: 256 hash buckets of singly linked records
+# allocated from an arena. A PRNG drives a mix of inserts (9/16),
+# lookups (5/16) and deletes (2/16): pointer-chasing, allocation-like
+# address streams, irregular control.
+        .equ NOPS, 2000
+
+        .data
+bucket: .space 2048              # 256 head pointers
+arena:  .space 262144            # record arena: [key, val, next] * 24B
+
+        .text
+        li s10, WORK_SCALE
+        li s9, 0                 # checksum
+outer:
+        li s8, 0                 # per-repetition checksum
+        la s0, bucket
+        li t0, 0                 # clear bucket heads
+clr:
+        slli t1, t0, 3
+        add t2, s0, t1
+        sd zero, 0(t2)
+        addi t0, t0, 1
+        li t3, 256
+        blt t0, t3, clr
+        la s1, arena
+        li s2, 0                 # records allocated
+        li s7, 31415926
+        li s5, 0                 # op counter
+op_loop:
+        slli t0, s7, 13
+        xor s7, s7, t0
+        srli t0, s7, 7
+        xor s7, s7, t0
+        slli t0, s7, 17
+        xor s7, s7, t0
+        srli t1, s7, 8
+        andi s3, t1, 511         # key
+        andi t2, s7, 15
+        li t3, 9
+        blt t2, t3, do_insert
+        li t3, 14
+        blt t2, t3, do_lookup
+        j do_delete
+
+do_insert:
+        li t4, 10000             # arena capacity guard
+        bge s2, t4, do_lookup
+        slli t4, s2, 4
+        slli t5, s2, 3
+        add t4, t4, t5           # s2 * 24
+        add t5, s1, t4           # record pointer
+        sd s3, 0(t5)             # key
+        srli t6, s7, 20
+        andi t6, t6, 4095
+        sd t6, 8(t5)             # value
+        andi t0, s3, 255
+        slli t0, t0, 3
+        la t1, bucket
+        add t1, t1, t0
+        ld t2, 0(t1)
+        sd t2, 16(t5)            # next = old head
+        sd t5, 0(t1)             # head = record
+        addi s2, s2, 1
+        addi s8, s8, 1
+        j op_done
+
+do_lookup:
+        andi t0, s3, 255
+        slli t0, t0, 3
+        la t1, bucket
+        add t1, t1, t0
+        ld t2, 0(t1)
+look:
+        beqz t2, op_done
+        ld t3, 0(t2)
+        bne t3, s3, look_next
+        ld t4, 8(t2)
+        add s8, s8, t4
+        j op_done
+look_next:
+        ld t2, 16(t2)
+        j look
+
+do_delete:
+        andi t0, s3, 255
+        slli t0, t0, 3
+        la t1, bucket
+        add t1, t1, t0           # address of the link to cur
+        ld t2, 0(t1)
+del:
+        beqz t2, op_done
+        ld t3, 0(t2)
+        beq t3, s3, del_hit
+        addi t1, t2, 16
+        ld t2, 16(t2)
+        j del
+del_hit:
+        ld t4, 16(t2)
+        sd t4, 0(t1)             # unlink first match
+        addi s8, s8, 3
+
+op_done:
+        addi s5, s5, 1
+        li t0, NOPS
+        blt s5, t0, op_loop
+        add s9, s9, s8
+        addi s10, s10, -1
+        bnez s10, outer
+        halt s9
+)";
+
+const char *kQueensAsm = R"(
+# queens_k -- recursive backtracking 7-queens solution counter (the
+# paper's xlisp benchmark ran "7 queens"): deep call recursion, stack
+# traffic, byte-array bookkeeping.
+        .equ NREPS, 8
+
+        .data
+colu:   .space 8
+diag1:  .space 16
+diag2:  .space 16
+
+        .text
+        li s10, WORK_SCALE
+        li s9, 0                 # checksum
+outer:
+        li s4, 0                 # repetition counter
+rep:
+        la s0, colu
+        li t0, 0
+clr1:
+        add t1, s0, t0
+        sb zero, 0(t1)
+        addi t0, t0, 1
+        li t2, 7
+        blt t0, t2, clr1
+        la s1, diag1
+        la s2, diag2
+        li t0, 0
+clr2:
+        add t1, s1, t0
+        sb zero, 0(t1)
+        add t1, s2, t0
+        sb zero, 0(t1)
+        addi t0, t0, 1
+        li t2, 13
+        blt t0, t2, clr2
+        li s5, 0                 # solutions found
+        li a0, 0                 # row 0
+        call solve
+        add s9, s9, s5
+        addi s4, s4, 1
+        li t0, NREPS
+        blt s4, t0, rep
+        addi s10, s10, -1
+        bnez s10, outer
+        halt s9
+
+# solve(a0 = row): count completed placements into s5.
+# Uses s0=colu, s1=diag1, s2=diag2 (callee keeps them intact).
+solve:
+        li t0, 7
+        bne a0, t0, s_work
+        addi s5, s5, 1
+        ret
+s_work:
+        addi sp, sp, -24
+        sd ra, 0(sp)
+        sd a0, 8(sp)
+        sd s6, 16(sp)
+        li s6, 0                 # column
+s_col:
+        add t1, s0, s6
+        lbu t2, 0(t1)
+        bnez t2, s_next
+        ld a0, 8(sp)
+        add t3, a0, s6           # row + col
+        add t4, s1, t3
+        lbu t5, 0(t4)
+        bnez t5, s_next
+        sub t3, a0, s6
+        addi t3, t3, 6           # row - col + 6
+        add t4, s2, t3
+        lbu t5, 0(t4)
+        bnez t5, s_next
+        li t6, 1                 # place the queen
+        add t1, s0, s6
+        sb t6, 0(t1)
+        add t3, a0, s6
+        add t4, s1, t3
+        sb t6, 0(t4)
+        sub t3, a0, s6
+        addi t3, t3, 6
+        add t4, s2, t3
+        sb t6, 0(t4)
+        addi a0, a0, 1
+        call solve
+        ld a0, 8(sp)             # remove the queen
+        add t1, s0, s6
+        sb zero, 0(t1)
+        add t3, a0, s6
+        add t4, s1, t3
+        sb zero, 0(t4)
+        sub t3, a0, s6
+        addi t3, t3, 6
+        add t4, s2, t3
+        sb zero, 0(t4)
+s_next:
+        addi s6, s6, 1
+        li t0, 7
+        blt s6, t0, s_col
+        ld ra, 0(sp)
+        ld s6, 16(sp)
+        addi sp, sp, 24
+        ret
+)";
+
+} // namespace
+
+Workload
+makeVortex()
+{
+    Workload w;
+    w.name = "vortex";
+    w.specAnalog = "147.vortex";
+    w.description = "hash-bucket in-memory database with linked "
+                    "records: insert/lookup/delete mix";
+    w.source = kVortexAsm;
+    w.defaultScale = 5;
+    return w;
+}
+
+Workload
+makeQueens()
+{
+    Workload w;
+    w.name = "queens";
+    w.specAnalog = "130.li (xlisp, 7-queens)";
+    w.description = "recursive backtracking 7-queens solution counter";
+    w.source = kQueensAsm;
+    w.defaultScale = 1;
+    return w;
+}
+
+} // namespace vsim::workloads::detail

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Internal factory declarations for the eight workload kernels. Each
+ * factory lives in its own translation unit next to the kernel's
+ * assembly source.
+ */
+
+#ifndef VSIM_WORKLOADS_KERNELS_HH
+#define VSIM_WORKLOADS_KERNELS_HH
+
+#include "workloads.hh"
+
+namespace vsim::workloads::detail
+{
+
+Workload makeCompress(); //!< stands in for 099.compress
+Workload makeCc();       //!< stands in for 126.gcc
+Workload makeGo();       //!< stands in for 099.go
+Workload makeJpeg();     //!< stands in for 132.ijpeg
+Workload makeM88k();     //!< stands in for 124.m88ksim
+Workload makePerl();     //!< stands in for 134.perl
+Workload makeVortex();   //!< stands in for 147.vortex
+Workload makeQueens();   //!< stands in for 130.li (xlisp, 7-queens input)
+
+} // namespace vsim::workloads::detail
+
+#endif // VSIM_WORKLOADS_KERNELS_HH

@@ -1,0 +1,42 @@
+#include "workloads.hh"
+
+#include "kernels.hh"
+#include "vsim/assembler/assembler.hh"
+#include "vsim/base/logging.hh"
+
+namespace vsim::workloads
+{
+
+const std::vector<Workload> &
+all()
+{
+    static const std::vector<Workload> suite = {
+        detail::makeCompress(), detail::makeCc(),   detail::makeGo(),
+        detail::makeJpeg(),     detail::makeM88k(), detail::makePerl(),
+        detail::makeVortex(),   detail::makeQueens(),
+    };
+    return suite;
+}
+
+const Workload &
+byName(const std::string &name)
+{
+    for (const Workload &w : all()) {
+        if (w.name == name)
+            return w;
+    }
+    VSIM_FATAL("unknown workload '", name, "'");
+}
+
+assembler::Program
+buildProgram(const Workload &w, int scale)
+{
+    const int eff = scale < 0 ? w.defaultScale : scale;
+    if (eff <= 0)
+        VSIM_FATAL("work scale must be positive, got ", eff);
+    std::string src = ".equ WORK_SCALE, " + std::to_string(eff) + "\n";
+    src += w.source;
+    return assembler::assemble(src, w.name + ".s");
+}
+
+} // namespace vsim::workloads

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The benchmark suite: eight open workloads written in VRISC assembly,
+ * one per SPECint95 benchmark of the paper's Table 1 (see DESIGN.md §2
+ * for the substitution rationale). Each kernel computes a checksum and
+ * halts with it, so every timing run doubles as a correctness check,
+ * and scales its dynamic instruction count linearly with a work factor.
+ */
+
+#ifndef VSIM_WORKLOADS_WORKLOADS_HH
+#define VSIM_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "vsim/assembler/program.hh"
+
+namespace vsim::workloads
+{
+
+struct Workload
+{
+    std::string name;       //!< short name, e.g. "compress"
+    std::string specAnalog; //!< the SPECint95 benchmark it stands in for
+    std::string description;
+    std::string source;     //!< VRISC assembly; uses WORK_SCALE
+    int defaultScale = 1;   //!< work factor giving the standard length
+};
+
+/** All eight workloads, in Table 1 order. */
+const std::vector<Workload> &all();
+
+/** Look up one workload by name; throws FatalError when unknown. */
+const Workload &byName(const std::string &name);
+
+/**
+ * Assemble @p w with the given work factor (defaultScale when -1).
+ * The factor is injected as the `WORK_SCALE` assembler constant and
+ * multiplies the number of outer repetitions, not buffer sizes.
+ */
+assembler::Program buildProgram(const Workload &w, int scale = -1);
+
+} // namespace vsim::workloads
+
+#endif // VSIM_WORKLOADS_WORKLOADS_HH

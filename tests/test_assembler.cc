@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Unit tests for the two-pass VRISC assembler: encoding of real and
+ * pseudo instructions, label resolution, data directives, li/la
+ * expansion, and error diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vsim/assembler/assembler.hh"
+#include "vsim/base/logging.hh"
+#include "vsim/isa/isa.hh"
+
+namespace
+{
+
+using namespace vsim;
+using assembler::Program;
+using assembler::assemble;
+using isa::Inst;
+using isa::Op;
+
+Inst
+instAt(const Program &prog, std::size_t i)
+{
+    EXPECT_LT(i, prog.text.size());
+    auto inst = isa::decode(prog.text[i]);
+    EXPECT_TRUE(inst.has_value());
+    return *inst;
+}
+
+TEST(Asm, BasicInstructionForms)
+{
+    Program p = assemble(R"(
+        add a0, a1, a2
+        addi t0, t1, -42
+        lw a3, 8(sp)
+        sd a4, -16(s0)
+        lui a5, 0x12
+        halt
+    )");
+    ASSERT_EQ(p.text.size(), 6u);
+    EXPECT_EQ(instAt(p, 0).op, Op::ADD);
+    EXPECT_EQ(instAt(p, 1).imm, -42);
+    EXPECT_EQ(instAt(p, 2).op, Op::LW);
+    EXPECT_EQ(instAt(p, 2).imm, 8);
+    EXPECT_EQ(instAt(p, 3).op, Op::SD);
+    EXPECT_EQ(instAt(p, 3).imm, -16);
+    EXPECT_EQ(instAt(p, 4).op, Op::LUI);
+    EXPECT_EQ(instAt(p, 4).imm, 0x12);
+    EXPECT_EQ(instAt(p, 5).op, Op::HALT);
+    EXPECT_EQ(instAt(p, 5).ra, 0);
+}
+
+TEST(Asm, CommentsAndBlankLines)
+{
+    Program p = assemble(R"(
+        # full-line comment
+        nop        ; trailing comment
+        ; another
+    )");
+    ASSERT_EQ(p.text.size(), 1u);
+    EXPECT_EQ(instAt(p, 0).op, Op::ADDI);
+}
+
+TEST(Asm, BackwardAndForwardBranchLabels)
+{
+    Program p = assemble(R"(
+    loop:
+        addi a0, a0, 1
+        bne a0, a1, loop
+        beq a0, a1, done
+        nop
+    done:
+        halt
+    )");
+    // bne at index 1 targets index 0: offset -1.
+    EXPECT_EQ(instAt(p, 1).imm, -1);
+    // beq at index 2 targets index 4: offset +2.
+    EXPECT_EQ(instAt(p, 2).imm, 2);
+}
+
+TEST(Asm, LabelOnSameLine)
+{
+    Program p = assemble("top: nop\n j top\n");
+    EXPECT_EQ(instAt(p, 1).op, Op::JAL);
+    EXPECT_EQ(instAt(p, 1).ra, 0);
+    EXPECT_EQ(instAt(p, 1).imm, -1);
+}
+
+TEST(Asm, CallAndRet)
+{
+    Program p = assemble(R"(
+        call fn
+        halt
+    fn:
+        ret
+    )");
+    EXPECT_EQ(instAt(p, 0).op, Op::JAL);
+    EXPECT_EQ(instAt(p, 0).ra, 1);
+    EXPECT_EQ(instAt(p, 0).imm, 2);
+    EXPECT_EQ(instAt(p, 2).op, Op::JALR);
+    EXPECT_EQ(instAt(p, 2).rb, 1);
+}
+
+TEST(Asm, LiSmallExpandsToAddi)
+{
+    Program p = assemble("li a0, 100\nhalt\n");
+    ASSERT_EQ(p.text.size(), 2u);
+    EXPECT_EQ(instAt(p, 0).op, Op::ADDI);
+    EXPECT_EQ(instAt(p, 0).imm, 100);
+}
+
+TEST(Asm, Li32BitExpandsToLuiAddi)
+{
+    Program p = assemble("li a0, 0x12345678\nhalt\n");
+    ASSERT_EQ(p.text.size(), 3u);
+    EXPECT_EQ(instAt(p, 0).op, Op::LUI);
+    EXPECT_EQ(instAt(p, 1).op, Op::ADDI);
+    // Reconstruct: (hi << 12) + lo == value.
+    const std::int64_t hi = instAt(p, 0).imm;
+    const std::int64_t lo = instAt(p, 1).imm;
+    EXPECT_EQ((hi << 12) + lo, 0x12345678);
+}
+
+TEST(Asm, LiNegative32Bit)
+{
+    Program p = assemble("li a0, -559038737\nhalt\n"); // 0xDEADBEEF as neg
+    const std::int64_t hi = instAt(p, 0).imm;
+    std::int64_t value = hi << 12;
+    if (instAt(p, 1).op == Op::ADDI)
+        value += instAt(p, 1).imm;
+    EXPECT_EQ(value, -559038737);
+}
+
+TEST(Asm, DataDirectivesAndSymbols)
+{
+    Program p = assemble(R"(
+        .data
+    vals:
+        .word 1, 2, 3
+    msg:
+        .asciiz "hi\n"
+        .align 8
+    buf:
+        .space 16
+        .text
+        la a0, vals
+        ld a1, 0(a0)
+        halt
+    )");
+    ASSERT_GE(p.data.size(), 12u + 4u);
+    EXPECT_EQ(p.data[0], 1);
+    EXPECT_EQ(p.data[4], 2);
+    EXPECT_EQ(p.data[8], 3);
+    EXPECT_EQ(p.data[12], 'h');
+    EXPECT_EQ(p.data[13], 'i');
+    EXPECT_EQ(p.data[14], '\n');
+    EXPECT_EQ(p.data[15], 0);
+    ASSERT_TRUE(p.symbols.count("vals"));
+    ASSERT_TRUE(p.symbols.count("buf"));
+    EXPECT_EQ(p.symbols.at("vals"), p.dataBase);
+    EXPECT_EQ(p.symbols.at("buf") % 8, 0u);
+    // la expands to lui+addi pointing at vals.
+    const std::int64_t hi = instAt(p, 0).imm;
+    const std::int64_t lo = instAt(p, 1).imm;
+    EXPECT_EQ(static_cast<std::uint64_t>((hi << 12) + lo), p.dataBase);
+}
+
+TEST(Asm, EquConstants)
+{
+    Program p = assemble(R"(
+        .equ SIZE, 64
+        li a0, SIZE
+        addi a1, zero, SIZE
+        halt
+    )");
+    EXPECT_EQ(instAt(p, 0).imm, 64);
+    EXPECT_EQ(instAt(p, 1).imm, 64);
+}
+
+TEST(Asm, CharLiterals)
+{
+    Program p = assemble("li a0, 'A'\nli a1, '\\n'\nhalt\n");
+    EXPECT_EQ(instAt(p, 0).imm, 'A');
+    EXPECT_EQ(instAt(p, 1).imm, '\n');
+}
+
+TEST(Asm, PseudoBranches)
+{
+    Program p = assemble(R"(
+    top:
+        beqz a0, top
+        bnez a1, top
+        bgt a2, a3, top
+        ble a4, a5, top
+        bgtz a6, top
+        blez a7, top
+        halt
+    )");
+    EXPECT_EQ(instAt(p, 0).op, Op::BEQ);
+    EXPECT_EQ(instAt(p, 0).rb, 0);
+    EXPECT_EQ(instAt(p, 1).op, Op::BNE);
+    // bgt a2,a3 -> blt a3,a2
+    EXPECT_EQ(instAt(p, 2).op, Op::BLT);
+    EXPECT_EQ(instAt(p, 2).ra, isa::parseRegName("a3"));
+    EXPECT_EQ(instAt(p, 2).rb, isa::parseRegName("a2"));
+    EXPECT_EQ(instAt(p, 3).op, Op::BGE);
+    // bgtz a6 -> blt zero, a6
+    EXPECT_EQ(instAt(p, 4).op, Op::BLT);
+    EXPECT_EQ(instAt(p, 4).ra, 0);
+    // blez a7 -> bge zero, a7
+    EXPECT_EQ(instAt(p, 5).op, Op::BGE);
+    EXPECT_EQ(instAt(p, 5).ra, 0);
+}
+
+TEST(Asm, MvNotNegSeqzSnez)
+{
+    Program p = assemble(R"(
+        mv a0, a1
+        not a2, a3
+        neg a4, a5
+        seqz a6, a7
+        snez t0, t1
+        halt
+    )");
+    EXPECT_EQ(instAt(p, 0).op, Op::ADDI);
+    EXPECT_EQ(instAt(p, 1).op, Op::XORI);
+    EXPECT_EQ(instAt(p, 1).imm, -1);
+    EXPECT_EQ(instAt(p, 2).op, Op::SUB);
+    EXPECT_EQ(instAt(p, 2).rb, 0);
+    EXPECT_EQ(instAt(p, 3).op, Op::SLTIU);
+    EXPECT_EQ(instAt(p, 3).imm, 1);
+    EXPECT_EQ(instAt(p, 4).op, Op::SLTU);
+}
+
+TEST(Asm, StartLabelSetsEntry)
+{
+    Program p = assemble(R"(
+        nop
+    _start:
+        halt
+    )");
+    EXPECT_EQ(p.entry, p.textBase + 4);
+}
+
+TEST(AsmErrors, UndefinedLabel)
+{
+    EXPECT_THROW(assemble("beq a0, a1, nowhere\n"), FatalError);
+}
+
+TEST(AsmErrors, DuplicateLabel)
+{
+    EXPECT_THROW(assemble("x: nop\nx: nop\n"), FatalError);
+}
+
+TEST(AsmErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(assemble("frobnicate a0, a1\n"), FatalError);
+}
+
+TEST(AsmErrors, BadRegister)
+{
+    EXPECT_THROW(assemble("add a0, a1, q9\n"), FatalError);
+}
+
+TEST(AsmErrors, WrongOperandCount)
+{
+    EXPECT_THROW(assemble("add a0, a1\n"), FatalError);
+}
+
+TEST(AsmErrors, DataDirectiveInText)
+{
+    EXPECT_THROW(assemble(".text\n.word 5\n"), FatalError);
+}
+
+TEST(AsmErrors, ImmediateOutOfRangeDiagnosed)
+{
+    // Too big for imm15: must be a clean assembly error, not a crash.
+    EXPECT_THROW(assemble("addi a0, a0, 999999\n"), FatalError);
+    EXPECT_THROW(assemble("lw a0, 20000(sp)\n"), FatalError);
+    EXPECT_THROW(assemble("lui a0, 600000\n"), FatalError);
+    // Boundary values still assemble.
+    EXPECT_EQ(assemble("addi a0, a0, 16383\nhalt\n").text.size(), 2u);
+    EXPECT_EQ(assemble("addi a0, a0, -16384\nhalt\n").text.size(), 2u);
+}
+
+TEST(AsmErrors, MixedErrorsAllReported)
+{
+    // Both parse-stage errors are reported together (label resolution
+    // is skipped once earlier errors exist).
+    try {
+        assemble("bogus a0\naddi a0, a0, 999999\nbeq a0, a1, gone\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("2 error(s)"), std::string::npos) << what;
+        EXPECT_NE(what.find("bogus"), std::string::npos);
+        EXPECT_NE(what.find("999999"), std::string::npos);
+    }
+}
+
+TEST(AsmErrors, MessageCarriesLineNumber)
+{
+    try {
+        assemble("nop\nnop\nbogus_op a0\n", "unit.s");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("unit.s:3"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(Asm, RoundTripThroughDisassembler)
+{
+    // Every encoded instruction must disassemble to text that
+    // re-assembles to the identical encoding.
+    Program p = assemble(R"(
+        add a0, a1, a2
+        addi a0, a1, -7
+        lw a0, 12(sp)
+        sb t0, -1(t1)
+        beq a0, a1, 2
+        jal ra, -4
+        jalr zero, ra, 0
+        lui s3, 99
+        halt a0
+    )");
+    for (std::uint32_t word : p.text) {
+        auto inst = isa::decode(word);
+        ASSERT_TRUE(inst.has_value());
+        Program p2 = assemble(isa::disassemble(*inst) + "\n");
+        ASSERT_EQ(p2.text.size(), 1u) << isa::disassemble(*inst);
+        EXPECT_EQ(p2.text[0], word) << isa::disassemble(*inst);
+    }
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for vsim/base: statistics helpers, logging, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vsim/base/logging.hh"
+#include "vsim/base/random.hh"
+#include "vsim/base/stats.hh"
+
+namespace
+{
+
+using namespace vsim;
+
+TEST(Means, ArithmeticBasic)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({5.0}), 5.0);
+}
+
+TEST(Means, HarmonicBasic)
+{
+    // Harmonic mean of {1, 2} is 2 / (1 + 1/2) = 4/3.
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+}
+
+TEST(Means, HarmonicLeqArithmetic)
+{
+    // AM-HM inequality on a few sample sets.
+    const std::vector<std::vector<double>> sets = {
+        {1.0, 2.0, 3.0}, {0.5, 0.5, 4.0}, {10.0, 0.1}};
+    for (const auto &xs : sets)
+        EXPECT_LE(harmonicMean(xs), arithmeticMean(xs) + 1e-12);
+}
+
+TEST(Means, GeometricBetweenHarmonicAndArithmetic)
+{
+    const std::vector<double> xs = {1.3, 0.9, 2.4, 1.1};
+    EXPECT_LE(harmonicMean(xs), geometricMean(xs) + 1e-12);
+    EXPECT_LE(geometricMean(xs), arithmeticMean(xs) + 1e-12);
+}
+
+TEST(RatioStat, CountsAndRatio)
+{
+    RatioStat s;
+    EXPECT_DOUBLE_EQ(s.ratio(), 0.0);
+    s.record(true);
+    s.record(true);
+    s.record(false);
+    EXPECT_EQ(s.total(), 3u);
+    EXPECT_EQ(s.hits(), 2u);
+    EXPECT_EQ(s.misses(), 1u);
+    EXPECT_NEAR(s.ratio(), 2.0 / 3.0, 1e-12);
+    s.reset();
+    EXPECT_EQ(s.total(), 0u);
+}
+
+TEST(Logging, FatalThrowsWithMessage)
+{
+    try {
+        VSIM_FATAL("bad input ", 42);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("bad input 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    VSIM_ASSERT(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2.5"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, FmtFixedDigits)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(2.0, 3), "2.000");
+}
+
+TEST(Random, DeterministicForSeed)
+{
+    Xoshiro256 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Xoshiro256 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Random, BoundedStaysInRange)
+{
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBounded(17), 17u);
+        const std::int64_t v = rng.nextRange(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Random, BernoulliRoughlyFair)
+{
+    Xoshiro256 rng(99);
+    int heads = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for branch direction predictors: saturating-counter
+ * behaviour, learning of biased and patterned branches, gshare
+ * history disambiguation, and the factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vsim/base/logging.hh"
+#include "vsim/bpred/bpred.hh"
+
+namespace
+{
+
+using namespace vsim::bpred;
+
+TEST(SatCounterTest, SaturatesBothEnds)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.taken());
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.raw(), 3);
+    EXPECT_TRUE(c.taken());
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.raw(), 0);
+}
+
+TEST(SatCounterTest, HysteresisAroundMidpoint)
+{
+    SatCounter c(2, 1); // weakly not-taken
+    EXPECT_FALSE(c.taken());
+    c.increment(); // 2: weakly taken
+    EXPECT_TRUE(c.taken());
+    c.decrement(); // back to 1
+    EXPECT_FALSE(c.taken());
+}
+
+/** All predictor kinds must learn an always-taken branch. */
+class LearnsBias : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(LearnsBias, AlwaysTakenBranch)
+{
+    auto bp = makeBranchPredictor(GetParam());
+    const std::uint64_t pc = 0x1000;
+    // History-based predictors rotate through different counters until
+    // the global history saturates, so train well past that point.
+    for (int i = 0; i < 64; ++i)
+        bp->update(pc, true);
+    EXPECT_TRUE(bp->predict(pc)) << bp->name();
+}
+
+TEST_P(LearnsBias, AlwaysNotTakenBranch)
+{
+    auto bp = makeBranchPredictor(GetParam());
+    const std::uint64_t pc = 0x2000;
+    for (int i = 0; i < 64; ++i)
+        bp->update(pc, false);
+    EXPECT_FALSE(bp->predict(pc)) << bp->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, LearnsBias,
+                         ::testing::Values("gshare", "bimodal", "gag"));
+
+TEST(GshareTest, LearnsAlternatingPatternViaHistory)
+{
+    Gshare bp;
+    const std::uint64_t pc = 0x4004;
+    // Train on a strict T/NT alternation; with history in the index
+    // the two phases use different counters and become predictable.
+    bool dir = false;
+    for (int i = 0; i < 64; ++i) {
+        bp.update(pc, dir);
+        dir = !dir;
+    }
+    int correct = 0;
+    for (int i = 0; i < 32; ++i) {
+        correct += bp.predict(pc) == dir;
+        bp.update(pc, dir);
+        dir = !dir;
+    }
+    EXPECT_EQ(correct, 32);
+}
+
+TEST(BimodalTest, CannotLearnAlternatingPattern)
+{
+    Bimodal bp;
+    const std::uint64_t pc = 0x4004;
+    bool dir = false;
+    for (int i = 0; i < 64; ++i) {
+        bp.update(pc, dir);
+        dir = !dir;
+    }
+    int correct = 0;
+    for (int i = 0; i < 32; ++i) {
+        correct += bp.predict(pc) == dir;
+        bp.update(pc, dir);
+        dir = !dir;
+    }
+    // A per-PC 2-bit counter oscillates; it cannot track alternation.
+    EXPECT_LT(correct, 32);
+}
+
+TEST(GshareTest, FreshPredictorDefaultsWeaklyNotTaken)
+{
+    Gshare bp;
+    EXPECT_FALSE(bp.predict(0x5000));
+}
+
+TEST(StatsTest, OutcomeRecording)
+{
+    Gshare bp;
+    bp.recordOutcome(true);
+    bp.recordOutcome(true);
+    bp.recordOutcome(false);
+    EXPECT_NEAR(bp.stats().ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(FactoryTest, RejectsUnknownKind)
+{
+    EXPECT_THROW(makeBranchPredictor("perceptron"), vsim::FatalError);
+}
+
+} // namespace

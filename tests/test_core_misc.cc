@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Core odds and ends: configuration validation, full-stack determinism
+ * with value prediction enabled, retired-count/trace-length
+ * invariants, and stats consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vsim/assembler/assembler.hh"
+#include "vsim/base/logging.hh"
+#include "vsim/core/ooo_core.hh"
+#include "vsim/workloads/workloads.hh"
+
+namespace
+{
+
+using namespace vsim;
+using core::CoreConfig;
+using core::OooCore;
+using core::SimOutcome;
+using core::SpecModel;
+
+const char *kSmallLoop = R"(
+    li a0, 0
+    li a1, 400
+loop:
+    addi a0, a0, 3
+    andi t0, a0, 255
+    add a0, a0, t0
+    addi a1, a1, -1
+    bnez a1, loop
+    halt a0
+)";
+
+TEST(CoreConfigGuards, SpeculativeMemoryResolutionRejected)
+{
+    CoreConfig cfg;
+    cfg.useValuePrediction = true;
+    cfg.model = SpecModel::greatModel();
+    cfg.model.memNeedsValidOps = false;
+    EXPECT_THROW(OooCore(assembler::assemble(kSmallLoop), cfg),
+                 FatalError);
+}
+
+TEST(CoreConfigGuards, OversizedWindowPanics)
+{
+    CoreConfig cfg;
+    cfg.windowSize = core::kMaxWindow + 1;
+    EXPECT_DEATH(OooCore(assembler::assemble(kSmallLoop), cfg),
+                 "window size");
+}
+
+TEST(Determinism, ValuePredictionRunsAreReproducible)
+{
+    const auto prog = assembler::assemble(kSmallLoop);
+    CoreConfig cfg;
+    cfg.useValuePrediction = true;
+    cfg.model = SpecModel::greatModel();
+    cfg.confidence = core::ConfidenceKind::Real;
+    cfg.updateTiming = core::UpdateTiming::Delayed;
+
+    const SimOutcome a = OooCore(prog, cfg).run();
+    const SimOutcome b = OooCore(prog, cfg).run();
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.vpCH, b.stats.vpCH);
+    EXPECT_EQ(a.stats.nullifications, b.stats.nullifications);
+    EXPECT_EQ(a.exitCode, b.exitCode);
+}
+
+TEST(Invariants, RetiredEqualsProgramLength)
+{
+    const auto prog = assembler::assemble(kSmallLoop);
+    CoreConfig cfg;
+    cfg.useValuePrediction = true;
+    cfg.model = SpecModel::superModel();
+    cfg.confidence = core::ConfidenceKind::Always;
+    OooCore core(prog, cfg);
+    const SimOutcome out = core.run();
+    EXPECT_EQ(out.stats.retired, core.programLength());
+}
+
+TEST(Invariants, IpcNeverExceedsIssueWidth)
+{
+    for (int width : {2, 4, 8}) {
+        CoreConfig cfg;
+        cfg.issueWidth = width;
+        cfg.windowSize = 6 * width;
+        OooCore core(assembler::assemble(kSmallLoop), cfg);
+        const SimOutcome out = core.run();
+        EXPECT_LE(out.stats.ipc(), static_cast<double>(width) + 1e-9)
+            << width;
+    }
+}
+
+TEST(Invariants, StatsMixSumsToRetired)
+{
+    const auto prog =
+        workloads::buildProgram(workloads::byName("vortex"), 1);
+    CoreConfig cfg;
+    OooCore core(prog, cfg);
+    const SimOutcome out = core.run();
+    const auto &s = out.stats;
+    EXPECT_LE(s.retiredLoads + s.retiredStores + s.retiredBranches,
+              s.retired);
+    EXPECT_GT(s.retiredLoads, 0u);
+    EXPECT_GT(s.retiredStores, 0u);
+    EXPECT_GT(s.retiredBranches, 0u);
+}
+
+TEST(Invariants, PerPcStatsSumToEligible)
+{
+    const auto prog = assembler::assemble(kSmallLoop);
+    CoreConfig cfg;
+    cfg.useValuePrediction = true;
+    cfg.model = SpecModel::greatModel();
+    OooCore core(prog, cfg);
+    const SimOutcome out = core.run();
+    std::uint64_t total = 0, correct = 0;
+    for (const auto &[pc, counts] : core.perPcVpStats()) {
+        total += counts.first;
+        correct += counts.second;
+    }
+    EXPECT_EQ(total, out.stats.vpEligible);
+    EXPECT_EQ(correct, out.stats.vpCH + out.stats.vpCL);
+}
+
+TEST(Invariants, TickStopsAfterHalt)
+{
+    OooCore core(assembler::assemble("halt\n"), CoreConfig{});
+    while (core.tick()) {
+    }
+    EXPECT_FALSE(core.tick());
+    const std::uint64_t at_halt = core.now();
+    EXPECT_FALSE(core.tick());
+    EXPECT_EQ(core.now(), at_halt);
+}
+
+} // namespace

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Differential fuzzing of the out-of-order core: randomly generated,
+ * terminating VRISC programs are executed functionally and then on
+ * the cycle-level core under aggressive value-speculation
+ * configurations (always-confident prediction maximises
+ * misspeculation and recovery traffic). The core's retire stage
+ * compares every committed instruction against the functional trace
+ * and panics on divergence, so merely finishing a run is a strong
+ * architectural-equivalence statement; the test additionally checks
+ * exit codes and program output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "vsim/arch/functional_core.hh"
+#include "vsim/assembler/assembler.hh"
+#include "vsim/base/random.hh"
+#include "vsim/core/ooo_core.hh"
+
+namespace
+{
+
+using namespace vsim;
+
+/** Registers the generator is allowed to clobber. */
+const char *kPool[] = {"t0", "t1", "t2", "t3", "t4", "t5",
+                       "a0", "a1", "a2", "a3", "a4", "a5",
+                       "s2", "s3", "s4", "s5"};
+constexpr int kPoolSize = static_cast<int>(std::size(kPool));
+
+std::string
+reg(Xoshiro256 &rng)
+{
+    return kPool[rng.nextBounded(kPoolSize)];
+}
+
+/**
+ * Generate a terminating random program: register initialisation, a
+ * counted loop whose body mixes ALU ops, long-latency ops, bounded
+ * memory traffic and data-dependent forward branches, then a fold of
+ * all pool registers into the exit code.
+ */
+std::string
+generateProgram(std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    std::string src;
+    src += "        .data\nbuf:    .space 4096\n        .text\n";
+    src += "        la s0, buf\n";
+    src += "        li s1, " + std::to_string(20 + rng.nextBounded(60))
+           + "\n";
+    for (const char *r : kPool) {
+        src += std::string("        li ") + r + ", "
+               + std::to_string(rng.nextRange(-5000, 5000)) + "\n";
+    }
+    src += "loop:\n";
+
+    const int body_len = 16 + static_cast<int>(rng.nextBounded(40));
+    int pending_skip = 0; // instructions a forward branch still covers
+    for (int i = 0; i < body_len; ++i) {
+        const int kind = static_cast<int>(rng.nextBounded(16));
+        if (kind < 6) {
+            // R-type ALU
+            const char *ops[] = {"add", "sub", "and", "or", "xor",
+                                 "slt", "sltu", "mul"};
+            src += "        " + std::string(ops[rng.nextBounded(8)])
+                   + " " + reg(rng) + ", " + reg(rng) + ", " + reg(rng)
+                   + "\n";
+        } else if (kind < 9) {
+            // I-type ALU
+            const char *ops[] = {"addi", "andi", "ori", "xori", "slti"};
+            src += "        " + std::string(ops[rng.nextBounded(5)])
+                   + " " + reg(rng) + ", " + reg(rng) + ", "
+                   + std::to_string(rng.nextRange(-100, 100)) + "\n";
+        } else if (kind == 9) {
+            // shift with a bounded immediate
+            const char *ops[] = {"slli", "srli", "srai"};
+            src += "        " + std::string(ops[rng.nextBounded(3)])
+                   + " " + reg(rng) + ", " + reg(rng) + ", "
+                   + std::to_string(rng.nextBounded(12)) + "\n";
+        } else if (kind == 10) {
+            // long-latency op
+            const char *ops[] = {"div", "divu", "rem", "remu"};
+            src += "        " + std::string(ops[rng.nextBounded(4)])
+                   + " " + reg(rng) + ", " + reg(rng) + ", " + reg(rng)
+                   + "\n";
+        } else if (kind < 13) {
+            // bounded load
+            const char *ops[] = {"ld", "lw", "lbu", "lhu"};
+            src += "        " + std::string(ops[rng.nextBounded(4)])
+                   + " " + reg(rng) + ", "
+                   + std::to_string(8 * rng.nextBounded(500)) + "(s0)\n";
+        } else if (kind < 15) {
+            // bounded store
+            const char *ops[] = {"sd", "sw", "sb"};
+            src += "        " + std::string(ops[rng.nextBounded(3)])
+                   + " " + reg(rng) + ", "
+                   + std::to_string(8 * rng.nextBounded(500)) + "(s0)\n";
+        } else if (pending_skip == 0 && i + 3 < body_len) {
+            // data-dependent forward branch over 1-3 instructions
+            const char *ops[] = {"beq", "bne", "blt", "bltu"};
+            const int skip = 1 + static_cast<int>(rng.nextBounded(3));
+            src += "        " + std::string(ops[rng.nextBounded(4)])
+                   + " " + reg(rng) + ", " + reg(rng) + ", "
+                   + std::to_string(skip + 1) + "\n";
+            pending_skip = skip;
+            continue;
+        } else {
+            src += "        addi " + reg(rng) + ", " + reg(rng)
+                   + ", 1\n";
+        }
+        if (pending_skip > 0)
+            --pending_skip;
+    }
+
+    src += "        addi s1, s1, -1\n";
+    src += "        bnez s1, loop\n";
+    src += "        li a0, 0\n";
+    for (const char *r : kPool)
+        src += std::string("        xor a0, a0, ") + r + "\n";
+    src += "        puti a0\n";
+    src += "        halt a0\n";
+    return src;
+}
+
+struct FuzzCase
+{
+    std::uint64_t seed;
+    bool useVp;
+    const char *model;
+    core::VerifyScheme verifyScheme;
+    core::InvalScheme invalScheme;
+    int issueWidth;
+    int windowSize;
+    bool specBranches = false; //!< resolve branches speculatively
+};
+
+class FuzzDifferential : public ::testing::TestWithParam<FuzzCase>
+{
+};
+
+TEST_P(FuzzDifferential, OooMatchesFunctional)
+{
+    const FuzzCase &fc = GetParam();
+    const std::string source = generateProgram(fc.seed);
+    const assembler::Program prog = assembler::assemble(source);
+
+    const arch::ExecTrace ref = arch::preExecute(prog, 5'000'000);
+
+    core::CoreConfig cfg;
+    cfg.issueWidth = fc.issueWidth;
+    cfg.windowSize = fc.windowSize;
+    cfg.useValuePrediction = fc.useVp;
+    if (fc.useVp) {
+        cfg.model = core::SpecModel::byName(fc.model);
+        cfg.model.verifyScheme = fc.verifyScheme;
+        cfg.model.invalScheme = fc.invalScheme;
+        cfg.model.branchNeedsValidOps = !fc.specBranches;
+        // Always-confident: speculate on everything, maximising the
+        // misspeculation recovery machinery under test.
+        cfg.confidence = core::ConfidenceKind::Always;
+    }
+    core::OooCore core(prog, cfg);
+    const core::SimOutcome out = core.run();
+
+    ASSERT_TRUE(out.halted) << "seed " << fc.seed;
+    EXPECT_EQ(out.exitCode, ref.exitCode) << "seed " << fc.seed;
+    EXPECT_EQ(out.output, ref.output) << "seed " << fc.seed;
+}
+
+std::vector<FuzzCase>
+makeCases()
+{
+    using core::InvalScheme;
+    using core::VerifyScheme;
+    std::vector<FuzzCase> cases;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        cases.push_back({seed, false, "great", VerifyScheme::Flattened,
+                         InvalScheme::Flattened, 4, 24});
+        cases.push_back({seed, true, "super", VerifyScheme::Flattened,
+                         InvalScheme::Flattened, 8, 48});
+        cases.push_back({seed, true, "great", VerifyScheme::Flattened,
+                         InvalScheme::Flattened, 16, 96});
+        cases.push_back({seed, true, "good", VerifyScheme::Flattened,
+                         InvalScheme::Flattened, 4, 24});
+    }
+    // Alternative verification/invalidation schemes on a seed subset.
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        cases.push_back({seed, true, "great",
+                         VerifyScheme::Hierarchical,
+                         InvalScheme::Hierarchical, 8, 48});
+        cases.push_back({seed, true, "great",
+                         VerifyScheme::RetirementBased,
+                         InvalScheme::Flattened, 8, 48});
+        cases.push_back({seed, true, "great", VerifyScheme::Hybrid,
+                         InvalScheme::Flattened, 8, 48});
+        cases.push_back({seed, true, "great", VerifyScheme::Flattened,
+                         InvalScheme::Complete, 8, 48});
+        // Speculative branch resolution (§3.2 model variable):
+        // branches issue with predicted/speculative operands and may
+        // redirect fetch onto value-mispredicted paths that must later
+        // be corrected by the branch's own reissue.
+        cases.push_back({seed, true, "great", VerifyScheme::Flattened,
+                         InvalScheme::Flattened, 8, 48, true});
+        cases.push_back({seed, true, "super", VerifyScheme::Flattened,
+                         InvalScheme::Flattened, 4, 24, true});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzDifferential, ::testing::ValuesIn(makeCases()),
+    [](const ::testing::TestParamInfo<FuzzCase> &info) {
+        const FuzzCase &fc = info.param;
+        std::string name = "seed" + std::to_string(fc.seed);
+        name += fc.useVp ? std::string("_") + fc.model : "_base";
+        switch (fc.verifyScheme) {
+          case core::VerifyScheme::Flattened: break;
+          case core::VerifyScheme::Hierarchical: name += "_hier"; break;
+          case core::VerifyScheme::RetirementBased:
+            name += "_retire";
+            break;
+          case core::VerifyScheme::Hybrid: name += "_hybrid"; break;
+        }
+        if (fc.invalScheme == core::InvalScheme::Complete)
+            name += "_complete";
+        if (fc.specBranches)
+            name += "_specbr";
+        name += "_w" + std::to_string(fc.issueWidth);
+        return name;
+    });
+
+TEST(FuzzGenerator, ProgramsAreDeterministic)
+{
+    EXPECT_EQ(generateProgram(7), generateProgram(7));
+    EXPECT_NE(generateProgram(7), generateProgram(8));
+}
+
+TEST(FuzzGenerator, ProgramsTerminate)
+{
+    for (std::uint64_t seed = 100; seed < 110; ++seed) {
+        const auto prog = assembler::assemble(generateProgram(seed));
+        const auto ref = arch::preExecute(prog, 5'000'000);
+        EXPECT_GT(ref.entries.size(), 100u) << seed;
+    }
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the VRISC ISA definition: encode/decode round trips
+ * over every opcode, field extraction (sources/destinations), and the
+ * disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vsim/isa/isa.hh"
+
+namespace
+{
+
+using namespace vsim::isa;
+
+Inst
+makeInst(Op op, int ra, int rb, int rc, int imm)
+{
+    Inst inst;
+    inst.op = op;
+    inst.ra = static_cast<std::uint8_t>(ra);
+    inst.rb = static_cast<std::uint8_t>(rb);
+    inst.rc = static_cast<std::uint8_t>(rc);
+    inst.imm = imm;
+    return inst;
+}
+
+/** Parameterised round-trip over every opcode. */
+class EncodeRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EncodeRoundTrip, EncodeDecodeIdentity)
+{
+    const Op op = static_cast<Op>(GetParam());
+    const OpInfo &oi = opInfo(op);
+
+    Inst inst;
+    inst.op = op;
+    inst.ra = 17;
+    switch (oi.fmt) {
+      case Format::F_RRR:
+        inst.rb = 3;
+        inst.rc = 31;
+        break;
+      case Format::F_RRI:
+        inst.rb = 9;
+        inst.imm = -1234;
+        break;
+      case Format::F_RI20:
+        inst.imm = -123456;
+        break;
+    }
+
+    const auto decoded = decode(encode(inst));
+    ASSERT_TRUE(decoded.has_value()) << oi.name;
+    EXPECT_EQ(*decoded, inst) << oi.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, EncodeRoundTrip,
+                         ::testing::Range(0, kNumOps));
+
+/** Immediate boundary values per format. */
+class ImmBoundary : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ImmBoundary, Rri15BitExtremes)
+{
+    const int imm = GetParam();
+    const Inst inst = makeInst(Op::ADDI, 1, 2, 0, imm);
+    const auto decoded = decode(encode(inst));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->imm, imm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Extremes, ImmBoundary,
+                         ::testing::Values(-16384, -1, 0, 1, 16383));
+
+TEST(Decode, RejectsIllegalOpcode)
+{
+    // Opcode field beyond NUM_OPS.
+    const std::uint32_t word = 0x7fu << 25;
+    EXPECT_FALSE(decode(word).has_value());
+}
+
+TEST(Fields, AluDestAndSources)
+{
+    const Inst add = makeInst(Op::ADD, 5, 6, 7, 0);
+    EXPECT_EQ(add.destReg(), 5);
+    EXPECT_EQ(add.srcReg1(), 6);
+    EXPECT_EQ(add.srcReg2(), 7);
+    EXPECT_FALSE(add.isMem());
+    EXPECT_FALSE(add.isBranch());
+}
+
+TEST(Fields, X0DestIsNone)
+{
+    const Inst add = makeInst(Op::ADD, 0, 6, 7, 0);
+    EXPECT_EQ(add.destReg(), -1);
+}
+
+TEST(Fields, StoreReadsDataAndBase)
+{
+    const Inst sd = makeInst(Op::SD, 10, 2, 0, 24);
+    EXPECT_EQ(sd.destReg(), -1);
+    EXPECT_EQ(sd.srcReg1(), 10); // data
+    EXPECT_EQ(sd.srcReg2(), 2);  // base
+    EXPECT_TRUE(sd.isStore());
+    EXPECT_EQ(sd.memSize(), 8);
+}
+
+TEST(Fields, LoadReadsBaseOnly)
+{
+    const Inst lw = makeInst(Op::LW, 10, 2, 0, -8);
+    EXPECT_EQ(lw.destReg(), 10);
+    EXPECT_EQ(lw.srcReg1(), 2);
+    EXPECT_EQ(lw.srcReg2(), -1);
+    EXPECT_TRUE(lw.isLoad());
+    EXPECT_EQ(lw.memSize(), 4);
+}
+
+TEST(Fields, BranchReadsBothNoDest)
+{
+    const Inst beq = makeInst(Op::BEQ, 4, 5, 0, 12);
+    EXPECT_EQ(beq.destReg(), -1);
+    EXPECT_EQ(beq.srcReg1(), 4);
+    EXPECT_EQ(beq.srcReg2(), 5);
+    EXPECT_TRUE(beq.isCondBranch());
+    EXPECT_TRUE(beq.isDirectControl());
+}
+
+TEST(Fields, JalrIsIndirectControl)
+{
+    const Inst jalr = makeInst(Op::JALR, 1, 5, 0, 0);
+    EXPECT_TRUE(jalr.isBranch());
+    EXPECT_FALSE(jalr.isCondBranch());
+    EXPECT_FALSE(jalr.isDirectControl());
+    EXPECT_EQ(jalr.destReg(), 1);
+    EXPECT_EQ(jalr.srcReg1(), 5);
+}
+
+TEST(Fields, JalWritesLink)
+{
+    const Inst jal = makeInst(Op::JAL, 1, 0, 0, 100);
+    EXPECT_EQ(jal.destReg(), 1);
+    EXPECT_EQ(jal.srcReg1(), -1);
+    EXPECT_TRUE(jal.isDirectControl());
+    EXPECT_FALSE(jal.isCondBranch());
+}
+
+TEST(Fields, HaltReadsExitCode)
+{
+    const Inst halt = makeInst(Op::HALT, 10, 0, 0, 0);
+    EXPECT_TRUE(halt.isSystem());
+    EXPECT_EQ(halt.srcReg1(), 10);
+    EXPECT_EQ(halt.destReg(), -1);
+}
+
+TEST(ExecClasses, LatencyClassesAssigned)
+{
+    EXPECT_EQ(opInfo(Op::ADD).cls, ExecClass::IntAlu);
+    EXPECT_EQ(opInfo(Op::MUL).cls, ExecClass::IntMul);
+    EXPECT_EQ(opInfo(Op::DIV).cls, ExecClass::IntDiv);
+    EXPECT_EQ(opInfo(Op::REMU).cls, ExecClass::IntDiv);
+    EXPECT_EQ(opInfo(Op::LD).cls, ExecClass::Load);
+    EXPECT_EQ(opInfo(Op::SW).cls, ExecClass::Store);
+    EXPECT_EQ(opInfo(Op::BNE).cls, ExecClass::Branch);
+    EXPECT_EQ(opInfo(Op::PUTI).cls, ExecClass::System);
+}
+
+TEST(RegNames, RoundTrip)
+{
+    for (int r = 0; r < kNumRegs; ++r)
+        EXPECT_EQ(parseRegName(regName(r)), r) << regName(r);
+}
+
+TEST(RegNames, NumericAndAliases)
+{
+    EXPECT_EQ(parseRegName("x0"), 0);
+    EXPECT_EQ(parseRegName("x31"), 31);
+    EXPECT_EQ(parseRegName("x32"), -1);
+    EXPECT_EQ(parseRegName("fp"), 8);
+    EXPECT_EQ(parseRegName("sp"), 2);
+    EXPECT_EQ(parseRegName("bogus"), -1);
+    EXPECT_EQ(parseRegName("xzr"), -1);
+}
+
+TEST(Disasm, RendersRepresentativeForms)
+{
+    EXPECT_EQ(disassemble(makeInst(Op::ADD, 10, 11, 12, 0)),
+              "add a0, a1, a2");
+    EXPECT_EQ(disassemble(makeInst(Op::ADDI, 10, 11, 0, -3)),
+              "addi a0, a1, -3");
+    EXPECT_EQ(disassemble(makeInst(Op::LW, 10, 2, 0, 16)),
+              "lw a0, 16(sp)");
+    EXPECT_EQ(disassemble(makeInst(Op::SD, 10, 2, 0, -8)),
+              "sd a0, -8(sp)");
+    EXPECT_EQ(disassemble(makeInst(Op::BEQ, 4, 5, 0, 3)),
+              "beq tp, t0, 3");
+    EXPECT_EQ(disassemble(makeInst(Op::JAL, 1, 0, 0, -7)),
+              "jal ra, -7");
+    EXPECT_EQ(disassemble(makeInst(Op::HALT, 10, 0, 0, 0)), "halt a0");
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the pipeline tracer used by the Figure 1
+ * reproduction: event recording, labelling, multi-tag cells, cycle
+ * windowing and rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vsim/core/pipeline_trace.hh"
+
+namespace
+{
+
+using vsim::core::PipelineTracer;
+
+TEST(Tracer, EmptyRendersPlaceholder)
+{
+    PipelineTracer t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_NE(t.render().find("no pipeline events"), std::string::npos);
+}
+
+TEST(Tracer, RecordsAndRendersEvents)
+{
+    PipelineTracer t;
+    t.label(1, "add a0, a1, a2");
+    t.note(1, 10, "D");
+    t.note(1, 11, "EX");
+    t.note(1, 12, "W");
+    t.note(1, 13, "RT");
+    const std::string out = t.render();
+    EXPECT_NE(out.find("add a0, a1, a2"), std::string::npos);
+    EXPECT_NE(out.find("EX"), std::string::npos);
+    EXPECT_NE(out.find("RT"), std::string::npos);
+    EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST(Tracer, MultipleTagsShareACell)
+{
+    PipelineTracer t;
+    t.note(1, 5, "W");
+    t.note(1, 5, "EQ!");
+    EXPECT_NE(t.render().find("W/EQ!"), std::string::npos);
+}
+
+TEST(Tracer, WindowRestrictsCycles)
+{
+    PipelineTracer t;
+    t.note(1, 5, "A");
+    t.note(1, 50, "B");
+    const std::string windowed = t.render(0, 10);
+    EXPECT_NE(windowed.find("A"), std::string::npos);
+    EXPECT_EQ(windowed.find("B"), std::string::npos);
+    const std::string empty_window = t.render(60, 70);
+    EXPECT_NE(empty_window.find("no pipeline events in range"),
+              std::string::npos);
+}
+
+TEST(Tracer, RowsOrderedBySequence)
+{
+    PipelineTracer t;
+    t.label(2, "second");
+    t.label(1, "first");
+    t.note(2, 1, "X");
+    t.note(1, 1, "X");
+    const std::string out = t.render();
+    EXPECT_LT(out.find("first"), out.find("second"));
+}
+
+TEST(Tracer, ClearResets)
+{
+    PipelineTracer t;
+    t.note(1, 1, "X");
+    EXPECT_FALSE(t.empty());
+    t.clear();
+    EXPECT_TRUE(t.empty());
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the workload suite: registry integrity, assembly and
+ * functional execution of every kernel, characterisation checksums
+ * (guarding against silent behavioural drift), scaling behaviour, and
+ * a smoke run of each kernel through the out-of-order core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "vsim/arch/functional_core.hh"
+#include "vsim/base/logging.hh"
+#include "vsim/core/ooo_core.hh"
+#include "vsim/workloads/workloads.hh"
+
+namespace
+{
+
+using namespace vsim;
+using workloads::Workload;
+
+TEST(Registry, HasTheEightTableOneBenchmarks)
+{
+    const auto &suite = workloads::all();
+    ASSERT_EQ(suite.size(), 8u);
+    std::set<std::string> names;
+    for (const Workload &w : suite) {
+        names.insert(w.name);
+        EXPECT_FALSE(w.specAnalog.empty()) << w.name;
+        EXPECT_FALSE(w.description.empty()) << w.name;
+    }
+    EXPECT_EQ(names.size(), 8u) << "duplicate workload names";
+    for (const char *expect : {"compress", "cc", "go", "jpeg", "m88k",
+                               "perl", "vortex", "queens"}) {
+        EXPECT_TRUE(names.count(expect)) << expect;
+    }
+}
+
+TEST(Registry, ByNameFindsAndThrows)
+{
+    EXPECT_EQ(workloads::byName("queens").name, "queens");
+    EXPECT_THROW(workloads::byName("spec2017"), FatalError);
+}
+
+TEST(Registry, BadScaleRejected)
+{
+    EXPECT_THROW(workloads::buildProgram(workloads::byName("queens"), 0),
+                 FatalError);
+}
+
+/**
+ * Characterisation checksums from the reference functional run. A
+ * change here means the kernel's architectural behaviour changed —
+ * deliberate kernel edits must update these constants.
+ */
+const std::map<std::string, std::uint64_t> kExpectedChecksum = {
+    {"compress", 1997120ull},
+    {"cc", 18446261176261210054ull},
+    {"go", 21804ull},
+    {"jpeg", 312430ull},
+    {"m88k", 603000ull},
+    {"perl", 8840703386629482194ull},
+    {"vortex", 3638545ull},
+    {"queens", 320ull},
+};
+
+class EveryWorkload : public ::testing::TestWithParam<int>
+{
+  protected:
+    const Workload &w() const { return workloads::all()[GetParam()]; }
+};
+
+TEST_P(EveryWorkload, AssemblesAndHaltsWithKnownChecksum)
+{
+    const arch::ExecTrace trace =
+        arch::preExecute(workloads::buildProgram(w()), 50'000'000);
+    EXPECT_EQ(trace.exitCode, kExpectedChecksum.at(w().name)) << w().name;
+    // All kernels sit in the intended dynamic-length band.
+    EXPECT_GT(trace.entries.size(), 200'000u) << w().name;
+    EXPECT_LT(trace.entries.size(), 3'000'000u) << w().name;
+}
+
+TEST_P(EveryWorkload, ScaleMultipliesWork)
+{
+    const auto t1 =
+        arch::preExecute(workloads::buildProgram(w(), 1), 50'000'000);
+    const auto t2 =
+        arch::preExecute(workloads::buildProgram(w(), 2), 100'000'000);
+    const double ratio = static_cast<double>(t2.entries.size())
+                         / static_cast<double>(t1.entries.size());
+    EXPECT_GT(ratio, 1.8) << w().name;
+    EXPECT_LT(ratio, 2.2) << w().name;
+}
+
+TEST_P(EveryWorkload, DeterministicAcrossRuns)
+{
+    const auto t1 = arch::preExecute(workloads::buildProgram(w()));
+    const auto t2 = arch::preExecute(workloads::buildProgram(w()));
+    EXPECT_EQ(t1.exitCode, t2.exitCode);
+    EXPECT_EQ(t1.entries.size(), t2.entries.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, EveryWorkload, ::testing::Range(0, 8),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return workloads::all()[static_cast<std::size_t>(info.param)]
+            .name;
+    });
+
+/**
+ * Smoke-test each kernel through the out-of-order core (base machine):
+ * the core's built-in retire-time trace check turns this into a full
+ * architectural equivalence test on real programs.
+ */
+class OooWorkload : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OooWorkload, BaseCoreMatchesFunctional)
+{
+    const Workload &w =
+        workloads::all()[static_cast<std::size_t>(GetParam())];
+    core::CoreConfig cfg;
+    cfg.issueWidth = 8;
+    cfg.windowSize = 48;
+    core::OooCore core(workloads::buildProgram(w), cfg);
+    const core::SimOutcome out = core.run();
+    EXPECT_TRUE(out.halted) << w.name;
+    EXPECT_EQ(out.exitCode, kExpectedChecksum.at(w.name)) << w.name;
+    EXPECT_GT(out.stats.ipc(), 0.3) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, OooWorkload, ::testing::Range(0, 8),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return workloads::all()[static_cast<std::size_t>(info.param)]
+            .name;
+    });
+
+} // namespace

@@ -1,0 +1,24 @@
+# Demo program for vspec-asm: sums the first 100 integers.
+        .data
+msg:    .asciiz "sum="
+        .text
+        li a0, 0
+        li a1, 1
+        li a2, 101
+loop:
+        add a0, a0, a1
+        addi a1, a1, 1
+        bne a1, a2, loop
+
+        la t0, msg
+print:
+        lbu t1, 0(t0)
+        beqz t1, done
+        putc t1
+        addi t0, t0, 1
+        j print
+done:
+        puti a0
+        li t2, '\n'
+        putc t2
+        halt a0

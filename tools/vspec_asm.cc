@@ -1,0 +1,99 @@
+/**
+ * @file
+ * vspec-asm: assembler front end. Assembles a VRISC .s file and
+ * either lists the encoded instructions (with disassembly) or runs it
+ * on the functional reference core.
+ *
+ *   vspec-asm prog.s --list          # addresses, words, disassembly
+ *   vspec-asm prog.s --run           # functional execution
+ *   vspec-asm prog.s --run --max 1000000
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "vsim/arch/functional_core.hh"
+#include "vsim/assembler/assembler.hh"
+#include "vsim/base/logging.hh"
+#include "vsim/isa/isa.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsim;
+
+    std::string file;
+    bool list = false, run = false;
+    std::uint64_t max_insts = 100'000'000;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--list")) {
+            list = true;
+        } else if (!std::strcmp(argv[i], "--run")) {
+            run = true;
+        } else if (!std::strcmp(argv[i], "--max") && i + 1 < argc) {
+            max_insts = std::strtoull(argv[++i], nullptr, 10);
+        } else if (argv[i][0] != '-' && file.empty()) {
+            file = argv[i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s FILE.s [--list] [--run] "
+                         "[--max N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (file.empty() || (!list && !run)) {
+        std::fprintf(stderr,
+                     "usage: %s FILE.s [--list] [--run] [--max N]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::ifstream in(file);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", file.c_str());
+        return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    try {
+        const assembler::Program prog =
+            assembler::assemble(ss.str(), file);
+        std::printf("%zu instructions, %zu data bytes, entry 0x%llx\n",
+                    prog.text.size(), prog.data.size(),
+                    static_cast<unsigned long long>(prog.entry));
+
+        if (list) {
+            for (std::size_t i = 0; i < prog.text.size(); ++i) {
+                const auto inst = isa::decode(prog.text[i]);
+                std::printf("%08llx: %08x  %s\n",
+                            static_cast<unsigned long long>(
+                                prog.textBase + 4 * i),
+                            prog.text[i],
+                            inst ? isa::disassemble(*inst).c_str()
+                                 : "<illegal>");
+            }
+        }
+        if (run) {
+            arch::FunctionalCore core(prog);
+            const std::uint64_t n = core.run(max_insts);
+            if (!core.state().output.empty())
+                std::printf("output: %s\n",
+                            core.state().output.c_str());
+            std::printf("halted after %llu instructions, exit code "
+                        "%llu\n",
+                        static_cast<unsigned long long>(n),
+                        static_cast<unsigned long long>(
+                            core.state().exitCode));
+        }
+        return 0;
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+}

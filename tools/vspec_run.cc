@@ -1,0 +1,219 @@
+/**
+ * @file
+ * vspec-run: command-line driver for the cycle-level simulator. Runs
+ * a built-in workload or a VRISC assembly file on a configurable
+ * machine, with or without value speculation, and prints the full
+ * statistics block.
+ *
+ *   vspec-run --workload m88k --model great --conf real --timing D
+ *   vspec-run --asm prog.s --width 16 --window 96 --model super
+ *   vspec-run --workload queens --base --trace    # pipeline diagram
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "vsim/assembler/assembler.hh"
+#include "vsim/base/logging.hh"
+#include "vsim/core/ooo_core.hh"
+#include "vsim/sim/report.hh"
+#include "vsim/sim/simulator.hh"
+#include "vsim/workloads/workloads.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s (--workload NAME | --asm FILE) [options]\n"
+        "  --workload NAME   one of:",
+        argv0);
+    for (const auto &w : vsim::workloads::all())
+        std::fprintf(stderr, " %s", w.name.c_str());
+    std::fprintf(
+        stderr,
+        "\n"
+        "  --asm FILE        assemble and run a VRISC .s file\n"
+        "  --scale N         workload work factor (default: built-in)\n"
+        "  --width N         issue width (default 8)\n"
+        "  --window N        window size (default 48)\n"
+        "  --base            disable value prediction (default)\n"
+        "  --model M         super|great|good (enables prediction)\n"
+        "  --conf C          real|oracle|always (default real)\n"
+        "  --timing T        D|I  delayed/immediate update (default D)\n"
+        "  --predictor P     fcm|last-value|stride|hybrid (default fcm)\n"
+        "  --trace           print the pipeline diagram (first 200 "
+        "cycles)\n"
+        "  --json            emit the statistics as one JSON object\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsim;
+
+    std::string workload, asm_file;
+    int scale = -1;
+    bool trace = false;
+    bool json = false;
+    core::CoreConfig cfg;
+    cfg.issueWidth = 8;
+    cfg.windowSize = 48;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--workload")) {
+            workload = need_value("--workload");
+        } else if (!std::strcmp(argv[i], "--asm")) {
+            asm_file = need_value("--asm");
+        } else if (!std::strcmp(argv[i], "--scale")) {
+            scale = std::atoi(need_value("--scale"));
+        } else if (!std::strcmp(argv[i], "--width")) {
+            cfg.issueWidth = std::atoi(need_value("--width"));
+        } else if (!std::strcmp(argv[i], "--window")) {
+            cfg.windowSize = std::atoi(need_value("--window"));
+        } else if (!std::strcmp(argv[i], "--base")) {
+            cfg.useValuePrediction = false;
+        } else if (!std::strcmp(argv[i], "--model")) {
+            cfg.useValuePrediction = true;
+            try {
+                cfg.model = core::SpecModel::byName(
+                    need_value("--model"));
+            } catch (const FatalError &err) {
+                std::fprintf(stderr, "%s\n", err.what());
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--conf")) {
+            const std::string c = need_value("--conf");
+            if (c == "real")
+                cfg.confidence = core::ConfidenceKind::Real;
+            else if (c == "oracle")
+                cfg.confidence = core::ConfidenceKind::Oracle;
+            else if (c == "always")
+                cfg.confidence = core::ConfidenceKind::Always;
+            else {
+                std::fprintf(stderr, "bad --conf %s\n", c.c_str());
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--timing")) {
+            const std::string t = need_value("--timing");
+            if (t == "D")
+                cfg.updateTiming = core::UpdateTiming::Delayed;
+            else if (t == "I")
+                cfg.updateTiming = core::UpdateTiming::Immediate;
+            else {
+                std::fprintf(stderr, "bad --timing %s\n", t.c_str());
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--predictor")) {
+            cfg.valuePredictor = need_value("--predictor");
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            trace = true;
+        } else if (!std::strcmp(argv[i], "--json")) {
+            json = true;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (workload.empty() == asm_file.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+    cfg.tracePipeline = trace;
+
+    try {
+        assembler::Program prog;
+        if (!workload.empty()) {
+            prog = workloads::buildProgram(
+                workloads::byName(workload), scale);
+        } else {
+            std::ifstream in(asm_file);
+            if (!in) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             asm_file.c_str());
+                return 1;
+            }
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            prog = assembler::assemble(ss.str(), asm_file);
+        }
+
+        core::OooCore core(prog, cfg);
+        const core::SimOutcome out = core.run();
+        const core::CoreStats &s = out.stats;
+
+        if (json) {
+            sim::RunResult r;
+            r.workload = workload.empty() ? asm_file : workload;
+            r.stats = s;
+            r.instructions = s.retired;
+            r.ipc = s.ipc();
+            r.exitCode = out.exitCode;
+            std::printf("%s\n", sim::toJson(r).c_str());
+            return 0;
+        }
+
+        if (!out.output.empty())
+            std::printf("program output: %s\n", out.output.c_str());
+        std::printf("exit code      : %llu\n",
+                    static_cast<unsigned long long>(out.exitCode));
+        std::printf("cycles         : %llu\n",
+                    static_cast<unsigned long long>(s.cycles));
+        std::printf("instructions   : %llu (IPC %.3f)\n",
+                    static_cast<unsigned long long>(s.retired),
+                    s.ipc());
+        std::printf("loads/stores   : %llu / %llu (%llu forwarded)\n",
+                    static_cast<unsigned long long>(s.retiredLoads),
+                    static_cast<unsigned long long>(s.retiredStores),
+                    static_cast<unsigned long long>(s.loadsForwarded));
+        std::printf("cond branches  : %llu (%.2f%% mispredicted)\n",
+                    static_cast<unsigned long long>(s.condBranches),
+                    s.condBranches
+                        ? 100.0
+                              * static_cast<double>(s.condMispredicts)
+                              / static_cast<double>(s.condBranches)
+                        : 0.0);
+        std::printf("cache misses   : %llu icache, %llu dcache\n",
+                    static_cast<unsigned long long>(s.icacheMisses),
+                    static_cast<unsigned long long>(s.dcacheMisses));
+        if (cfg.useValuePrediction) {
+            std::printf(
+                "value pred     : %llu eligible, accuracy %.1f%% "
+                "(CH %llu CL %llu IH %llu IL %llu)\n",
+                static_cast<unsigned long long>(s.vpEligible),
+                100.0 * s.predictionAccuracy(),
+                static_cast<unsigned long long>(s.vpCH),
+                static_cast<unsigned long long>(s.vpCL),
+                static_cast<unsigned long long>(s.vpIH),
+                static_cast<unsigned long long>(s.vpIL));
+            std::printf(
+                "speculation    : %llu verified, %llu invalidated, "
+                "%llu nullified, %llu reissued\n",
+                static_cast<unsigned long long>(s.verifyEvents),
+                static_cast<unsigned long long>(s.invalidateEvents),
+                static_cast<unsigned long long>(s.nullifications),
+                static_cast<unsigned long long>(s.reissues));
+        }
+        if (trace)
+            std::printf("\n%s", core.tracer().render(0, 200).c_str());
+        return 0;
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+}
