@@ -26,39 +26,54 @@ main(int argc, char **argv)
     using core::UpdateTiming;
 
     const bench::Options opt = bench::parseOptions(argc, argv);
-    bench::BaseRuns base_runs(opt);
     const sim::MachineConfig m{8, 48};
+    const ConfidenceKind confs[] = {ConfidenceKind::Real,
+                                    ConfidenceKind::Oracle};
 
-    for (ConfidenceKind conf :
-         {ConfidenceKind::Real, ConfidenceKind::Oracle}) {
+    bench::Sweep sweep(opt);
+    const auto wnames = bench::workloadNames(opt);
+    std::vector<int> base_idx;
+    // valid_idx/spec_idx[conf][workload]
+    std::vector<std::vector<int>> valid_idx(2), spec_idx(2);
+    for (const std::string &wname : wnames)
+        base_idx.push_back(sweep.addBase(m, wname));
+    for (std::size_t c = 0; c < 2; ++c) {
+        for (const std::string &wname : wnames) {
+            SpecModel valid_model = SpecModel::greatModel();
+            valid_idx[c].push_back(sweep.add(
+                m, wname,
+                sim::vpConfig(m, valid_model, confs[c],
+                              UpdateTiming::Immediate)));
+
+            SpecModel spec_model = SpecModel::greatModel();
+            spec_model.branchNeedsValidOps = false;
+            spec_idx[c].push_back(sweep.add(
+                m, wname,
+                sim::vpConfig(m, spec_model, confs[c],
+                              UpdateTiming::Immediate),
+                m.label() + " spec-branch"));
+        }
+    }
+    sweep.run();
+
+    for (std::size_t c = 0; c < 2; ++c) {
         std::printf("== Ablation: branch resolution policy (8/48, "
                     "great, %s confidence, immediate update) ==\n\n",
-                    conf == ConfidenceKind::Real ? "real" : "oracle");
+                    confs[c] == ConfidenceKind::Real ? "real"
+                                                     : "oracle");
         TextTable table;
         table.setHeader({"workload", "valid-only", "speculative",
                          "squashes(valid)", "squashes(spec)"});
 
         std::vector<double> sp_valid, sp_spec;
-        for (const std::string &wname : bench::workloadNames(opt)) {
-            SpecModel valid_model = SpecModel::greatModel();
-            const auto vr = sim::runWorkload(
-                wname, opt.scale,
-                sim::vpConfig(m, valid_model, conf,
-                              UpdateTiming::Immediate));
-
-            SpecModel spec_model = SpecModel::greatModel();
-            spec_model.branchNeedsValidOps = false;
-            const auto sr = sim::runWorkload(
-                wname, opt.scale,
-                sim::vpConfig(m, spec_model, conf,
-                              UpdateTiming::Immediate));
-
-            const auto &base = base_runs.get(m, wname);
-            const double v = sim::speedup(base, vr);
-            const double s = sim::speedup(base, sr);
+        for (std::size_t w = 0; w < wnames.size(); ++w) {
+            const auto &vr = sweep.at(valid_idx[c][w]);
+            const auto &sr = sweep.at(spec_idx[c][w]);
+            const double v = sweep.speedup(base_idx[w], valid_idx[c][w]);
+            const double s = sweep.speedup(base_idx[w], spec_idx[c][w]);
             sp_valid.push_back(v);
             sp_spec.push_back(s);
-            table.addRow({wname, TextTable::fmt(v, 3),
+            table.addRow({wnames[w], TextTable::fmt(v, 3),
                           TextTable::fmt(s, 3),
                           std::to_string(vr.stats.squashes),
                           std::to_string(sr.stats.squashes)});

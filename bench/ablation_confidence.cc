@@ -24,7 +24,6 @@ main(int argc, char **argv)
     using core::UpdateTiming;
 
     const bench::Options opt = bench::parseOptions(argc, argv);
-    bench::BaseRuns base_runs(opt);
     const sim::MachineConfig m{8, 48};
 
     struct Variant
@@ -44,30 +43,41 @@ main(int argc, char **argv)
         {"oracle", ConfidenceKind::Oracle, 3, -1},
     };
 
+    bench::Sweep sweep(opt);
+    std::vector<int> base_idx;
+    std::vector<std::vector<int>> vp_idx(variants.size());
+    for (const std::string &wname : bench::workloadNames(opt))
+        base_idx.push_back(sweep.addBase(m, wname));
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        for (const std::string &wname : bench::workloadNames(opt)) {
+            CoreConfig cfg =
+                sim::vpConfig(m, SpecModel::greatModel(),
+                              variants[v].kind, UpdateTiming::Delayed);
+            cfg.confidenceBits = variants[v].bits;
+            cfg.confidenceThreshold = variants[v].threshold;
+            vp_idx[v].push_back(
+                sweep.add(m, wname, cfg,
+                          m.label() + " " + variants[v].name));
+        }
+    }
+    sweep.run();
+
     std::printf("== Ablation: confidence estimation (8/48, great, "
                 "delayed update) ==\n\n");
     TextTable table;
     table.setHeader({"confidence", "hmean speedup", "CH %", "CL %",
                      "IH %"});
 
-    for (const Variant &v : variants) {
+    for (std::size_t v = 0; v < variants.size(); ++v) {
         std::vector<double> speedups, ch, cl, ih;
-        for (const std::string &wname : bench::workloadNames(opt)) {
-            CoreConfig cfg =
-                sim::vpConfig(m, SpecModel::greatModel(), v.kind,
-                              UpdateTiming::Delayed);
-            cfg.confidenceBits = v.bits;
-            cfg.confidenceThreshold = v.threshold;
-            const auto vp = sim::runWorkload(wname, opt.scale, cfg);
-            speedups.push_back(
-                sim::speedup(base_runs.get(m, wname), vp));
-            const double total =
-                static_cast<double>(vp.stats.vpEligible);
-            ch.push_back(100.0 * vp.stats.vpCH / total);
-            cl.push_back(100.0 * vp.stats.vpCL / total);
-            ih.push_back(100.0 * vp.stats.vpIH / total);
+        for (std::size_t w = 0; w < base_idx.size(); ++w) {
+            const auto &vp = sweep.at(vp_idx[v][w]);
+            speedups.push_back(sweep.speedup(base_idx[w], vp_idx[v][w]));
+            ch.push_back(bench::pct(vp.stats.vpCH, vp.stats.vpEligible));
+            cl.push_back(bench::pct(vp.stats.vpCL, vp.stats.vpEligible));
+            ih.push_back(bench::pct(vp.stats.vpIH, vp.stats.vpEligible));
         }
-        table.addRow({v.name,
+        table.addRow({variants[v].name,
                       TextTable::fmt(harmonicMean(speedups), 3),
                       TextTable::fmt(arithmeticMean(ch), 1),
                       TextTable::fmt(arithmeticMean(cl), 1),

@@ -21,29 +21,43 @@ main(int argc, char **argv)
     using core::UpdateTiming;
 
     const bench::Options opt = bench::parseOptions(argc, argv);
-    bench::BaseRuns base_runs(opt);
     const sim::MachineConfig m{8, 48};
+    const std::vector<const char *> preds = {"fcm", "last-value",
+                                             "stride", "hybrid"};
+
+    bench::Sweep sweep(opt);
+    std::vector<int> base_idx;
+    std::vector<std::vector<int>> vp_idx(preds.size());
+    for (const std::string &wname : bench::workloadNames(opt))
+        base_idx.push_back(sweep.addBase(m, wname));
+    for (std::size_t p = 0; p < preds.size(); ++p) {
+        for (const std::string &wname : bench::workloadNames(opt)) {
+            CoreConfig cfg =
+                sim::vpConfig(m, SpecModel::greatModel(),
+                              ConfidenceKind::Oracle,
+                              UpdateTiming::Immediate);
+            cfg.valuePredictor = preds[p];
+            vp_idx[p].push_back(
+                sweep.add(m, wname, cfg,
+                          m.label() + " " + std::string(preds[p])));
+        }
+    }
+    sweep.run();
 
     std::printf("== Ablation: value predictor (8/48, great, oracle "
                 "confidence, immediate update) ==\n\n");
     TextTable table;
     table.setHeader({"predictor", "hmean speedup", "mean accuracy %"});
 
-    for (const char *pred :
-         {"fcm", "last-value", "stride", "hybrid"}) {
+    for (std::size_t p = 0; p < preds.size(); ++p) {
         std::vector<double> speedups, accs;
-        for (const std::string &wname : bench::workloadNames(opt)) {
-            CoreConfig cfg =
-                sim::vpConfig(m, SpecModel::greatModel(),
-                              ConfidenceKind::Oracle,
-                              UpdateTiming::Immediate);
-            cfg.valuePredictor = pred;
-            const auto vp = sim::runWorkload(wname, opt.scale, cfg);
-            speedups.push_back(
-                sim::speedup(base_runs.get(m, wname), vp));
+        for (std::size_t w = 0; w < base_idx.size(); ++w) {
+            const auto &vp = sweep.at(vp_idx[p][w]);
+            speedups.push_back(sweep.speedup(base_idx[w], vp_idx[p][w]));
             accs.push_back(100.0 * vp.stats.predictionAccuracy());
         }
-        table.addRow({pred, TextTable::fmt(harmonicMean(speedups), 3),
+        table.addRow({preds[p],
+                      TextTable::fmt(harmonicMean(speedups), 3),
                       TextTable::fmt(arithmeticMean(accs), 1)});
     }
     std::printf("%s\n", table.render().c_str());

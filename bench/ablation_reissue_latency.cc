@@ -22,31 +22,48 @@ main(int argc, char **argv)
     using core::UpdateTiming;
 
     const bench::Options opt = bench::parseOptions(argc, argv);
-    bench::BaseRuns base_runs(opt);
     const sim::MachineConfig m{8, 48};
+    const int lats[] = {0, 1, 2, 4};
+    const ConfidenceKind confs[] = {ConfidenceKind::Always,
+                                    ConfidenceKind::Real};
 
-    for (ConfidenceKind conf :
-         {ConfidenceKind::Always, ConfidenceKind::Real}) {
+    bench::Sweep sweep(opt);
+    std::vector<int> base_idx;
+    for (const std::string &wname : bench::workloadNames(opt))
+        base_idx.push_back(sweep.addBase(m, wname));
+    // vp_idx[conf][lat][workload]
+    std::vector<std::vector<std::vector<int>>> vp_idx(2);
+    for (std::size_t c = 0; c < 2; ++c) {
+        vp_idx[c].resize(4);
+        for (std::size_t i = 0; i < 4; ++i) {
+            for (const std::string &wname : bench::workloadNames(opt)) {
+                SpecModel model = SpecModel::greatModel();
+                model.invalidateToReissue = lats[i];
+                vp_idx[c][i].push_back(sweep.add(
+                    m, wname,
+                    sim::vpConfig(m, model, confs[c],
+                                  UpdateTiming::Immediate)));
+            }
+        }
+    }
+    sweep.run();
+
+    for (std::size_t c = 0; c < 2; ++c) {
         std::printf("== Ablation: Invalidation-Reissue latency sweep "
                     "(8/48, %s confidence, immediate update) ==\n\n",
-                    conf == ConfidenceKind::Always ? "always" : "real");
+                    confs[c] == ConfidenceKind::Always ? "always"
+                                                       : "real");
         TextTable table;
         table.setHeader({"workload", "lat=0", "lat=1", "lat=2",
                          "lat=4"});
-        const int lats[] = {0, 1, 2, 4};
 
+        const auto wnames = bench::workloadNames(opt);
         std::vector<std::vector<double>> per_lat(4);
-        for (const std::string &wname : bench::workloadNames(opt)) {
-            std::vector<std::string> row = {wname};
+        for (std::size_t w = 0; w < wnames.size(); ++w) {
+            std::vector<std::string> row = {wnames[w]};
             for (std::size_t i = 0; i < 4; ++i) {
-                SpecModel model = SpecModel::greatModel();
-                model.invalidateToReissue = lats[i];
-                const auto vp = sim::runWorkload(
-                    wname, opt.scale,
-                    sim::vpConfig(m, model, conf,
-                                  UpdateTiming::Immediate));
                 const double sp =
-                    sim::speedup(base_runs.get(m, wname), vp);
+                    sweep.speedup(base_idx[w], vp_idx[c][i][w]);
                 per_lat[i].push_back(sp);
                 row.push_back(TextTable::fmt(sp, 3));
             }

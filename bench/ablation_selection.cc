@@ -22,7 +22,6 @@ main(int argc, char **argv)
     using core::UpdateTiming;
 
     const bench::Options opt = bench::parseOptions(argc, argv);
-    bench::BaseRuns base_runs(opt);
     const sim::MachineConfig m{8, 48};
 
     const std::vector<std::pair<const char *, SelectPolicy>> policies = {
@@ -31,28 +30,45 @@ main(int argc, char **argv)
         {"oldest first", SelectPolicy::OldestFirst},
         {"typed+spec-first", SelectPolicy::TypedSpecFirst},
     };
+    const ConfidenceKind confs[] = {ConfidenceKind::Real,
+                                    ConfidenceKind::Oracle};
 
-    for (ConfidenceKind conf :
-         {ConfidenceKind::Real, ConfidenceKind::Oracle}) {
+    bench::Sweep sweep(opt);
+    const auto wnames = bench::workloadNames(opt);
+    std::vector<int> base_idx;
+    for (const std::string &wname : wnames)
+        base_idx.push_back(sweep.addBase(m, wname));
+    // vp_idx[conf][policy][workload]
+    std::vector<std::vector<std::vector<int>>> vp_idx(2);
+    for (std::size_t c = 0; c < 2; ++c) {
+        vp_idx[c].resize(policies.size());
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            for (const std::string &wname : wnames) {
+                SpecModel model = SpecModel::greatModel();
+                model.selectPolicy = policies[p].second;
+                vp_idx[c][p].push_back(sweep.add(
+                    m, wname,
+                    sim::vpConfig(m, model, confs[c],
+                                  UpdateTiming::Immediate)));
+            }
+        }
+    }
+    sweep.run();
+
+    for (std::size_t c = 0; c < 2; ++c) {
         std::printf("== Ablation: selection policy (8/48, great, %s "
                     "confidence, immediate update) ==\n\n",
-                    conf == ConfidenceKind::Real ? "real" : "oracle");
+                    confs[c] == ConfidenceKind::Real ? "real"
+                                                     : "oracle");
         TextTable table;
         table.setHeader({"policy", "hmean speedup"});
-        for (const auto &[name, policy] : policies) {
+        for (std::size_t p = 0; p < policies.size(); ++p) {
             std::vector<double> speedups;
-            for (const std::string &wname : bench::workloadNames(opt)) {
-                SpecModel model = SpecModel::greatModel();
-                model.selectPolicy = policy;
-                const auto vp = sim::runWorkload(
-                    wname, opt.scale,
-                    sim::vpConfig(m, model, conf,
-                                  UpdateTiming::Immediate));
+            for (std::size_t w = 0; w < wnames.size(); ++w)
                 speedups.push_back(
-                    sim::speedup(base_runs.get(m, wname), vp));
-            }
-            table.addRow(
-                {name, TextTable::fmt(harmonicMean(speedups), 3)});
+                    sweep.speedup(base_idx[w], vp_idx[c][p][w]));
+            table.addRow({policies[p].first,
+                          TextTable::fmt(harmonicMean(speedups), 3)});
         }
         std::printf("%s\n", table.render().c_str());
     }

@@ -21,8 +21,24 @@ main(int argc, char **argv)
     using core::UpdateTiming;
 
     const bench::Options opt = bench::parseOptions(argc, argv);
-    bench::BaseRuns base_runs(opt);
     const sim::MachineConfig m{8, 48};
+
+    bench::Sweep sweep(opt);
+    const auto wnames = bench::workloadNames(opt);
+    std::vector<int> base_idx;
+    std::vector<std::vector<int>> vp_idx(wnames.size());
+    for (std::size_t w = 0; w < wnames.size(); ++w) {
+        base_idx.push_back(sweep.addBase(m, wnames[w]));
+        for (int lat = 0; lat <= 3; ++lat) {
+            SpecModel model = SpecModel::greatModel();
+            model.execToEquality = lat;
+            vp_idx[w].push_back(sweep.add(
+                m, wnames[w],
+                sim::vpConfig(m, model, ConfidenceKind::Oracle,
+                              UpdateTiming::Immediate)));
+        }
+    }
+    sweep.run();
 
     std::printf("== Ablation: Execution-Equality-Verification latency "
                 "sweep (8/48, oracle confidence) ==\n\n");
@@ -30,18 +46,12 @@ main(int argc, char **argv)
     table.setHeader({"workload", "lat=0", "lat=1", "lat=2", "lat=3"});
 
     std::vector<std::vector<double>> per_lat(4);
-    for (const std::string &wname : bench::workloadNames(opt)) {
-        std::vector<std::string> row = {wname};
-        for (int lat = 0; lat <= 3; ++lat) {
-            SpecModel model = SpecModel::greatModel();
-            model.execToEquality = lat;
-            const auto vp = sim::runWorkload(
-                wname, opt.scale,
-                sim::vpConfig(m, model, ConfidenceKind::Oracle,
-                              UpdateTiming::Immediate));
+    for (std::size_t w = 0; w < wnames.size(); ++w) {
+        std::vector<std::string> row = {wnames[w]};
+        for (std::size_t lat = 0; lat < 4; ++lat) {
             const double sp =
-                sim::speedup(base_runs.get(m, wname), vp);
-            per_lat[static_cast<std::size_t>(lat)].push_back(sp);
+                sweep.speedup(base_idx[w], vp_idx[w][lat]);
+            per_lat[lat].push_back(sp);
             row.push_back(TextTable::fmt(sp, 3));
         }
         table.addRow(row);

@@ -29,7 +29,6 @@ main(int argc, char **argv)
     using core::VerifyScheme;
 
     const bench::Options opt = bench::parseOptions(argc, argv);
-    bench::BaseRuns base_runs(opt);
     const sim::MachineConfig m{8, 48};
 
     const std::vector<std::pair<const char *, VerifyScheme>> schemes = {
@@ -38,12 +37,39 @@ main(int argc, char **argv)
         {"retirement", VerifyScheme::RetirementBased},
         {"hybrid", VerifyScheme::Hybrid},
     };
+    const ConfidenceKind confs[] = {ConfidenceKind::Oracle,
+                                    ConfidenceKind::Real};
 
-    for (ConfidenceKind conf :
-         {ConfidenceKind::Oracle, ConfidenceKind::Real}) {
+    bench::Sweep sweep(opt);
+    const auto wnames = bench::workloadNames(opt);
+    std::vector<int> base_idx;
+    for (const std::string &wname : wnames)
+        base_idx.push_back(sweep.addBase(m, wname));
+    // vp_idx[conf][workload][scheme]
+    std::vector<std::vector<std::vector<int>>> vp_idx(2);
+    for (std::size_t c = 0; c < 2; ++c) {
+        vp_idx[c].resize(wnames.size());
+        for (std::size_t w = 0; w < wnames.size(); ++w) {
+            for (std::size_t s = 0; s < schemes.size(); ++s) {
+                SpecModel model = SpecModel::greatModel();
+                model.verifyScheme = schemes[s].second;
+                if (model.verifyScheme == VerifyScheme::Hierarchical)
+                    model.invalScheme = core::InvalScheme::Hierarchical;
+                vp_idx[c][w].push_back(sweep.add(
+                    m, wnames[w],
+                    sim::vpConfig(m, model, confs[c],
+                                  UpdateTiming::Immediate),
+                    m.label() + " " + schemes[s].first));
+            }
+        }
+    }
+    sweep.run();
+
+    for (std::size_t c = 0; c < 2; ++c) {
         std::printf("== Ablation: verification scheme (8/48, great "
                     "latencies, %s confidence) ==\n\n",
-                    conf == ConfidenceKind::Oracle ? "oracle" : "real");
+                    confs[c] == ConfidenceKind::Oracle ? "oracle"
+                                                       : "real");
         TextTable table;
         std::vector<std::string> header = {"workload"};
         for (const auto &[name, scheme] : schemes)
@@ -51,19 +77,11 @@ main(int argc, char **argv)
         table.setHeader(header);
 
         std::vector<std::vector<double>> per_scheme(schemes.size());
-        for (const std::string &wname : bench::workloadNames(opt)) {
-            std::vector<std::string> row = {wname};
+        for (std::size_t w = 0; w < wnames.size(); ++w) {
+            std::vector<std::string> row = {wnames[w]};
             for (std::size_t s = 0; s < schemes.size(); ++s) {
-                SpecModel model = SpecModel::greatModel();
-                model.verifyScheme = schemes[s].second;
-                if (model.verifyScheme == VerifyScheme::Hierarchical)
-                    model.invalScheme = core::InvalScheme::Hierarchical;
-                const auto vp = sim::runWorkload(
-                    wname, opt.scale,
-                    sim::vpConfig(m, model, conf,
-                                  UpdateTiming::Immediate));
                 const double sp =
-                    sim::speedup(base_runs.get(m, wname), vp);
+                    sweep.speedup(base_idx[w], vp_idx[c][w][s]);
                 per_scheme[s].push_back(sp);
                 row.push_back(TextTable::fmt(sp, 3));
             }

@@ -1,25 +1,40 @@
 /**
  * @file
  * Shared plumbing for the experiment (bench) binaries: command-line
- * options, the benchmark list, and cached base-machine runs.
+ * options and the declarative sweep front end over the parallel sweep
+ * engine (vsim/sim/sweep).
  *
  * Every binary accepts:
  *   --quick        3 workloads, middle machine only (smoke mode)
  *   --scale N      override the per-workload work factor
+ *   --jobs N       worker threads (default: one per hardware thread;
+ *                  results are bit-identical for every N)
+ *   --json PATH    also write all runs as a JSON array
+ *   --csv PATH     also write all runs as CSV
+ *
+ * The usage pattern is two-phase: enqueue every cell of the
+ * cross-product with Sweep::add()/addBase(), call Sweep::run() once
+ * (this is where the worker pool earns its keep), then assemble the
+ * tables from the indexed results.
  */
 
 #ifndef VSPEC_BENCH_BENCH_UTIL_HH
 #define VSPEC_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "vsim/base/logging.hh"
 #include "vsim/base/stats.hh"
+#include "vsim/sim/report.hh"
 #include "vsim/sim/simulator.hh"
+#include "vsim/sim/sweep.hh"
 #include "vsim/workloads/workloads.hh"
 
 namespace bench
@@ -29,21 +44,66 @@ struct Options
 {
     bool quick = false;
     int scale = -1; //!< -1 = per-workload default
+    int jobs = vsim::sim::SweepRunner::defaultJobs();
+    std::string jsonPath; //!< write runs as JSON when non-empty
+    std::string csvPath;  //!< write runs as CSV when non-empty
 };
+
+[[noreturn]] inline void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--quick] [--scale N] [--jobs N] "
+                 "[--json PATH] [--csv PATH]\n",
+                 argv0);
+    std::exit(2);
+}
+
+/**
+ * Parse a full-token positive integer; anything else (trailing
+ * garbage, empty, zero, negative, overflow) is a usage error.
+ * `--scale abc` used to silently become scale 0 through atoi.
+ */
+inline int
+parsePositiveInt(const char *argv0, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || v <= 0
+        || v > std::numeric_limits<int>::max()) {
+        std::fprintf(stderr, "expected a positive integer, got '%s'\n",
+                     text);
+        usage(argv0);
+    }
+    return static_cast<int>(v);
+}
 
 inline Options
 parseOptions(int argc, char **argv)
 {
     Options opt;
     for (int i = 1; i < argc; ++i) {
+        auto need_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
         if (std::strcmp(argv[i], "--quick") == 0) {
             opt.quick = true;
-        } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-            opt.scale = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--scale") == 0) {
+            opt.scale =
+                parsePositiveInt(argv[0], need_value("--scale"));
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            opt.jobs = parsePositiveInt(argv[0], need_value("--jobs"));
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            opt.jsonPath = need_value("--json");
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            opt.csvPath = need_value("--csv");
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--quick] [--scale N]\n", argv[0]);
-            std::exit(2);
+            usage(argv[0]);
         }
     }
     return opt;
@@ -52,47 +112,105 @@ parseOptions(int argc, char **argv)
 inline std::vector<std::string>
 workloadNames(const Options &opt)
 {
-    std::vector<std::string> names;
-    for (const auto &w : vsim::workloads::all())
-        names.push_back(w.name);
-    if (opt.quick)
-        names = {"compress", "m88k", "queens"};
-    return names;
+    return vsim::sim::sweepWorkloads(opt.quick);
 }
 
 inline std::vector<vsim::sim::MachineConfig>
 machines(const Options &opt)
 {
-    if (opt.quick)
-        return {{8, 48}};
-    return vsim::sim::paperMachines();
+    return vsim::sim::sweepMachines(opt.quick);
 }
 
-/** Cache of base-machine runs keyed by (machine label, workload). */
-class BaseRuns
+/** Percentage @p num/@p denom; NaN (rendered "n/a") on empty runs. */
+inline double
+pct(std::uint64_t num, std::uint64_t denom)
+{
+    if (denom == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return 100.0 * static_cast<double>(num)
+           / static_cast<double>(denom);
+}
+
+/**
+ * Declarative sweep for one bench binary: enqueue jobs, run them all
+ * at once on the worker pool (memoized through the process-wide
+ * RunCache, which replaces the old per-binary BaseRuns cache), then
+ * read results by index. Identical jobs (same workload/scale/config)
+ * added twice share one index, so base runs can be re-requested
+ * freely from every table loop.
+ */
+class Sweep
 {
   public:
-    explicit BaseRuns(const Options &opt) : opt(opt) {}
+    explicit Sweep(const Options &opt) : opt(opt) {}
+
+    /** Enqueue a run; returns its result index. */
+    int
+    add(const vsim::sim::MachineConfig &m, const std::string &workload,
+        const vsim::core::CoreConfig &cfg, std::string label = "")
+    {
+        VSIM_ASSERT(!ran, "Sweep::add after run");
+        vsim::sim::SweepJob job;
+        job.label = label.empty()
+                        ? m.label() + " " + vsim::sim::configLabel(cfg)
+                        : std::move(label);
+        job.workload = workload;
+        job.scale = opt.scale;
+        job.cfg = cfg;
+        const std::string key = vsim::sim::jobKey(job);
+        auto it = indexByKey.find(key);
+        if (it != indexByKey.end())
+            return it->second;
+        const int idx = static_cast<int>(jobs.size());
+        jobs.push_back(std::move(job));
+        indexByKey.emplace(key, idx);
+        return idx;
+    }
+
+    /** Enqueue the no-value-prediction run of @p m / @p workload. */
+    int
+    addBase(const vsim::sim::MachineConfig &m,
+            const std::string &workload)
+    {
+        return add(m, workload, vsim::sim::baseConfig(m));
+    }
+
+    /** Execute all enqueued jobs and emit --json/--csv if requested. */
+    void
+    run()
+    {
+        VSIM_ASSERT(!ran, "Sweep::run called twice");
+        vsim::sim::SweepRunner runner(opt.jobs);
+        results = runner.run(jobs);
+        ran = true;
+        if (!opt.jsonPath.empty())
+            vsim::sim::writeFile(opt.jsonPath,
+                                 vsim::sim::toJson(jobs, results));
+        if (!opt.csvPath.empty())
+            vsim::sim::writeFile(opt.csvPath,
+                                 vsim::sim::toCsv(jobs, results));
+    }
 
     const vsim::sim::RunResult &
-    get(const vsim::sim::MachineConfig &m, const std::string &workload)
+    at(int idx) const
     {
-        const std::string key = m.label() + ":" + workload;
-        auto it = cache.find(key);
-        if (it == cache.end()) {
-            it = cache
-                     .emplace(key,
-                              vsim::sim::runWorkload(
-                                  workload, opt.scale,
-                                  vsim::sim::baseConfig(m)))
-                     .first;
-        }
-        return it->second;
+        VSIM_ASSERT(ran, "Sweep::at before run");
+        return results.at(static_cast<std::size_t>(idx));
+    }
+
+    /** Speedup of run @p vpIdx over run @p baseIdx. */
+    double
+    speedup(int baseIdx, int vpIdx) const
+    {
+        return vsim::sim::speedup(at(baseIdx), at(vpIdx));
     }
 
   private:
     Options opt;
-    std::map<std::string, vsim::sim::RunResult> cache;
+    std::vector<vsim::sim::SweepJob> jobs;
+    std::vector<vsim::sim::RunResult> results;
+    std::map<std::string, int> indexByKey;
+    bool ran = false;
 };
 
 } // namespace bench

@@ -14,6 +14,8 @@
  */
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "bench_util.hh"
 
@@ -26,7 +28,6 @@ main(int argc, char **argv)
     using core::UpdateTiming;
 
     const bench::Options opt = bench::parseOptions(argc, argv);
-    bench::BaseRuns base_runs(opt);
 
     const std::vector<SpecModel> models = {SpecModel::goodModel(),
                                            SpecModel::greatModel(),
@@ -37,6 +38,27 @@ main(int argc, char **argv)
         {UpdateTiming::Delayed, ConfidenceKind::Oracle},
         {UpdateTiming::Immediate, ConfidenceKind::Oracle},
     };
+
+    // Enqueue the full (machine x model x combo x workload) grid plus
+    // the base runs, then execute everything in one parallel sweep.
+    bench::Sweep sweep(opt);
+    std::map<std::string, int> base_idx, vp_idx;
+    for (const auto &m : bench::machines(opt)) {
+        for (const std::string &wname : bench::workloadNames(opt)) {
+            base_idx[m.label() + ":" + wname] = sweep.addBase(m, wname);
+            for (const SpecModel &model : models) {
+                for (const auto &[timing, conf] : combos) {
+                    const std::string key =
+                        m.label() + ":" + model.name + ":"
+                        + sim::timingConfLabel(timing, conf) + ":"
+                        + wname;
+                    vp_idx[key] = sweep.add(
+                        m, wname, sim::vpConfig(m, model, conf, timing));
+                }
+            }
+        }
+    }
+    sweep.run();
 
     std::printf("== Figure 3: Speculative execution models, average "
                 "speedup ==\n");
@@ -55,11 +77,13 @@ main(int argc, char **argv)
                 std::vector<double> speedups;
                 for (const std::string &wname :
                      bench::workloadNames(opt)) {
-                    const auto &base = base_runs.get(m, wname);
-                    const auto vp = sim::runWorkload(
-                        wname, opt.scale,
-                        sim::vpConfig(m, model, conf, timing));
-                    speedups.push_back(sim::speedup(base, vp));
+                    const std::string key =
+                        m.label() + ":" + model.name + ":"
+                        + sim::timingConfLabel(timing, conf) + ":"
+                        + wname;
+                    speedups.push_back(sweep.speedup(
+                        base_idx.at(m.label() + ":" + wname),
+                        vp_idx.at(key)));
                 }
                 row.push_back(
                     TextTable::fmt(harmonicMean(speedups), 3));

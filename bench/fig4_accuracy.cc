@@ -30,6 +30,19 @@ main(int argc, char **argv)
 
     const bench::Options opt = bench::parseOptions(argc, argv);
 
+    // Enqueue the whole grid, run it in one parallel sweep.
+    bench::Sweep sweep(opt);
+    std::vector<int> indices;
+    for (const auto &m : bench::machines(opt))
+        for (UpdateTiming timing :
+             {UpdateTiming::Delayed, UpdateTiming::Immediate})
+            for (const std::string &wname : bench::workloadNames(opt))
+                indices.push_back(sweep.add(
+                    m, wname,
+                    sim::vpConfig(m, SpecModel::greatModel(),
+                                  ConfidenceKind::Real, timing)));
+    sweep.run();
+
     std::printf("== Figure 4: Average prediction accuracy (great "
                 "model, real confidence) ==\n\n");
 
@@ -37,21 +50,22 @@ main(int argc, char **argv)
     table.setHeader({"config", "timing", "CH %", "CL %", "IH %", "IL %",
                      "correct %"});
 
+    std::size_t next = 0;
     for (const auto &m : bench::machines(opt)) {
         for (UpdateTiming timing :
              {UpdateTiming::Delayed, UpdateTiming::Immediate}) {
             std::vector<double> ch, cl, ih, il;
             for (const std::string &wname : bench::workloadNames(opt)) {
-                const auto run = sim::runWorkload(
-                    wname, opt.scale,
-                    sim::vpConfig(m, SpecModel::greatModel(),
-                                  ConfidenceKind::Real, timing));
-                const double total =
-                    static_cast<double>(run.stats.vpEligible);
-                ch.push_back(100.0 * run.stats.vpCH / total);
-                cl.push_back(100.0 * run.stats.vpCL / total);
-                ih.push_back(100.0 * run.stats.vpIH / total);
-                il.push_back(100.0 * run.stats.vpIL / total);
+                (void)wname;
+                const auto &run = sweep.at(indices[next++]);
+                ch.push_back(bench::pct(run.stats.vpCH,
+                                        run.stats.vpEligible));
+                cl.push_back(bench::pct(run.stats.vpCL,
+                                        run.stats.vpEligible));
+                ih.push_back(bench::pct(run.stats.vpIH,
+                                        run.stats.vpEligible));
+                il.push_back(bench::pct(run.stats.vpIL,
+                                        run.stats.vpEligible));
             }
             const double mch = arithmeticMean(ch);
             const double mcl = arithmeticMean(cl);

@@ -23,6 +23,20 @@ main(int argc, char **argv)
     using namespace vsim;
     const bench::Options opt = bench::parseOptions(argc, argv);
 
+    // Prediction eligibility from value-speculative runs (great
+    // model, delayed update, real confidence: the D/R baseline), all
+    // executed in one parallel sweep.
+    const sim::MachineConfig m{8, 48};
+    bench::Sweep sweep(opt);
+    std::vector<int> indices;
+    for (const std::string &name : bench::workloadNames(opt))
+        indices.push_back(sweep.add(
+            m, name,
+            sim::vpConfig(m, core::SpecModel::greatModel(),
+                          core::ConfidenceKind::Real,
+                          core::UpdateTiming::Delayed)));
+    sweep.run();
+
     std::printf("== Table 1: Benchmark Characteristics ==\n");
     std::printf("(paper: SPECint95, 40-203M instr, 61.7%%-82.0%% "
                 "predicted; ours: open substitutes)\n\n");
@@ -32,7 +46,7 @@ main(int argc, char **argv)
                      "Instructions Predicted (%)"});
 
     std::vector<double> pred_rates;
-    const sim::MachineConfig m{8, 48};
+    std::size_t next = 0;
     for (const std::string &name : bench::workloadNames(opt)) {
         const auto &w = workloads::byName(name);
 
@@ -40,16 +54,9 @@ main(int argc, char **argv)
         const arch::ExecTrace trace =
             arch::preExecute(workloads::buildProgram(w, opt.scale));
 
-        // Prediction eligibility from a value-speculative run (great
-        // model, delayed update, real confidence: the D/R baseline).
-        const sim::RunResult run = sim::runWorkload(
-            name, opt.scale,
-            sim::vpConfig(m, core::SpecModel::greatModel(),
-                          core::ConfidenceKind::Real,
-                          core::UpdateTiming::Delayed));
-        const double pct = 100.0
-                           * static_cast<double>(run.stats.vpEligible)
-                           / static_cast<double>(run.stats.retired);
+        const sim::RunResult &run = sweep.at(indices[next++]);
+        const double pct =
+            bench::pct(run.stats.vpEligible, run.stats.retired);
         pred_rates.push_back(pct);
 
         table.addRow({name, w.specAnalog,

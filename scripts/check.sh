@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the normal build + full test suite, then a
+# ThreadSanitizer build of the sweep engine tests. Run from the repo
+# root:
+#
+#   scripts/check.sh
+#
+# The TSan stage rebuilds into build-tsan/ so it never disturbs the
+# primary build tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j)
+
+echo "== tier-1: ThreadSanitizer (test_sweep) =="
+cmake -B build-tsan -S . -DVSIM_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target test_sweep
+./build-tsan/tests/test_sweep
+
+echo "== tier-1: OK =="

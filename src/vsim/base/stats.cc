@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "logging.hh"
@@ -24,7 +25,7 @@ double
 harmonicMean(const std::vector<double> &xs)
 {
     if (xs.empty())
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     double sum = 0.0;
     for (double x : xs) {
         VSIM_ASSERT(x > 0.0, "harmonic mean needs positive samples");
@@ -61,6 +62,8 @@ TextTable::addRow(std::vector<std::string> cells)
 std::string
 TextTable::fmt(double value, int digits)
 {
+    if (!std::isfinite(value))
+        return "n/a";
     std::ostringstream os;
     os.setf(std::ios::fixed);
     os.precision(digits);

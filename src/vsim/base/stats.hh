@@ -24,8 +24,10 @@ namespace vsim
 double arithmeticMean(const std::vector<double> &xs);
 
 /**
- * Harmonic mean of a sample set; 0 for an empty set.
- * All samples must be strictly positive.
+ * Harmonic mean of a sample set; NaN for an empty set (an empty
+ * speedup table is a bug in the caller, and NaN is loud where a
+ * silent 0 looked like a measurement). All samples must be strictly
+ * positive — zero or negative samples panic.
  */
 double harmonicMean(const std::vector<double> &xs);
 
@@ -87,7 +89,11 @@ class TextTable
     /** Render with column alignment and a header separator line. */
     std::string render() const;
 
-    /** Format helper: fixed-point double with @p digits decimals. */
+    /**
+     * Format helper: fixed-point double with @p digits decimals.
+     * Non-finite values (NaN/inf from empty or zero-denominator
+     * statistics) render as "n/a".
+     */
     static std::string fmt(double value, int digits = 3);
 
   private:

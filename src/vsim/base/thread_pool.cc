@@ -1,0 +1,80 @@
+#include "thread_pool.hh"
+
+#include "logging.hh"
+
+namespace vsim
+{
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = threads < 1 ? 1 : threads;
+    workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    workReady.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    VSIM_ASSERT(task, "submitting an empty task");
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        VSIM_ASSERT(!stopping, "submit on a stopping pool");
+        queue.push_back(std::move(task));
+    }
+    workReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allIdle.wait(lock, [this] { return queue.empty() && running == 0; });
+}
+
+int
+ThreadPool::defaultThreadCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            workReady.wait(
+                lock, [this] { return stopping || !queue.empty(); });
+            // Drain remaining work even when stopping so ~ThreadPool
+            // leaves no submitted task unexecuted.
+            if (queue.empty())
+                return;
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++running;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            --running;
+            if (queue.empty() && running == 0)
+                allIdle.notify_all();
+        }
+    }
+}
+
+} // namespace vsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fixed-size worker pool with a FIFO work queue, used by the sweep
+ * engine to run independent simulations in parallel. Deliberately
+ * minimal: no futures, no work stealing — callers own their result
+ * slots and synchronise via wait().
+ */
+
+#ifndef VSIM_BASE_THREAD_POOL_HH
+#define VSIM_BASE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vsim
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers; values < 1 are clamped to 1. */
+    explicit ThreadPool(int threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task for execution on some worker. Tasks must not
+     * throw: exceptions have no thread to propagate to, so callers
+     * capture errors into their own result slots.
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished running. */
+    void wait();
+
+    int threadCount() const { return static_cast<int>(workers.size()); }
+
+    /** Hardware concurrency, with a floor of 1 when unknown. */
+    static int defaultThreadCount();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mtx;
+    std::condition_variable workReady; //!< queue non-empty or stopping
+    std::condition_variable allIdle;   //!< queue empty and none running
+    std::size_t running = 0;           //!< tasks currently executing
+    bool stopping = false;
+};
+
+} // namespace vsim
+
+#endif // VSIM_BASE_THREAD_POOL_HH

@@ -1,6 +1,9 @@
 #include "report.hh"
 
+#include <fstream>
 #include <sstream>
+
+#include "vsim/base/logging.hh"
 
 namespace vsim::sim
 {
@@ -17,15 +20,11 @@ field(std::ostringstream &os, const char *name, std::uint64_t value,
         os << ", ";
 }
 
-} // namespace
-
-std::string
-toJson(const RunResult &r)
+/** The shared stats body of a run object (no surrounding braces). */
+void
+statsFields(std::ostringstream &os, const RunResult &r)
 {
     const core::CoreStats &s = r.stats;
-    std::ostringstream os;
-    os << "{";
-    os << "\"workload\": \"" << r.workload << "\", ";
     os << "\"ipc\": " << r.ipc << ", ";
     field(os, "cycles", s.cycles);
     field(os, "retired", s.retired);
@@ -48,6 +47,17 @@ toJson(const RunResult &r)
     field(os, "loads_forwarded", s.loadsForwarded);
     field(os, "icache_misses", s.icacheMisses);
     field(os, "dcache_misses", s.dcacheMisses, false);
+}
+
+} // namespace
+
+std::string
+toJson(const RunResult &r)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"workload\": \"" << r.workload << "\", ";
+    statsFields(os, r);
     os << "}";
     return os.str();
 }
@@ -64,6 +74,76 @@ toJson(const std::vector<RunResult> &runs)
     }
     os << "]";
     return os.str();
+}
+
+std::string
+toJson(const SweepJob &job, const RunResult &r)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"label\": \"" << job.label << "\", ";
+    os << "\"workload\": \"" << r.workload << "\", ";
+    os << "\"scale\": " << job.scale << ", ";
+    os << "\"machine\": \"" << job.cfg.issueWidth << "/"
+       << job.cfg.windowSize << "\", ";
+    os << "\"config\": \"" << configLabel(job.cfg) << "\", ";
+    statsFields(os, r);
+    os << "}";
+    return os.str();
+}
+
+std::string
+toJson(const std::vector<SweepJob> &jobs,
+       const std::vector<RunResult> &results)
+{
+    VSIM_ASSERT(jobs.size() == results.size(),
+                "jobs/results size mismatch");
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i)
+            os << ",\n ";
+        os << toJson(jobs[i], results[i]);
+    }
+    os << "]";
+    return os.str();
+}
+
+std::string
+toCsv(const std::vector<SweepJob> &jobs,
+      const std::vector<RunResult> &results)
+{
+    VSIM_ASSERT(jobs.size() == results.size(),
+                "jobs/results size mismatch");
+    std::ostringstream os;
+    os << "label,workload,scale,machine,config,cycles,retired,ipc,"
+          "exit_code,squashes,vp_eligible,vp_ch,vp_cl,vp_ih,vp_il,"
+          "verify_events,invalidate_events,nullifications,reissues\n";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SweepJob &j = jobs[i];
+        const RunResult &r = results[i];
+        const core::CoreStats &s = r.stats;
+        os << j.label << ',' << r.workload << ',' << j.scale << ','
+           << j.cfg.issueWidth << '/' << j.cfg.windowSize << ','
+           << configLabel(j.cfg) << ',' << s.cycles << ',' << s.retired
+           << ',' << r.ipc << ',' << r.exitCode << ',' << s.squashes
+           << ',' << s.vpEligible << ',' << s.vpCH << ',' << s.vpCL
+           << ',' << s.vpIH << ',' << s.vpIL << ',' << s.verifyEvents
+           << ',' << s.invalidateEvents << ',' << s.nullifications
+           << ',' << s.reissues << '\n';
+    }
+    return os.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out)
+        VSIM_FATAL("cannot open ", path, " for writing");
+    out << content;
+    if (!out)
+        VSIM_FATAL("write to ", path, " failed");
 }
 
 } // namespace vsim::sim

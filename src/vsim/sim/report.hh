@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "simulator.hh"
+#include "sweep.hh"
 
 namespace vsim::sim
 {
@@ -21,6 +22,26 @@ std::string toJson(const RunResult &r);
 
 /** A JSON array of runs (e.g. one sweep). */
 std::string toJson(const std::vector<RunResult> &runs);
+
+/**
+ * One sweep cell as a flat JSON object: the job's label, workload,
+ * scale, machine and configuration tag followed by the run's stats.
+ */
+std::string toJson(const SweepJob &job, const RunResult &r);
+
+/** A whole sweep (jobs and results index-aligned) as a JSON array. */
+std::string toJson(const std::vector<SweepJob> &jobs,
+                   const std::vector<RunResult> &results);
+
+/** The same sweep as CSV with a header row. */
+std::string toCsv(const std::vector<SweepJob> &jobs,
+                  const std::vector<RunResult> &results);
+
+/**
+ * Write @p content to @p path; VSIM_FATAL if the file cannot be
+ * opened or written.
+ */
+void writeFile(const std::string &path, const std::string &content);
 
 } // namespace vsim::sim
 

@@ -65,6 +65,7 @@ runWorkload(const std::string &name, int scale,
     r.instructions = out.stats.retired;
     r.ipc = out.stats.ipc();
     r.exitCode = out.exitCode;
+    r.output = out.output;
     return r;
 }
 
@@ -73,6 +74,7 @@ speedup(const RunResult &base, const RunResult &vp)
 {
     VSIM_ASSERT(base.workload == vp.workload,
                 "speedup across different workloads");
+    VSIM_ASSERT(base.stats.cycles > 0, "zero-cycle base run");
     VSIM_ASSERT(vp.stats.cycles > 0, "zero-cycle run");
     return static_cast<double>(base.stats.cycles)
            / static_cast<double>(vp.stats.cycles);

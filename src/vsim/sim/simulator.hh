@@ -62,6 +62,7 @@ struct RunResult
     std::uint64_t instructions = 0; //!< committed instructions
     double ipc = 0.0;
     std::uint64_t exitCode = 0;
+    std::string output; //!< anything the program printed
 };
 
 /**

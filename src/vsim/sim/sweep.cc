@@ -1,0 +1,422 @@
+#include "sweep.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "vsim/base/logging.hh"
+#include "vsim/base/thread_pool.hh"
+#include "vsim/workloads/workloads.hh"
+
+namespace vsim::sim
+{
+
+namespace
+{
+
+void
+keyCache(std::ostringstream &os, const mem::CacheConfig &c)
+{
+    os << c.sizeBytes << '/' << c.assoc << '/' << c.blockBytes << ';';
+}
+
+} // namespace
+
+std::string
+jobKey(const SweepJob &job)
+{
+    const core::CoreConfig &c = job.cfg;
+    const core::SpecModel &m = c.model;
+    std::ostringstream os;
+    // Workload identity.
+    os << job.workload << '@' << job.scale << ';';
+    // Machine.
+    os << c.issueWidth << '/' << c.windowSize << '/' << c.fetchWidth
+       << '/' << c.retireWidth << '/' << c.dcachePorts << ';';
+    // Value speculation. The model's cosmetic name is excluded: two
+    // models with equal variables produce bit-identical runs.
+    os << c.useValuePrediction << ';' << c.valuePredictor << ';'
+       << static_cast<int>(c.confidence) << '/' << c.confidenceBits
+       << '/' << c.confidenceThreshold << ';'
+       << static_cast<int>(c.updateTiming) << ';';
+    os << m.execToEquality << ',' << m.equalityToInvalidate << ','
+       << m.equalityToVerify << ',' << m.verifyToFreeResource << ','
+       << m.invalidateToReissue << ',' << m.verifyToBranch << ','
+       << m.verifyAddrToMem << ',' << static_cast<int>(m.verifyScheme)
+       << ',' << static_cast<int>(m.invalScheme) << ','
+       << static_cast<int>(m.selectPolicy) << ','
+       << m.branchNeedsValidOps << ',' << m.memNeedsValidOps << ';';
+    // Front end and memory hierarchy.
+    os << c.branchPredictor << ';';
+    keyCache(os, c.icache);
+    keyCache(os, c.dcache);
+    keyCache(os, c.l2cache);
+    os << c.icacheHitLat << ',' << c.dcacheHitLat << ',' << c.l2HitLat
+       << ',' << c.l2MissLat << ',' << c.storeForwardLat << ';';
+    // Functional units and run control.
+    os << c.aluLat << ',' << c.mulLat << ',' << c.divLat << ';'
+       << c.maxCycles;
+    return os.str();
+}
+
+RunCache &
+RunCache::process()
+{
+    static RunCache cache;
+    return cache;
+}
+
+RunResult
+RunCache::getOrRun(const SweepJob &job)
+{
+    const std::string key = jobKey(job);
+    std::promise<RunResult> promise;
+    std::shared_future<RunResult> future;
+    bool owner = false;
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        auto it = entries.find(key);
+        if (it != entries.end()) {
+            ++nHits;
+            future = it->second;
+        } else {
+            ++nMisses;
+            future = promise.get_future().share();
+            entries.emplace(key, future);
+            owner = true;
+        }
+    }
+    if (owner) {
+        try {
+            promise.set_value(
+                runWorkload(job.workload, job.scale, job.cfg));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get(); // rethrows the run's error, if any
+}
+
+std::uint64_t
+RunCache::hits() const
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    return nHits;
+}
+
+std::uint64_t
+RunCache::misses() const
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    return nMisses;
+}
+
+std::size_t
+RunCache::size() const
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    return entries.size();
+}
+
+void
+RunCache::clear()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    entries.clear();
+    nHits = 0;
+    nMisses = 0;
+}
+
+SweepRunner::SweepRunner(int jobs, RunCache *cache)
+    : nJobs(jobs < 1 ? 1 : jobs), cache(cache)
+{
+}
+
+int
+SweepRunner::defaultJobs()
+{
+    return ThreadPool::defaultThreadCount();
+}
+
+RunResult
+SweepRunner::runOne(const SweepJob &job)
+{
+    if (cache)
+        return cache->getOrRun(job);
+    return runWorkload(job.workload, job.scale, job.cfg);
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<SweepJob> &jobs)
+{
+    std::vector<RunResult> results(jobs.size());
+    if (nJobs <= 1 || jobs.size() <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            results[i] = runOne(jobs[i]);
+        return results;
+    }
+
+    std::vector<std::exception_ptr> errors(jobs.size());
+    {
+        ThreadPool pool(std::min<int>(
+            nJobs, static_cast<int>(jobs.size())));
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            pool.submit([this, &jobs, &results, &errors, i] {
+                try {
+                    results[i] = runOne(jobs[i]);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+    for (const std::exception_ptr &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
+    return results;
+}
+
+std::vector<std::string>
+sweepWorkloads(bool quick)
+{
+    if (quick)
+        return {"compress", "m88k", "queens"};
+    std::vector<std::string> names;
+    for (const auto &w : workloads::all())
+        names.push_back(w.name);
+    return names;
+}
+
+std::vector<MachineConfig>
+sweepMachines(bool quick)
+{
+    if (quick)
+        return {{8, 48}};
+    return paperMachines();
+}
+
+std::string
+configLabel(const core::CoreConfig &cfg)
+{
+    if (!cfg.useValuePrediction)
+        return "base";
+    return cfg.model.name + " "
+           + timingConfLabel(cfg.updateTiming, cfg.confidence);
+}
+
+namespace
+{
+
+using core::ConfidenceKind;
+using core::SpecModel;
+using core::UpdateTiming;
+
+/** Label a job "<machine> <config>" unless the builder overrides. */
+SweepJob
+makeJob(const MachineConfig &m, const std::string &workload, int scale,
+        const core::CoreConfig &cfg, const std::string &label = "")
+{
+    SweepJob job;
+    job.label = label.empty() ? m.label() + " " + configLabel(cfg)
+                              : label;
+    job.workload = workload;
+    job.scale = scale;
+    job.cfg = cfg;
+    return job;
+}
+
+std::vector<SweepJob>
+buildBase(const SweepOptions &opt)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &m : sweepMachines(opt.quick))
+        for (const auto &w : sweepWorkloads(opt.quick))
+            jobs.push_back(makeJob(m, w, opt.scale, baseConfig(m)));
+    return jobs;
+}
+
+std::vector<SweepJob>
+buildFig3(const SweepOptions &opt)
+{
+    const std::vector<SpecModel> models = {SpecModel::goodModel(),
+                                           SpecModel::greatModel(),
+                                           SpecModel::superModel()};
+    const std::vector<std::pair<UpdateTiming, ConfidenceKind>> combos = {
+        {UpdateTiming::Delayed, ConfidenceKind::Real},
+        {UpdateTiming::Immediate, ConfidenceKind::Real},
+        {UpdateTiming::Delayed, ConfidenceKind::Oracle},
+        {UpdateTiming::Immediate, ConfidenceKind::Oracle},
+    };
+    std::vector<SweepJob> jobs = buildBase(opt);
+    for (const auto &m : sweepMachines(opt.quick))
+        for (const SpecModel &model : models)
+            for (const auto &[timing, conf] : combos)
+                for (const auto &w : sweepWorkloads(opt.quick))
+                    jobs.push_back(makeJob(
+                        m, w, opt.scale,
+                        vpConfig(m, model, conf, timing)));
+    return jobs;
+}
+
+std::vector<SweepJob>
+buildFig4(const SweepOptions &opt)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &m : sweepMachines(opt.quick))
+        for (UpdateTiming timing :
+             {UpdateTiming::Delayed, UpdateTiming::Immediate})
+            for (const auto &w : sweepWorkloads(opt.quick))
+                jobs.push_back(makeJob(
+                    m, w, opt.scale,
+                    vpConfig(m, SpecModel::greatModel(),
+                             ConfidenceKind::Real, timing)));
+    return jobs;
+}
+
+std::vector<SweepJob>
+buildConfidence(const SweepOptions &opt)
+{
+    const MachineConfig m{8, 48};
+    struct Variant
+    {
+        const char *name;
+        ConfidenceKind kind;
+        int bits;
+        int threshold;
+    };
+    const std::vector<Variant> variants = {
+        {"ctr-1bit", ConfidenceKind::Real, 1, -1},
+        {"ctr-2bit", ConfidenceKind::Real, 2, -1},
+        {"ctr-3bit", ConfidenceKind::Real, 3, -1},
+        {"ctr-4bit", ConfidenceKind::Real, 4, -1},
+        {"ctr-3bit-thr4", ConfidenceKind::Real, 3, 4},
+        {"always", ConfidenceKind::Always, 3, -1},
+        {"oracle", ConfidenceKind::Oracle, 3, -1},
+    };
+    std::vector<SweepJob> jobs;
+    for (const auto &w : sweepWorkloads(opt.quick))
+        jobs.push_back(makeJob(m, w, opt.scale, baseConfig(m)));
+    for (const Variant &v : variants) {
+        for (const auto &w : sweepWorkloads(opt.quick)) {
+            core::CoreConfig cfg =
+                vpConfig(m, SpecModel::greatModel(), v.kind,
+                         UpdateTiming::Delayed);
+            cfg.confidenceBits = v.bits;
+            cfg.confidenceThreshold = v.threshold;
+            jobs.push_back(makeJob(m, w, opt.scale, cfg,
+                                   m.label() + " " + v.name));
+        }
+    }
+    return jobs;
+}
+
+std::vector<SweepJob>
+buildPredictors(const SweepOptions &opt)
+{
+    const MachineConfig m{8, 48};
+    std::vector<SweepJob> jobs;
+    for (const auto &w : sweepWorkloads(opt.quick))
+        jobs.push_back(makeJob(m, w, opt.scale, baseConfig(m)));
+    for (const char *pred : {"fcm", "last-value", "stride", "hybrid"}) {
+        for (const auto &w : sweepWorkloads(opt.quick)) {
+            core::CoreConfig cfg =
+                vpConfig(m, SpecModel::greatModel(),
+                         ConfidenceKind::Oracle, UpdateTiming::Immediate);
+            cfg.valuePredictor = pred;
+            jobs.push_back(
+                makeJob(m, w, opt.scale, cfg,
+                        m.label() + " " + std::string(pred)));
+        }
+    }
+    return jobs;
+}
+
+std::vector<SweepJob>
+buildVerifLatency(const SweepOptions &opt)
+{
+    const MachineConfig m{8, 48};
+    std::vector<SweepJob> jobs;
+    for (const auto &w : sweepWorkloads(opt.quick))
+        jobs.push_back(makeJob(m, w, opt.scale, baseConfig(m)));
+    for (int lat = 0; lat <= 3; ++lat) {
+        for (const auto &w : sweepWorkloads(opt.quick)) {
+            SpecModel model = SpecModel::greatModel();
+            model.execToEquality = lat;
+            jobs.push_back(makeJob(
+                m, w, opt.scale,
+                vpConfig(m, model, ConfidenceKind::Oracle,
+                         UpdateTiming::Immediate),
+                m.label() + " verif-lat=" + std::to_string(lat)));
+        }
+    }
+    return jobs;
+}
+
+std::vector<SweepJob>
+buildReissueLatency(const SweepOptions &opt)
+{
+    const MachineConfig m{8, 48};
+    std::vector<SweepJob> jobs;
+    for (const auto &w : sweepWorkloads(opt.quick))
+        jobs.push_back(makeJob(m, w, opt.scale, baseConfig(m)));
+    for (ConfidenceKind conf :
+         {ConfidenceKind::Always, ConfidenceKind::Real}) {
+        for (int lat : {0, 1, 2, 4}) {
+            for (const auto &w : sweepWorkloads(opt.quick)) {
+                SpecModel model = SpecModel::greatModel();
+                model.invalidateToReissue = lat;
+                jobs.push_back(makeJob(
+                    m, w, opt.scale,
+                    vpConfig(m, model, conf, UpdateTiming::Immediate),
+                    m.label()
+                        + (conf == ConfidenceKind::Always ? " always"
+                                                          : " real")
+                        + " reissue-lat=" + std::to_string(lat)));
+            }
+        }
+    }
+    return jobs;
+}
+
+} // namespace
+
+const std::vector<NamedSweep> &
+namedSweeps()
+{
+    static const std::vector<NamedSweep> sweeps = {
+        {"base", "base machines (no value prediction), all workloads",
+         buildBase},
+        {"fig3", "Fig. 3 grid: models x D/R-I/R-D/O-I/O x machines "
+                 "(plus base runs)",
+         buildFig3},
+        {"fig4", "Fig. 4 grid: great model, real confidence, D and I "
+                 "update timing",
+         buildFig4},
+        {"confidence", "confidence-estimator design space on 8/48",
+         buildConfidence},
+        {"predictors", "value-predictor choice on 8/48 (oracle, "
+                       "immediate)",
+         buildPredictors},
+        {"verif-latency",
+         "Execution-Equality-Verification latency sweep 0-3 on 8/48",
+         buildVerifLatency},
+        {"reissue-latency",
+         "Invalidation-Reissue latency sweep 0-4 on 8/48, always and "
+         "real confidence",
+         buildReissueLatency},
+    };
+    return sweeps;
+}
+
+const NamedSweep &
+sweepByName(const std::string &name)
+{
+    for (const NamedSweep &s : namedSweeps()) {
+        if (s.name == name)
+            return s;
+    }
+    VSIM_FATAL("unknown sweep '", name, "'");
+}
+
+} // namespace vsim::sim

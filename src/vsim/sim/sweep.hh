@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parallel sweep engine. Every figure and ablation in the
+ * reproduction is a cross-product of (workload × machine × model ×
+ * confidence/timing) whose cells are completely independent
+ * simulations; the SweepRunner executes such a declarative job list
+ * on a fixed-size worker pool and returns results in job order, so
+ * callers get the throughput of the hardware with the output of the
+ * serial loop.
+ *
+ * Determinism: each simulation owns all of its state (core, caches,
+ * predictors, RNG), so an N-thread sweep is bit-identical to the
+ * serial sweep — results depend only on the job, never on scheduling.
+ *
+ * The process-wide RunCache memoises finished runs by a canonical
+ * fingerprint of (workload, scale, full CoreConfig), replacing the
+ * per-binary base-run caches the bench drivers used to carry; it also
+ * dedupes *in-flight* runs, so two workers asking for the same cell
+ * simulate it once and share the result.
+ */
+
+#ifndef VSIM_SIM_SWEEP_HH
+#define VSIM_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simulator.hh"
+
+namespace vsim::sim
+{
+
+/** One cell of a sweep: a workload run under one configuration. */
+struct SweepJob
+{
+    std::string label; //!< caller tag, carried into tables/JSON/CSV
+    std::string workload;
+    int scale = -1; //!< -1 = per-workload default
+    core::CoreConfig cfg;
+};
+
+/**
+ * Canonical fingerprint of the *simulation inputs* of a job (workload,
+ * scale, every timing-relevant CoreConfig field). Two jobs with equal
+ * keys produce bit-identical RunResults; the label is excluded.
+ */
+std::string jobKey(const SweepJob &job);
+
+/** Thread-safe memoizing cache of finished (and in-flight) runs. */
+class RunCache
+{
+  public:
+    RunCache() = default;
+    RunCache(const RunCache &) = delete;
+    RunCache &operator=(const RunCache &) = delete;
+
+    /** The process-wide instance shared by every driver. */
+    static RunCache &process();
+
+    /**
+     * Return the cached result for @p job, or simulate it (running at
+     * most once per key even under concurrent callers — late arrivals
+     * block on the in-flight run). Errors are rethrown to every
+     * caller of the failing key.
+     */
+    RunResult getOrRun(const SweepJob &job);
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::size_t size() const;
+    void clear();
+
+  private:
+    mutable std::mutex mtx;
+    std::map<std::string, std::shared_future<RunResult>> entries;
+    std::uint64_t nHits = 0;
+    std::uint64_t nMisses = 0;
+};
+
+/** Executes job lists on a worker pool, memoizing through a RunCache. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param jobs   worker threads; <= 1 runs serially on the caller's
+     *               thread. The default is one per hardware thread.
+     * @param cache  run cache to memoize through (default: the
+     *               process-wide cache); nullptr disables memoization.
+     */
+    explicit SweepRunner(int jobs = defaultJobs(),
+                         RunCache *cache = &RunCache::process());
+
+    /**
+     * Run every job, in parallel up to the worker count, and return
+     * results indexed exactly like @p jobs regardless of completion
+     * order. If any job fails, the error of the earliest failing job
+     * is rethrown after the pool drains.
+     */
+    std::vector<RunResult> run(const std::vector<SweepJob> &jobs);
+
+    int jobCount() const { return nJobs; }
+
+    /** Default worker count: one per hardware thread. */
+    static int defaultJobs();
+
+  private:
+    RunResult runOne(const SweepJob &job);
+
+    int nJobs;
+    RunCache *cache;
+};
+
+// ---- shared sweep vocabulary ------------------------------------------
+
+/** The suite (8 workloads), or the 3-workload smoke set if @p quick. */
+std::vector<std::string> sweepWorkloads(bool quick);
+
+/** The paper's machine grid, or just the 8/48 machine if @p quick. */
+std::vector<MachineConfig> sweepMachines(bool quick);
+
+/** Human-readable configuration tag: "base" or "<model> <D/R>". */
+std::string configLabel(const core::CoreConfig &cfg);
+
+// ---- named sweeps (tools/vspec_sweep) ---------------------------------
+
+struct SweepOptions
+{
+    bool quick = false;
+    int scale = -1;
+};
+
+/** A named, reusable job-list builder (one per figure/ablation). */
+struct NamedSweep
+{
+    std::string name;
+    std::string description;
+    std::function<std::vector<SweepJob>(const SweepOptions &)> build;
+};
+
+/** Registry of the built-in sweeps. */
+const std::vector<NamedSweep> &namedSweeps();
+
+/** Look up a named sweep; VSIM_FATAL on unknown names. */
+const NamedSweep &sweepByName(const std::string &name);
+
+} // namespace vsim::sim
+
+#endif // VSIM_SIM_SWEEP_HH

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "vsim/base/logging.hh"
 #include "vsim/base/random.hh"
 #include "vsim/base/stats.hh"
@@ -25,7 +28,17 @@ TEST(Means, HarmonicBasic)
 {
     // Harmonic mean of {1, 2} is 2 / (1 + 1/2) = 4/3.
     EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
-    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    // An empty sample set is a caller bug; NaN is loud where a
+    // silent 0 would look like a measured speedup.
+    EXPECT_TRUE(std::isnan(harmonicMean({})));
+}
+
+TEST(Means, NonFiniteRendersAsNa)
+{
+    EXPECT_EQ(TextTable::fmt(harmonicMean({}), 3), "n/a");
+    EXPECT_EQ(TextTable::fmt(
+                  std::numeric_limits<double>::infinity(), 2),
+              "n/a");
 }
 
 TEST(Means, HarmonicLeqArithmetic)

@@ -3,16 +3,22 @@
  * vspec-run: command-line driver for the cycle-level simulator. Runs
  * a built-in workload or a VRISC assembly file on a configurable
  * machine, with or without value speculation, and prints the full
- * statistics block.
+ * statistics block. Workload runs go through the sweep engine's
+ * process-wide run cache, so repeated configurations inside one
+ * invocation are simulated once.
  *
  *   vspec-run --workload m88k --model great --conf real --timing D
  *   vspec-run --asm prog.s --width 16 --window 96 --model super
  *   vspec-run --workload queens --base --trace    # pipeline diagram
+ *   vspec-run --workload queens --json run.json   # or --json to stdout
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -21,6 +27,7 @@
 #include "vsim/core/ooo_core.hh"
 #include "vsim/sim/report.hh"
 #include "vsim/sim/simulator.hh"
+#include "vsim/sim/sweep.hh"
 #include "vsim/workloads/workloads.hh"
 
 namespace
@@ -50,7 +57,25 @@ usage(const char *argv0)
         "  --predictor P     fcm|last-value|stride|hybrid (default fcm)\n"
         "  --trace           print the pipeline diagram (first 200 "
         "cycles)\n"
-        "  --json            emit the statistics as one JSON object\n");
+        "  --json [PATH]     emit the statistics as one JSON object\n"
+        "                    (to PATH if given, else stdout)\n");
+}
+
+/** Full-token positive integer; exits with usage on anything else. */
+int
+parsePositiveInt(const char *argv0, const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || v <= 0
+        || v > std::numeric_limits<int>::max()) {
+        std::fprintf(stderr, "%s expects a positive integer, got '%s'\n",
+                     flag, text);
+        usage(argv0);
+        std::exit(2);
+    }
+    return static_cast<int>(v);
 }
 
 } // namespace
@@ -60,7 +85,7 @@ main(int argc, char **argv)
 {
     using namespace vsim;
 
-    std::string workload, asm_file;
+    std::string workload, asm_file, json_path;
     int scale = -1;
     bool trace = false;
     bool json = false;
@@ -81,11 +106,14 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--asm")) {
             asm_file = need_value("--asm");
         } else if (!std::strcmp(argv[i], "--scale")) {
-            scale = std::atoi(need_value("--scale"));
+            scale = parsePositiveInt(argv[0], "--scale",
+                                     need_value("--scale"));
         } else if (!std::strcmp(argv[i], "--width")) {
-            cfg.issueWidth = std::atoi(need_value("--width"));
+            cfg.issueWidth = parsePositiveInt(argv[0], "--width",
+                                              need_value("--width"));
         } else if (!std::strcmp(argv[i], "--window")) {
-            cfg.windowSize = std::atoi(need_value("--window"));
+            cfg.windowSize = parsePositiveInt(argv[0], "--window",
+                                              need_value("--window"));
         } else if (!std::strcmp(argv[i], "--base")) {
             cfg.useValuePrediction = false;
         } else if (!std::strcmp(argv[i], "--model")) {
@@ -125,6 +153,9 @@ main(int argc, char **argv)
             trace = true;
         } else if (!std::strcmp(argv[i], "--json")) {
             json = true;
+            // Optional output path operand.
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+                json_path = argv[++i];
         } else {
             usage(argv[0]);
             return 2;
@@ -137,41 +168,59 @@ main(int argc, char **argv)
     cfg.tracePipeline = trace;
 
     try {
-        assembler::Program prog;
-        if (!workload.empty()) {
-            prog = workloads::buildProgram(
-                workloads::byName(workload), scale);
-        } else {
-            std::ifstream in(asm_file);
-            if (!in) {
-                std::fprintf(stderr, "cannot open %s\n",
-                             asm_file.c_str());
-                return 1;
-            }
-            std::ostringstream ss;
-            ss << in.rdbuf();
-            prog = assembler::assemble(ss.str(), asm_file);
-        }
+        sim::RunResult r;
+        std::string trace_text;
 
-        core::OooCore core(prog, cfg);
-        const core::SimOutcome out = core.run();
-        const core::CoreStats &s = out.stats;
+        if (!workload.empty() && !trace) {
+            // Workload runs go through the sweep engine's run cache.
+            sim::SweepJob job;
+            job.label = sim::configLabel(cfg);
+            job.workload = workload;
+            job.scale = scale;
+            job.cfg = cfg;
+            r = sim::RunCache::process().getOrRun(job);
+        } else {
+            assembler::Program prog;
+            if (!workload.empty()) {
+                prog = workloads::buildProgram(
+                    workloads::byName(workload), scale);
+            } else {
+                std::ifstream in(asm_file);
+                if (!in) {
+                    std::fprintf(stderr, "cannot open %s\n",
+                                 asm_file.c_str());
+                    return 1;
+                }
+                std::ostringstream ss;
+                ss << in.rdbuf();
+                prog = assembler::assemble(ss.str(), asm_file);
+            }
+            core::OooCore core(prog, cfg);
+            const core::SimOutcome out = core.run();
+            r.workload = workload.empty() ? asm_file : workload;
+            r.stats = out.stats;
+            r.instructions = out.stats.retired;
+            r.ipc = out.stats.ipc();
+            r.exitCode = out.exitCode;
+            r.output = out.output;
+            if (trace)
+                trace_text = core.tracer().render(0, 200);
+        }
+        const core::CoreStats &s = r.stats;
 
         if (json) {
-            sim::RunResult r;
-            r.workload = workload.empty() ? asm_file : workload;
-            r.stats = s;
-            r.instructions = s.retired;
-            r.ipc = s.ipc();
-            r.exitCode = out.exitCode;
-            std::printf("%s\n", sim::toJson(r).c_str());
+            const std::string js = sim::toJson(r) + "\n";
+            if (json_path.empty())
+                std::printf("%s", js.c_str());
+            else
+                sim::writeFile(json_path, js);
             return 0;
         }
 
-        if (!out.output.empty())
-            std::printf("program output: %s\n", out.output.c_str());
+        if (!r.output.empty())
+            std::printf("program output: %s\n", r.output.c_str());
         std::printf("exit code      : %llu\n",
-                    static_cast<unsigned long long>(out.exitCode));
+                    static_cast<unsigned long long>(r.exitCode));
         std::printf("cycles         : %llu\n",
                     static_cast<unsigned long long>(s.cycles));
         std::printf("instructions   : %llu (IPC %.3f)\n",
@@ -210,7 +259,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(s.reissues));
         }
         if (trace)
-            std::printf("\n%s", core.tracer().render(0, 200).c_str());
+            std::printf("\n%s", trace_text.c_str());
         return 0;
     } catch (const FatalError &err) {
         std::fprintf(stderr, "error: %s\n", err.what());

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * vspec-sweep: run an arbitrary named sweep from the command line on
+ * the parallel sweep engine, and emit the results as a text table
+ * and/or machine-readable JSON/CSV. The named sweeps are the job
+ * lists behind the bench figures and ablations (see
+ * vsim/sim/sweep.cc); this tool makes them scriptable without
+ * recompiling a bench binary.
+ *
+ *   vspec-sweep --list
+ *   vspec-sweep fig3 --quick --jobs 8
+ *   vspec-sweep confidence --json conf.json --csv conf.csv
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "vsim/base/logging.hh"
+#include "vsim/base/stats.hh"
+#include "vsim/sim/report.hh"
+#include "vsim/sim/sweep.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s NAME [--quick] [--scale N] [--jobs N] "
+                 "[--json PATH] [--csv PATH]\n"
+                 "       %s --list\n"
+                 "named sweeps:\n",
+                 argv0, argv0);
+    for (const auto &s : vsim::sim::namedSweeps())
+        std::fprintf(stderr, "  %-16s %s\n", s.name.c_str(),
+                     s.description.c_str());
+}
+
+int
+parsePositiveInt(const char *argv0, const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || v <= 0
+        || v > std::numeric_limits<int>::max()) {
+        std::fprintf(stderr, "%s expects a positive integer, got '%s'\n",
+                     flag, text);
+        usage(argv0);
+        std::exit(2);
+    }
+    return static_cast<int>(v);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsim;
+
+    std::string name, json_path, csv_path;
+    sim::SweepOptions opt;
+    int jobs = sim::SweepRunner::defaultJobs();
+
+    for (int i = 1; i < argc; ++i) {
+        auto need_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--list")) {
+            usage(argv[0]);
+            return 0;
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            opt.quick = true;
+        } else if (!std::strcmp(argv[i], "--scale")) {
+            opt.scale = parsePositiveInt(argv[0], "--scale",
+                                         need_value("--scale"));
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            jobs = parsePositiveInt(argv[0], "--jobs",
+                                    need_value("--jobs"));
+        } else if (!std::strcmp(argv[i], "--json")) {
+            json_path = need_value("--json");
+        } else if (!std::strcmp(argv[i], "--csv")) {
+            csv_path = need_value("--csv");
+        } else if (argv[i][0] != '-' && name.empty()) {
+            name = argv[i];
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (name.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    try {
+        const sim::NamedSweep &spec = sim::sweepByName(name);
+        const std::vector<sim::SweepJob> sweep_jobs = spec.build(opt);
+
+        sim::SweepRunner runner(jobs);
+        const std::vector<sim::RunResult> results =
+            runner.run(sweep_jobs);
+
+        std::printf("== sweep %s: %zu runs (%d worker%s) ==\n\n",
+                    spec.name.c_str(), sweep_jobs.size(), jobs,
+                    jobs == 1 ? "" : "s");
+        TextTable table;
+        table.setHeader({"label", "workload", "cycles", "IPC",
+                         "accuracy %"});
+        for (std::size_t i = 0; i < sweep_jobs.size(); ++i) {
+            const auto &r = results[i];
+            table.addRow(
+                {sweep_jobs[i].label, r.workload,
+                 std::to_string(r.stats.cycles),
+                 TextTable::fmt(r.ipc, 3),
+                 sweep_jobs[i].cfg.useValuePrediction
+                     ? TextTable::fmt(
+                           100.0 * r.stats.predictionAccuracy(), 1)
+                     : "-"});
+        }
+        std::printf("%s", table.render().c_str());
+
+        if (!json_path.empty()) {
+            sim::writeFile(json_path, sim::toJson(sweep_jobs, results));
+            std::printf("\nwrote %s\n", json_path.c_str());
+        }
+        if (!csv_path.empty()) {
+            sim::writeFile(csv_path, sim::toCsv(sweep_jobs, results));
+            std::printf("\nwrote %s\n", csv_path.c_str());
+        }
+        return 0;
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+}
