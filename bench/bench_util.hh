@@ -11,6 +11,11 @@
  *                  results are bit-identical for every N)
  *   --json PATH    also write all runs as a JSON array
  *   --csv PATH     also write all runs as CSV
+ *   --metrics-interval N  sample interval metrics every N cycles
+ *   --metrics PATH        write every run's interval series as CSV
+ *   --trace-json PATH     write the sweep execution timeline as
+ *                         Chrome/Perfetto trace_event JSON
+ *   --progress     one stderr line per finished run
  *
  * The usage pattern is two-phase: enqueue every cell of the
  * cross-product with Sweep::add()/addBase(), call Sweep::run() once
@@ -22,6 +27,7 @@
 #define VSPEC_BENCH_BENCH_UTIL_HH
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +53,10 @@ struct Options
     int jobs = vsim::sim::SweepRunner::defaultJobs();
     std::string jsonPath; //!< write runs as JSON when non-empty
     std::string csvPath;  //!< write runs as CSV when non-empty
+    std::uint64_t metricsInterval = 0; //!< per-run sampling period
+    std::string metricsPath;   //!< interval series CSV when non-empty
+    std::string traceJsonPath; //!< sweep timeline JSON when non-empty
+    bool progress = false;     //!< stderr line per finished run
 };
 
 [[noreturn]] inline void
@@ -54,7 +64,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--quick] [--scale N] [--jobs N] "
-                 "[--json PATH] [--csv PATH]\n",
+                 "[--json PATH] [--csv PATH]\n"
+                 "          [--metrics-interval N] [--metrics PATH] "
+                 "[--trace-json PATH] [--progress]\n",
                  argv0);
     std::exit(2);
 }
@@ -102,9 +114,23 @@ parseOptions(int argc, char **argv)
             opt.jsonPath = need_value("--json");
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             opt.csvPath = need_value("--csv");
+        } else if (std::strcmp(argv[i], "--metrics-interval") == 0) {
+            opt.metricsInterval = static_cast<std::uint64_t>(
+                parsePositiveInt(argv[0],
+                                 need_value("--metrics-interval")));
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            opt.metricsPath = need_value("--metrics");
+        } else if (std::strcmp(argv[i], "--trace-json") == 0) {
+            opt.traceJsonPath = need_value("--trace-json");
+        } else if (std::strcmp(argv[i], "--progress") == 0) {
+            opt.progress = true;
         } else {
             usage(argv[0]);
         }
+    }
+    if (!opt.metricsPath.empty() && opt.metricsInterval == 0) {
+        std::fprintf(stderr, "--metrics needs --metrics-interval N\n");
+        usage(argv[0]);
     }
     return opt;
 }
@@ -157,6 +183,7 @@ class Sweep
         job.workload = workload;
         job.scale = opt.scale;
         job.cfg = cfg;
+        job.cfg.metricsInterval = opt.metricsInterval;
         const std::string key = vsim::sim::jobKey(job);
         auto it = indexByKey.find(key);
         if (it != indexByKey.end())
@@ -175,12 +202,16 @@ class Sweep
         return add(m, workload, vsim::sim::baseConfig(m));
     }
 
-    /** Execute all enqueued jobs and emit --json/--csv if requested. */
+    /** Execute all enqueued jobs and emit the requested files. */
     void
     run()
     {
         VSIM_ASSERT(!ran, "Sweep::run called twice");
         vsim::sim::SweepRunner runner(opt.jobs);
+        runner.setProgress(opt.progress);
+        std::vector<vsim::sim::JobSpan> spans;
+        if (!opt.traceJsonPath.empty())
+            runner.setSpanSink(&spans);
         results = runner.run(jobs);
         ran = true;
         if (!opt.jsonPath.empty())
@@ -189,6 +220,14 @@ class Sweep
         if (!opt.csvPath.empty())
             vsim::sim::writeFile(opt.csvPath,
                                  vsim::sim::toCsv(jobs, results));
+        if (!opt.metricsPath.empty())
+            vsim::sim::writeFile(
+                opt.metricsPath,
+                vsim::sim::metricsToCsv(jobs, results));
+        if (!opt.traceJsonPath.empty())
+            vsim::sim::writeFile(
+                opt.traceJsonPath,
+                vsim::sim::sweepTraceJson(spans) + "\n");
     }
 
     const vsim::sim::RunResult &

@@ -18,9 +18,22 @@ cmake --build build -j
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j)
 
-echo "== tier-1: ThreadSanitizer (test_sweep) =="
+echo "== tier-1: ThreadSanitizer (test_sweep, test_obs) =="
 cmake -B build-tsan -S . -DVSIM_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target test_sweep
+cmake --build build-tsan -j --target test_sweep test_obs
 ./build-tsan/tests/test_sweep
+./build-tsan/tests/test_obs
+
+echo "== tier-1: trace JSON validity =="
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+./build/tools/vspec_run --workload queens --scale 1 --base \
+    --trace-retain 200 --trace-json "$obs_dir/pipeline.json" >/dev/null
+./build/tools/vspec_sweep base --quick --scale 1 --jobs 2 \
+    --metrics-interval 500 --metrics "$obs_dir/metrics.csv" \
+    --trace-json "$obs_dir/sweep.json" >/dev/null
+python3 -m json.tool "$obs_dir/pipeline.json" >/dev/null
+python3 -m json.tool "$obs_dir/sweep.json" >/dev/null
+echo "trace JSON OK"
 
 echo "== tier-1: OK =="

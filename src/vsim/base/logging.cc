@@ -1,16 +1,99 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace vsim
 {
+
+namespace
+{
+
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("VSIM_LOG_LEVEL");
+    if (!env)
+        return LogLevel::Info;
+    bool ok = false;
+    const LogLevel level = parseLogLevel(env, &ok);
+    if (!ok) {
+        // Not gated: a bad gate value must be visible at any level.
+        logLine(detail::concat("warn: unknown VSIM_LOG_LEVEL '", env,
+                               "', using 'info'"));
+        return LogLevel::Info;
+    }
+    return level;
+}
+
+std::atomic<int> &
+levelStore()
+{
+    static std::atomic<int> level{static_cast<int>(initialLevel())};
+    return level;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        levelStore().load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelStore().store(static_cast<int>(level),
+                       std::memory_order_relaxed);
+}
+
+LogLevel
+parseLogLevel(const std::string &text, bool *ok)
+{
+    if (ok)
+        *ok = true;
+    if (text == "quiet" || text == "0")
+        return LogLevel::Quiet;
+    if (text == "warn" || text == "warning" || text == "1")
+        return LogLevel::Warn;
+    if (text == "info" || text == "2")
+        return LogLevel::Info;
+    if (text == "debug" || text == "3")
+        return LogLevel::Debug;
+    if (ok)
+        *ok = false;
+    return LogLevel::Info;
+}
+
+void
+logLine(const std::string &line)
+{
+    // Compose first, then emit with one locked write: parallel sweep
+    // workers must never interleave stderr mid-line.
+    const std::string full = line + "\n";
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(full.data(), 1, full.size(), stderr);
+    std::fflush(stderr);
+}
+
 namespace detail
 {
 
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Never gated: panics report simulator bugs.
+    logLine(concat("panic: ", msg, " (", file, ":", line, ")"));
     std::abort();
 }
 
@@ -25,13 +108,22 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Warn)
+        logLine("warn: " + msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Info)
+        logLine("info: " + msg);
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Debug)
+        logLine("debug: " + msg);
 }
 
 } // namespace detail

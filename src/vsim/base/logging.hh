@@ -4,8 +4,14 @@
  *
  * Follows the gem5 convention: panic() flags a simulator bug and
  * aborts; fatal() flags a user error (bad configuration, malformed
- * assembly input) and exits cleanly; warn()/inform() print status
- * without stopping the simulation.
+ * assembly input) and exits cleanly; warn()/inform()/debug() print
+ * status without stopping the simulation.
+ *
+ * Status messages are gated by a log level (quiet < warn < info <
+ * debug), initialised from the VSIM_LOG_LEVEL environment variable
+ * (default: info, which preserves the historical behaviour), and
+ * every message is written as one atomic line so multi-threaded sweep
+ * workers never interleave stderr output mid-line.
  */
 
 #ifndef VSIM_BASE_LOGGING_HH
@@ -19,6 +25,34 @@
 
 namespace vsim
 {
+
+/** Severity gate for warn()/inform()/debug() messages. */
+enum class LogLevel : int
+{
+    Quiet = 0, //!< suppress everything below panic/fatal
+    Warn = 1,
+    Info = 2, //!< default
+    Debug = 3,
+};
+
+/** Current gate (env VSIM_LOG_LEVEL at startup, or setLogLevel). */
+LogLevel logLevel();
+
+/** Override the gate at runtime (tests, CLI flags). */
+void setLogLevel(LogLevel level);
+
+/**
+ * Parse "quiet" / "warn" / "info" / "debug" (or "0".."3"). Returns
+ * LogLevel::Info and sets *ok=false on anything else.
+ */
+LogLevel parseLogLevel(const std::string &text, bool *ok = nullptr);
+
+/**
+ * Write @p line (a full message, no trailing newline needed) to
+ * stderr as one atomic line, regardless of the log level. Used for
+ * explicitly requested output such as sweep --progress.
+ */
+void logLine(const std::string &line);
 
 namespace detail
 {
@@ -39,6 +73,7 @@ concat(Args &&...args)
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
 
 } // namespace detail
 
@@ -69,13 +104,17 @@ class FatalError : public std::exception
     ::vsim::detail::fatalImpl(__FILE__, __LINE__, \
                               ::vsim::detail::concat(__VA_ARGS__))
 
-/** Non-fatal warning to stderr. */
+/** Non-fatal warning to stderr (suppressed below LogLevel::Warn). */
 #define VSIM_WARN(...) \
     ::vsim::detail::warnImpl(::vsim::detail::concat(__VA_ARGS__))
 
-/** Informational message to stderr. */
+/** Informational message to stderr (needs LogLevel::Info). */
 #define VSIM_INFORM(...) \
     ::vsim::detail::informImpl(::vsim::detail::concat(__VA_ARGS__))
+
+/** Debug chatter to stderr (needs LogLevel::Debug). */
+#define VSIM_DEBUG(...) \
+    ::vsim::detail::debugImpl(::vsim::detail::concat(__VA_ARGS__))
 
 /** Invariant check that survives NDEBUG builds; panics on violation. */
 #define VSIM_ASSERT(cond, ...) \

@@ -5,12 +5,19 @@
 namespace vsim
 {
 
+namespace
+{
+
+thread_local int tlsWorkerIndex = -1;
+
+} // namespace
+
 ThreadPool::ThreadPool(int threads)
 {
     const int n = threads < 1 ? 1 : threads;
     workers.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -50,9 +57,16 @@ ThreadPool::defaultThreadCount()
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void
-ThreadPool::workerLoop()
+int
+ThreadPool::currentWorkerIndex()
 {
+    return tlsWorkerIndex;
+}
+
+void
+ThreadPool::workerLoop(int index)
+{
+    tlsWorkerIndex = index;
     for (;;) {
         std::function<void()> task;
         {

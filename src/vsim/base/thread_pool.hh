@@ -47,8 +47,15 @@ class ThreadPool
     /** Hardware concurrency, with a floor of 1 when unknown. */
     static int defaultThreadCount();
 
+    /**
+     * 0-based index of the pool worker executing the caller, or -1
+     * when called from a thread that is not a pool worker. Used by
+     * the sweep engine to attribute trace spans to worker tracks.
+     */
+    static int currentWorkerIndex();
+
   private:
-    void workerLoop();
+    void workerLoop(int index);
 
     std::vector<std::thread> workers;
     std::deque<std::function<void()>> queue;

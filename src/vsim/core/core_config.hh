@@ -71,6 +71,21 @@ struct CoreConfig
     std::uint64_t maxCycles = 2'000'000'000;
     bool tracePipeline = false;
 
+    // ---- observability ---------------------------------------------------
+    /**
+     * Record one interval metrics sample every N cycles (IPC, issue
+     * and window occupancy, misprediction/invalidation rates); 0
+     * disables the sampler. Part of the run's identity (jobKey): a
+     * run's RunResult carries its interval series.
+     */
+    std::uint64_t metricsInterval = 0;
+    /**
+     * Retained-window cap on the pipeline tracer: keep only the
+     * youngest N traced instructions (0 = unbounded). Bounds --trace
+     * memory on long runs; no effect on stats or timing.
+     */
+    std::size_t traceRetain = 0;
+
     int effFetchWidth() const { return fetchWidth < 0 ? issueWidth : fetchWidth; }
     int effRetireWidth() const { return retireWidth < 0 ? issueWidth : retireWidth; }
     int

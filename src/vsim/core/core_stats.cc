@@ -1,0 +1,69 @@
+#include "core_stats.hh"
+
+namespace vsim::core
+{
+
+void
+registerStats(obs::Registry &reg, const CoreStats &s)
+{
+    auto set = [&reg](const char *name, const char *desc,
+                      const char *unit, std::uint64_t value) {
+        reg.counter(name, desc, unit).set(value);
+    };
+
+    set("cycles", "simulated machine cycles", "cycles", s.cycles);
+    set("retired", "committed instructions", "insts", s.retired);
+    set("fetched", "instructions fetched (any path)", "insts",
+        s.fetched);
+    set("dispatched", "instructions dispatched into the window",
+        "insts", s.dispatched);
+    set("issued", "instruction issue slots used (incl. re-issues)",
+        "insts", s.issued);
+
+    set("loads", "committed loads", "insts", s.retiredLoads);
+    set("stores", "committed stores", "insts", s.retiredStores);
+    set("branches", "committed branches", "insts", s.retiredBranches);
+
+    set("cond_branches", "committed conditional branches", "insts",
+        s.condBranches);
+    set("cond_mispredicts",
+        "committed conditional branches that mispredicted", "insts",
+        s.condMispredicts);
+    set("squashes", "pipeline squashes (any cause)", "events",
+        s.squashes);
+
+    set("vp_eligible", "value predictions made on committed insts",
+        "insts", s.vpEligible);
+    set("vp_ch", "correct, high-confidence predictions", "insts",
+        s.vpCH);
+    set("vp_cl", "correct, low-confidence predictions", "insts",
+        s.vpCL);
+    set("vp_ih", "incorrect, high-confidence predictions", "insts",
+        s.vpIH);
+    set("vp_il", "incorrect, low-confidence predictions", "insts",
+        s.vpIL);
+    set("vp_speculated", "predictions visible to consumers", "insts",
+        s.vpSpeculated);
+
+    set("verify_events", "prediction verification events", "events",
+        s.verifyEvents);
+    set("invalidate_events", "prediction invalidation events",
+        "events", s.invalidateEvents);
+    set("nullifications", "issued executions thrown away", "events",
+        s.nullifications);
+    set("reissues", "re-executions after a nullification", "events",
+        s.reissues);
+
+    set("loads_forwarded", "loads satisfied by store forwarding",
+        "insts", s.loadsForwarded);
+    set("icache_misses", "instruction-cache misses", "events",
+        s.icacheMisses);
+    set("dcache_misses", "data-cache misses", "events",
+        s.dcacheMisses);
+
+    reg.histogram(s.verifyLatency);
+    reg.histogram(s.invalToReissue);
+    reg.histogram(s.specInFlight);
+}
+
+} // namespace vsim::core

@@ -4,12 +4,22 @@
  * directly onto the paper's reported quantities: IPC/speedup (Fig. 3),
  * the CH/CL/IH/IL prediction breakdown (Fig. 4), and the Table 1
  * characteristics.
+ *
+ * Besides the scalar counters, a run aggregates three distributions
+ * the paper's timing argument rests on: the latency from making a
+ * confident prediction to its verification/invalidation, the delay
+ * from a nullification to the re-issue of the same instruction, and
+ * the number of unresolved predictions in flight per cycle. They are
+ * obs::Histogram objects, so the registry bridge (registerStats) can
+ * expose every quantity in self-describing form.
  */
 
 #ifndef VSIM_CORE_CORE_STATS_HH
 #define VSIM_CORE_CORE_STATS_HH
 
 #include <cstdint>
+
+#include "vsim/obs/registry.hh"
 
 namespace vsim::core
 {
@@ -51,6 +61,26 @@ struct CoreStats
     std::uint64_t icacheMisses = 0;
     std::uint64_t dcacheMisses = 0;
 
+    // ---- distributions (observability layer) -----------------------------
+    /** Dispatch-to-resolution latency of confident predictions. */
+    obs::Histogram verifyLatency{
+        "verify_latency",
+        "cycles from dispatch of a confident prediction to its "
+        "verification or invalidation",
+        "cycles", 4, 32};
+    /** Nullification-to-reissue delay of re-executed instructions. */
+    obs::Histogram invalToReissue{
+        "invalidate_to_reissue",
+        "cycles from a wakeup nullification to the re-issue of the "
+        "same instruction",
+        "cycles", 1, 16};
+    /** Unresolved confident predictions in the window, per cycle. */
+    obs::Histogram specInFlight{
+        "spec_in_flight",
+        "unresolved confident predictions in the window, sampled "
+        "every cycle (value prediction runs only)",
+        "insts", 4, 32};
+
     double
     ipc() const
     {
@@ -68,6 +98,13 @@ struct CoreStats
                                 / static_cast<double>(total);
     }
 };
+
+/**
+ * Observability bridge: register every CoreStats counter (with name,
+ * description, and unit) and copy the three distributions into
+ * @p reg. Counter names match the JSON field names of sim/report.
+ */
+void registerStats(obs::Registry &reg, const CoreStats &s);
 
 } // namespace vsim::core
 

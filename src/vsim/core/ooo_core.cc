@@ -58,6 +58,9 @@ OooCore::OooCore(const assembler::Program &prog, const CoreConfig &config)
     regTag.fill(-1);
     vpTrained.assign(trace.entries.size(), false);
     bpTrained.assign(trace.entries.size(), false);
+
+    tracer_.setCapacity(cfg.traceRetain);
+    intervals_.period = cfg.metricsInterval;
 }
 
 OooCore::~OooCore() = default;
@@ -358,6 +361,8 @@ OooCore::dispatchStage()
         captureOperand(e, 0, e.inst.srcReg1());
         captureOperand(e, 1, e.inst.srcReg2());
         predictValueAt(e);
+        if (e.predicted)
+            ++specLive;
 
         if (int dest = e.inst.destReg(); dest >= 0)
             regTag[static_cast<std::size_t>(dest)] = slot;
@@ -556,8 +561,10 @@ OooCore::issueEntry(RsEntry &e)
     e.issued = true;
     ++e.nonce;
     ++e.execCount;
-    if (e.execCount > 1)
+    if (e.execCount > 1) {
         ++stats_.reissues;
+        stats_.invalToReissue.sample(cycle - e.nullifiedAt);
+    }
     c.nonce = e.nonce;
     completions[cycle + static_cast<std::uint64_t>(lat)].push_back(c);
     ++stats_.issued;
@@ -805,6 +812,8 @@ OooCore::doVerify(RsEntry &p, int depth)
         ++stats_.verifyEvents;
         p.predResolved = true;
         p.verifiedAt = std::max(p.verifiedAt, cycle);
+        stats_.verifyLatency.sample(cycle - p.dispatchAt);
+        --specLive;
         if (cfg.tracePipeline)
             tracer_.note(p.seq, cycle, "V");
     }
@@ -909,6 +918,7 @@ OooCore::nullify(RsEntry &e)
     }
     e.reissueAt = cycle + static_cast<std::uint64_t>(
                               model.invalidateToReissue);
+    e.nullifiedAt = cycle;
     ++stats_.nullifications;
     if (cfg.tracePipeline)
         tracer_.note(e.seq, cycle, "I");
@@ -923,6 +933,8 @@ OooCore::doInvalidate(RsEntry &p, int depth)
         ++stats_.invalidateEvents;
         p.predResolved = true;
         p.verifiedAt = std::max(p.verifiedAt, cycle);
+        stats_.verifyLatency.sample(cycle - p.dispatchAt);
+        --specLive;
         if (cfg.tracePipeline)
             tracer_.note(p.seq, cycle, "EQ!");
     }
@@ -1064,8 +1076,11 @@ OooCore::squashAfter(std::uint64_t seq, std::uint64_t new_fetch_pc,
 {
     while (!windowOrder.empty()) {
         const int slot = windowOrder.back();
-        if (entry(slot).seq <= seq)
+        RsEntry &e = entry(slot);
+        if (e.seq <= seq)
             break;
+        if (e.predicted && !e.predResolved)
+            --specLive; // squashed prediction never resolves
         freeSlot(slot);
         windowOrder.pop_back();
     }
@@ -1271,6 +1286,60 @@ OooCore::retireStage()
 }
 
 // =====================================================================
+// observability sampling
+// =====================================================================
+
+void
+OooCore::flushInterval(std::uint64_t cycles)
+{
+    obs::IntervalSample s;
+    s.cycleStart = ivCursor.cycleStart;
+    s.cycles = cycles;
+    s.occupancySum = ivCursor.occupancySum;
+    s.retired = stats_.retired - ivCursor.retired;
+    s.issued = stats_.issued - ivCursor.issued;
+    s.dispatched = stats_.dispatched - ivCursor.dispatched;
+    s.condBranches = stats_.condBranches - ivCursor.condBranches;
+    s.condMispredicts =
+        stats_.condMispredicts - ivCursor.condMispredicts;
+    s.squashes = stats_.squashes - ivCursor.squashes;
+    s.verifyEvents = stats_.verifyEvents - ivCursor.verifyEvents;
+    s.invalidateEvents =
+        stats_.invalidateEvents - ivCursor.invalidateEvents;
+    s.nullifications =
+        stats_.nullifications - ivCursor.nullifications;
+    intervals_.samples.push_back(s);
+
+    ivCursor.cycleStart += cycles;
+    ivCursor.occupancySum = 0;
+    ivCursor.retired = stats_.retired;
+    ivCursor.issued = stats_.issued;
+    ivCursor.dispatched = stats_.dispatched;
+    ivCursor.condBranches = stats_.condBranches;
+    ivCursor.condMispredicts = stats_.condMispredicts;
+    ivCursor.squashes = stats_.squashes;
+    ivCursor.verifyEvents = stats_.verifyEvents;
+    ivCursor.invalidateEvents = stats_.invalidateEvents;
+    ivCursor.nullifications = stats_.nullifications;
+}
+
+void
+OooCore::sampleObservability()
+{
+    // Always-on distributions: collected on every run so a memoized
+    // result is identical no matter which flags requested it.
+    if (cfg.useValuePrediction)
+        stats_.specInFlight.sample(static_cast<std::uint64_t>(specLive));
+
+    if (cfg.metricsInterval == 0)
+        return;
+    ivCursor.occupancySum += static_cast<std::uint64_t>(liveEntries);
+    const std::uint64_t elapsed = cycle + 1 - ivCursor.cycleStart;
+    if (elapsed >= cfg.metricsInterval)
+        flushInterval(elapsed);
+}
+
+// =====================================================================
 // top level
 // =====================================================================
 
@@ -1286,6 +1355,7 @@ OooCore::tick()
     issueStage();
     dispatchStage();
     fetchStage();
+    sampleObservability();
     ++cycle;
     return !halted;
 }
@@ -1307,11 +1377,16 @@ OooCore::run()
     stats_.icacheMisses = icacheH.l1().stats().misses();
     stats_.dcacheMisses = dcacheH.l1().stats().misses();
 
+    // Close the trailing (short) interval so its events are not lost.
+    if (cfg.metricsInterval != 0 && cycle > ivCursor.cycleStart)
+        flushInterval(cycle - ivCursor.cycleStart);
+
     SimOutcome outcome;
     outcome.stats = stats_;
     outcome.exitCode = exitCode;
     outcome.output = output;
     outcome.halted = halted;
+    outcome.intervals = intervals_;
     return outcome;
 }
 

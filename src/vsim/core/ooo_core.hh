@@ -46,6 +46,7 @@
 #include "core_stats.hh"
 #include "pipeline_trace.hh"
 #include "spec_model.hh"
+#include "vsim/obs/interval.hh"
 #include "vsim/arch/functional_core.hh"
 #include "vsim/assembler/program.hh"
 #include "vsim/bpred/bpred.hh"
@@ -79,6 +80,8 @@ struct SimOutcome
     std::uint64_t exitCode = 0;
     std::string output;
     bool halted = false; //!< false if maxCycles was hit
+    /** Per-interval time series (empty unless cfg.metricsInterval). */
+    obs::IntervalSeries intervals;
 };
 
 /**
@@ -160,6 +163,7 @@ class OooCore
         std::uint64_t dispatchAt = 0;
         std::uint64_t execDoneAt = 0;
         std::uint64_t reissueAt = 0; //!< earliest re-select after nullify
+        std::uint64_t nullifiedAt = 0; //!< cycle of the last nullification
         int execCount = 0;
 
         std::uint64_t outValue = 0;
@@ -247,6 +251,12 @@ class OooCore
     bool retireOne();
     void predictValueAt(RsEntry &e);
 
+    // ---- observability ---------------------------------------------------
+    /** End-of-cycle sampling (histograms + interval metrics). */
+    void sampleObservability();
+    /** Close the open interval covering @p cycles cycles. */
+    void flushInterval(std::uint64_t cycles);
+
     // ---- configuration / substrate --------------------------------------
     CoreConfig cfg;
     SpecModel model;
@@ -314,6 +324,27 @@ class OooCore
     CoreStats stats_;
     PipelineTracer tracer_;
     PerPcVp perPcVp;
+
+    // ---- observability state ---------------------------------------------
+    int specLive = 0; //!< unresolved confident predictions in flight
+
+    /** Absolute counter values at the start of the open interval. */
+    struct IntervalCursor
+    {
+        std::uint64_t cycleStart = 0;
+        std::uint64_t occupancySum = 0; //!< accumulates within interval
+        std::uint64_t retired = 0;
+        std::uint64_t issued = 0;
+        std::uint64_t dispatched = 0;
+        std::uint64_t condBranches = 0;
+        std::uint64_t condMispredicts = 0;
+        std::uint64_t squashes = 0;
+        std::uint64_t verifyEvents = 0;
+        std::uint64_t invalidateEvents = 0;
+        std::uint64_t nullifications = 0;
+    };
+    IntervalCursor ivCursor;
+    obs::IntervalSeries intervals_;
 };
 
 } // namespace vsim::core

@@ -6,11 +6,30 @@
 namespace vsim::core
 {
 
+PipelineTracer::Row &
+PipelineTracer::row(std::uint64_t seq)
+{
+    auto [it, inserted] = events.try_emplace(seq);
+    if (inserted && cap != 0 && events.size() > cap) {
+        // Retained window: drop the oldest instruction, never the row
+        // just inserted (seqs arrive in program order, so the new row
+        // is the youngest in practice).
+        auto victim = events.begin();
+        if (victim == it)
+            ++victim;
+        events.erase(victim);
+        ++droppedRows;
+    }
+    return it->second;
+}
+
 void
 PipelineTracer::note(std::uint64_t seq, std::uint64_t cycle,
                      const std::string &tag)
 {
-    std::string &cell = events[seq].byCycle[cycle];
+    // All producers note monotonically non-decreasing seqs, so the
+    // newly inserted row is never the one evicted.
+    std::string &cell = row(seq).byCycle[cycle];
     if (!cell.empty())
         cell += "/";
     cell += tag;
@@ -19,13 +38,14 @@ PipelineTracer::note(std::uint64_t seq, std::uint64_t cycle,
 void
 PipelineTracer::label(std::uint64_t seq, const std::string &text)
 {
-    events[seq].text = text;
+    row(seq).text = text;
 }
 
 void
 PipelineTracer::clear()
 {
     events.clear();
+    droppedRows = 0;
 }
 
 std::string
@@ -47,6 +67,13 @@ PipelineTracer::render(std::uint64_t first_cycle,
     if (lo > hi)
         return "(no pipeline events in range)\n";
 
+    // Only instructions with at least one event inside the window get
+    // a row; everything else would render as dots.
+    const auto in_window = [&](const Row &row) {
+        auto it = row.byCycle.lower_bound(lo);
+        return it != row.byCycle.end() && it->first <= hi;
+    };
+
     // Column width: widest cell or cycle header.
     std::size_t cell_w = 2;
     for (const auto &[seq, row] : events)
@@ -58,6 +85,8 @@ PipelineTracer::render(std::uint64_t first_cycle,
 
     std::size_t label_w = 4;
     for (const auto &[seq, row] : events) {
+        if (!in_window(row))
+            continue;
         std::ostringstream os;
         os << "#" << seq << " " << row.text;
         label_w = std::max(label_w, os.str().size());
@@ -68,6 +97,11 @@ PipelineTracer::render(std::uint64_t first_cycle,
     };
 
     std::ostringstream os;
+    if (droppedRows > 0) {
+        os << "(" << droppedRows
+           << " oldest instructions dropped by the trace retained-"
+              "window cap)\n";
+    }
     os << pad("", label_w) << " |";
     for (std::uint64_t c = lo; c <= hi; ++c)
         os << " " << pad(std::to_string(c), cell_w);
@@ -76,6 +110,8 @@ PipelineTracer::render(std::uint64_t first_cycle,
        << std::string((hi - lo + 1) * (cell_w + 1), '-') << "\n";
 
     for (const auto &[seq, row] : events) {
+        if (!in_window(row))
+            continue;
         std::ostringstream lbl;
         lbl << "#" << seq << " " << row.text;
         os << pad(lbl.str(), label_w) << " |";
@@ -87,6 +123,35 @@ PipelineTracer::render(std::uint64_t first_cycle,
         os << "\n";
     }
     return os.str();
+}
+
+void
+PipelineTracer::exportTo(obs::TraceWriter &writer, int pid) const
+{
+    writer.processName(pid, "pipeline");
+    for (const auto &[seq, row] : events) {
+        std::ostringstream name;
+        name << "#" << seq << " " << row.text;
+        writer.threadName(pid, seq, name.str());
+
+        // Coalesce runs of consecutive cycles carrying the same tag
+        // (EX EX EX ...) into a single span.
+        auto it = row.byCycle.begin();
+        while (it != row.byCycle.end()) {
+            const std::uint64_t start = it->first;
+            const std::string &tag = it->second;
+            std::uint64_t end = start + 1;
+            auto next = std::next(it);
+            while (next != row.byCycle.end() && next->first == end
+                   && next->second == tag) {
+                ++end;
+                ++next;
+            }
+            writer.complete(tag, "pipeline", start, end - start, pid,
+                            seq);
+            it = next;
+        }
+    }
 }
 
 } // namespace vsim::core

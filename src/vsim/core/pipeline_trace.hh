@@ -5,6 +5,13 @@
  * in which cycle, and renders the same style of diagram the paper
  * uses (EX = execute, W = write/verify, I = invalidated, V = verified,
  * RT = retire, ...).
+ *
+ * Memory is bounded by an optional retained-window cap: when set,
+ * only the youngest N instructions are kept (a ring over program
+ * order), so tracing large-scale runs cannot exhaust memory. The
+ * recorded events can also be exported as Chrome/Perfetto
+ * trace_event JSON (one track per instruction, timestamps in
+ * cycles) through the observability layer's TraceWriter.
  */
 
 #ifndef VSIM_CORE_PIPELINE_TRACE_HH
@@ -14,6 +21,8 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include "vsim/obs/trace_export.hh"
 
 namespace vsim::core
 {
@@ -29,11 +38,29 @@ class PipelineTracer
     void label(std::uint64_t seq, const std::string &text);
 
     /**
+     * Keep at most @p max_rows instructions (0 = unbounded); when the
+     * cap is exceeded the oldest row is dropped. Applies from the
+     * next note()/label() on.
+     */
+    void setCapacity(std::size_t max_rows) { cap = max_rows; }
+    std::size_t capacity() const { return cap; }
+
+    /** Instructions dropped so far by the retained-window cap. */
+    std::uint64_t dropped() const { return droppedRows; }
+
+    /**
      * Render a diagram with one row per instruction and one column per
      * cycle, restricted to [first_cycle, last_cycle] when given.
      */
     std::string render(std::uint64_t first_cycle = 0,
                        std::uint64_t last_cycle = ~0ull) const;
+
+    /**
+     * Export every event as Chrome trace_event spans: one track (tid)
+     * per instruction named with its label, one complete event per
+     * run of identical tags, 1 cycle = 1 us.
+     */
+    void exportTo(obs::TraceWriter &writer, int pid = 1) const;
 
     bool empty() const { return events.empty(); }
     void clear();
@@ -45,7 +72,11 @@ class PipelineTracer
         std::map<std::uint64_t, std::string> byCycle;
     };
 
+    Row &row(std::uint64_t seq);
+
     std::map<std::uint64_t, Row> events; //!< keyed by seq
+    std::size_t cap = 0;                 //!< 0 = unbounded
+    std::uint64_t droppedRows = 0;
 };
 
 } // namespace vsim::core

@@ -1,0 +1,61 @@
+#include "interval.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace vsim::obs
+{
+
+std::string
+IntervalSeries::csvHeader(const std::string &prefix)
+{
+    return prefix
+           + "cycle_start,cycles,retired,ipc,issued,dispatched,"
+             "occupancy_avg,cond_branches,cond_mispredicts,"
+             "mispredict_rate,squashes,verify_events,"
+             "invalidate_events,nullifications\n";
+}
+
+void
+IntervalSeries::appendCsv(std::ostream &os,
+                          const std::string &prefix) const
+{
+    for (const IntervalSample &s : samples) {
+        os << prefix << s.cycleStart << ',' << s.cycles << ','
+           << s.retired << ',' << s.ipc() << ',' << s.issued << ','
+           << s.dispatched << ',' << s.occupancyAvg() << ','
+           << s.condBranches << ',' << s.condMispredicts << ','
+           << s.mispredictRate() << ',' << s.squashes << ','
+           << s.verifyEvents << ',' << s.invalidateEvents << ','
+           << s.nullifications << '\n';
+    }
+}
+
+std::string
+IntervalSeries::toJson() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const IntervalSample &s = samples[i];
+        if (i)
+            os << ",\n ";
+        os << "{\"cycle_start\": " << s.cycleStart
+           << ", \"cycles\": " << s.cycles
+           << ", \"retired\": " << s.retired
+           << ", \"ipc\": " << s.ipc()
+           << ", \"issued\": " << s.issued
+           << ", \"dispatched\": " << s.dispatched
+           << ", \"occupancy_avg\": " << s.occupancyAvg()
+           << ", \"cond_branches\": " << s.condBranches
+           << ", \"cond_mispredicts\": " << s.condMispredicts
+           << ", \"squashes\": " << s.squashes
+           << ", \"verify_events\": " << s.verifyEvents
+           << ", \"invalidate_events\": " << s.invalidateEvents
+           << ", \"nullifications\": " << s.nullifications << "}";
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace vsim::obs

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Interval metrics — the second pillar of the observability layer.
+ * The core's cycle loop records one IntervalSample every N cycles
+ * (configured by CoreConfig::metricsInterval), turning end-of-run
+ * aggregates into a time series: where inside the run did the IPC
+ * drop, when did invalidations cluster, how full was the window.
+ *
+ * Samples hold raw integer deltas (plus an integer occupancy sum),
+ * never derived floats, so a series is bit-identical regardless of
+ * worker count or host — the derived rates are computed on demand
+ * from the same integers everywhere.
+ */
+
+#ifndef VSIM_OBS_INTERVAL_HH
+#define VSIM_OBS_INTERVAL_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vsim::obs
+{
+
+/** Deltas of one sampling interval of a simulation run. */
+struct IntervalSample
+{
+    std::uint64_t cycleStart = 0; //!< first cycle of the interval
+    std::uint64_t cycles = 0;     //!< interval length (last may be short)
+
+    std::uint64_t retired = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t occupancySum = 0; //!< sum of window occupancy per cycle
+
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t squashes = 0;
+
+    std::uint64_t verifyEvents = 0;
+    std::uint64_t invalidateEvents = 0;
+    std::uint64_t nullifications = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(retired)
+                                 / static_cast<double>(cycles);
+    }
+
+    /** Average window (ROB) occupancy over the interval. */
+    double
+    occupancyAvg() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(occupancySum)
+                                 / static_cast<double>(cycles);
+    }
+
+    /** Conditional-branch misprediction fraction in [0,1]. */
+    double
+    mispredictRate() const
+    {
+        return condBranches == 0
+                   ? 0.0
+                   : static_cast<double>(condMispredicts)
+                         / static_cast<double>(condBranches);
+    }
+
+    /** Invalidation events per cycle. */
+    double
+    invalidationRate() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(invalidateEvents)
+                                 / static_cast<double>(cycles);
+    }
+
+    bool operator==(const IntervalSample &) const = default;
+};
+
+/** The per-N-cycle time series of one run. */
+struct IntervalSeries
+{
+    std::uint64_t period = 0; //!< configured interval; 0 = disabled
+    std::vector<IntervalSample> samples;
+
+    bool empty() const { return samples.empty(); }
+    bool operator==(const IntervalSeries &) const = default;
+
+    /**
+     * CSV header line (with trailing newline). @p prefix names extra
+     * leading columns, e.g. "label,workload," for sweep-wide files.
+     */
+    static std::string csvHeader(const std::string &prefix);
+
+    /**
+     * Append one CSV row per sample; @p prefix supplies the values of
+     * the extra leading columns (must match csvHeader's prefix).
+     */
+    void appendCsv(std::ostream &os, const std::string &prefix) const;
+
+    /** JSON array of flat per-interval objects. */
+    std::string toJson() const;
+};
+
+} // namespace vsim::obs
+
+#endif // VSIM_OBS_INTERVAL_HH

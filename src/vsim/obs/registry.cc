@@ -1,0 +1,172 @@
+#include "registry.hh"
+
+#include <sstream>
+
+#include "vsim/base/logging.hh"
+
+namespace vsim::obs
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+Counter::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"name\": \"" << jsonEscape(name_) << "\", "
+       << "\"desc\": \"" << jsonEscape(desc_) << "\", "
+       << "\"unit\": \"" << jsonEscape(unit_) << "\", "
+       << "\"value\": " << value_ << "}";
+    return os.str();
+}
+
+Histogram::Histogram(std::string name, std::string description,
+                     std::string unit, std::uint64_t bucket_width,
+                     std::size_t bucket_count)
+    : name_(std::move(name)), desc_(std::move(description)),
+      unit_(std::move(unit)), width_(bucket_width),
+      buckets_(bucket_count, 0)
+{
+    VSIM_ASSERT(bucket_width > 0, "histogram bucket width must be > 0");
+    VSIM_ASSERT(bucket_count > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    if (count_ == 0 || v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+    ++count_;
+    sum_ += v;
+    const std::uint64_t idx = v / width_;
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[static_cast<std::size_t>(idx)];
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_)
+                             / static_cast<double>(count_);
+}
+
+std::string
+Histogram::toJson() const
+{
+    // Trim trailing all-zero buckets; the reader reconstructs them
+    // from "bucket_count".
+    std::size_t last = buckets_.size();
+    while (last > 0 && buckets_[last - 1] == 0)
+        --last;
+
+    std::ostringstream os;
+    os << "{\"name\": \"" << jsonEscape(name_) << "\", "
+       << "\"desc\": \"" << jsonEscape(desc_) << "\", "
+       << "\"unit\": \"" << jsonEscape(unit_) << "\", "
+       << "\"count\": " << count_ << ", "
+       << "\"sum\": " << sum_ << ", "
+       << "\"min\": " << min() << ", "
+       << "\"max\": " << max_ << ", "
+       << "\"mean\": " << mean() << ", "
+       << "\"bucket_width\": " << width_ << ", "
+       << "\"bucket_count\": " << buckets_.size() << ", "
+       << "\"buckets\": [";
+    for (std::size_t i = 0; i < last; ++i) {
+        if (i)
+            os << ", ";
+        os << buckets_[i];
+    }
+    os << "], \"overflow\": " << overflow_ << "}";
+    return os.str();
+}
+
+Counter &
+Registry::counter(const std::string &name,
+                  const std::string &description,
+                  const std::string &unit)
+{
+    auto it = counterIndex_.find(name);
+    if (it != counterIndex_.end())
+        return counters_[it->second];
+    counterIndex_.emplace(name, counters_.size());
+    counters_.emplace_back(name, description, unit);
+    return counters_.back();
+}
+
+Histogram &
+Registry::histogram(Histogram h)
+{
+    auto it = histogramIndex_.find(h.name());
+    if (it != histogramIndex_.end()) {
+        histograms_[it->second] = std::move(h);
+        return histograms_[it->second];
+    }
+    histogramIndex_.emplace(h.name(), histograms_.size());
+    histograms_.push_back(std::move(h));
+    return histograms_.back();
+}
+
+const Counter *
+Registry::findCounter(const std::string &name) const
+{
+    auto it = counterIndex_.find(name);
+    return it == counterIndex_.end() ? nullptr : &counters_[it->second];
+}
+
+const Histogram *
+Registry::findHistogram(const std::string &name) const
+{
+    auto it = histogramIndex_.find(name);
+    return it == histogramIndex_.end() ? nullptr
+                                       : &histograms_[it->second];
+}
+
+std::string
+Registry::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"counters\": [";
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+        if (i)
+            os << ",\n ";
+        os << counters_[i].toJson();
+    }
+    os << "],\n \"histograms\": [";
+    for (std::size_t i = 0; i < histograms_.size(); ++i) {
+        if (i)
+            os << ",\n ";
+        os << histograms_[i].toJson();
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace vsim::obs

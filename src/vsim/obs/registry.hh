@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Named counter/histogram registry — the first pillar of the
+ * observability layer. Counters and histograms are self-describing
+ * (name, description, unit), so any consumer (a CLI flag, a test, a
+ * future metrics endpoint) can enumerate and serialize everything a
+ * simulation produced without knowing the fields in advance.
+ *
+ * The registry is a passive container: the simulator keeps writing
+ * its plain CoreStats fields on the hot path, and a bridge
+ * (core::registerStats) snapshots them into a Registry after the run.
+ * Histograms, in contrast, are aggregated live inside the core —
+ * sampling is a single bucket increment, cheap enough for
+ * event-driven and per-cycle use.
+ */
+
+#ifndef VSIM_OBS_REGISTRY_HH
+#define VSIM_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vsim::obs
+{
+
+/** A named, self-describing monotonic counter. */
+class Counter
+{
+  public:
+    Counter(std::string name, std::string description, std::string unit,
+            std::uint64_t value = 0)
+        : name_(std::move(name)), desc_(std::move(description)),
+          unit_(std::move(unit)), value_(value)
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return desc_; }
+    const std::string &unit() const { return unit_; }
+    std::uint64_t value() const { return value_; }
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t v) { value_ = v; }
+
+    /** One flat JSON object: {"name": ..., "unit": ..., "value": N}. */
+    std::string toJson() const;
+
+  private:
+    std::string name_, desc_, unit_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Linear-bucket histogram with an explicit overflow bucket. Bucket i
+ * counts samples in [i*width, (i+1)*width); samples at or above
+ * width*buckets land in the overflow bucket. Also tracks count, sum,
+ * min and max so means and ranges survive serialization.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::string name, std::string description,
+              std::string unit, std::uint64_t bucket_width,
+              std::size_t bucket_count);
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return desc_; }
+    const std::string &unit() const { return unit_; }
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t bucketWidth() const { return width_; }
+    std::size_t bucketCount() const { return buckets_.size(); }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    /** Inclusive lower bound of bucket @p i. */
+    std::uint64_t bucketLo(std::size_t i) const { return i * width_; }
+
+    /** Arithmetic mean of the samples; 0 when empty. */
+    double mean() const;
+
+    bool operator==(const Histogram &) const = default;
+
+    /**
+     * One flat JSON object. Trailing all-zero buckets are trimmed so
+     * sparse histograms stay compact; "overflow" is always emitted.
+     */
+    std::string toJson() const;
+
+  private:
+    std::string name_, desc_, unit_;
+    std::uint64_t width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Enumerable collection of counters and histograms, keyed by name.
+ * References returned by counter()/histogram() stay valid for the
+ * registry's lifetime (deque storage, no reallocation moves).
+ */
+class Registry
+{
+  public:
+    /**
+     * Find-or-create: returns the existing counter of that name, or
+     * registers a new one with the given description and unit.
+     */
+    Counter &counter(const std::string &name,
+                     const std::string &description,
+                     const std::string &unit);
+
+    /** Copy @p h into the registry (replacing any same-named one). */
+    Histogram &histogram(Histogram h);
+
+    const Counter *findCounter(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+
+    std::size_t counterCount() const { return counters_.size(); }
+    std::size_t histogramCount() const { return histograms_.size(); }
+
+    /** Counters, in registration order. */
+    const std::deque<Counter> &counters() const { return counters_; }
+    const std::deque<Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    /** {"counters": [...], "histograms": [...]} */
+    std::string toJson() const;
+
+  private:
+    std::deque<Counter> counters_;
+    std::deque<Histogram> histograms_;
+    std::map<std::string, std::size_t> counterIndex_;
+    std::map<std::string, std::size_t> histogramIndex_;
+};
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace vsim::obs
+
+#endif // VSIM_OBS_REGISTRY_HH

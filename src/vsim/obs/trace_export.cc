@@ -1,0 +1,111 @@
+#include "trace_export.hh"
+
+#include <sstream>
+
+#include "registry.hh"
+
+namespace vsim::obs
+{
+
+std::string
+TraceWriter::str(const std::string &v)
+{
+    return "\"" + jsonEscape(v) + "\"";
+}
+
+std::string
+TraceWriter::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TraceWriter::num(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+std::string
+TraceWriter::boolean(bool v)
+{
+    return v ? "true" : "false";
+}
+
+void
+TraceWriter::complete(const std::string &name, const std::string &cat,
+                      std::uint64_t ts_us, std::uint64_t dur_us,
+                      int pid, std::uint64_t tid, Args args)
+{
+    events.push_back(
+        {name, cat, 'X', ts_us, dur_us, pid, tid, std::move(args)});
+}
+
+void
+TraceWriter::instant(const std::string &name, const std::string &cat,
+                     std::uint64_t ts_us, int pid, std::uint64_t tid,
+                     Args args)
+{
+    events.push_back(
+        {name, cat, 'i', ts_us, 0, pid, tid, std::move(args)});
+}
+
+void
+TraceWriter::counter(const std::string &name, std::uint64_t ts_us,
+                     int pid, Args values)
+{
+    events.push_back(
+        {name, "metrics", 'C', ts_us, 0, pid, 0, std::move(values)});
+}
+
+void
+TraceWriter::threadName(int pid, std::uint64_t tid,
+                        const std::string &name)
+{
+    events.push_back({"thread_name", "__metadata", 'M', 0, 0, pid, tid,
+                      {{"name", str(name)}}});
+}
+
+void
+TraceWriter::processName(int pid, const std::string &name)
+{
+    events.push_back({"process_name", "__metadata", 'M', 0, 0, pid, 0,
+                      {{"name", str(name)}}});
+}
+
+std::string
+TraceWriter::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\": [";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        if (i)
+            os << ",\n ";
+        os << "{\"name\": \"" << jsonEscape(e.name) << "\", "
+           << "\"cat\": \"" << jsonEscape(e.cat) << "\", "
+           << "\"ph\": \"" << e.ph << "\", "
+           << "\"ts\": " << e.ts << ", ";
+        if (e.ph == 'X')
+            os << "\"dur\": " << e.dur << ", ";
+        if (e.ph == 'i')
+            os << "\"s\": \"t\", ";
+        os << "\"pid\": " << e.pid << ", \"tid\": " << e.tid;
+        if (!e.args.empty()) {
+            os << ", \"args\": {";
+            for (std::size_t a = 0; a < e.args.size(); ++a) {
+                if (a)
+                    os << ", ";
+                os << "\"" << jsonEscape(e.args[a].first)
+                   << "\": " << e.args[a].second;
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "],\n \"displayTimeUnit\": \"ms\"}";
+    return os.str();
+}
+
+} // namespace vsim::obs

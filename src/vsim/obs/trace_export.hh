@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Chrome/Perfetto trace_event exporter — the third pillar of the
+ * observability layer. A TraceWriter accumulates events and renders
+ * the standard JSON object format understood by chrome://tracing and
+ * https://ui.perfetto.dev: {"traceEvents": [...]}.
+ *
+ * Two producers feed it: the pipeline tracer (one track per dynamic
+ * instruction, one span per pipeline activity, timestamps in cycles)
+ * and the sweep engine (one track per worker thread, one span per
+ * SweepJob with queue-wait and cache-hit annotations, timestamps in
+ * wall-clock time). Both map onto the same four phases used here:
+ * complete ("X"), instant ("i"), counter ("C") and metadata ("M").
+ */
+
+#ifndef VSIM_OBS_TRACE_EXPORT_HH
+#define VSIM_OBS_TRACE_EXPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vsim::obs
+{
+
+class TraceWriter
+{
+  public:
+    /**
+     * Event arguments: (key, value) pairs where the value is a raw
+     * JSON fragment — use the str()/num()/boolean() helpers.
+     */
+    using Args = std::vector<std::pair<std::string, std::string>>;
+
+    /** Quote and escape @p v as a JSON string value. */
+    static std::string str(const std::string &v);
+    static std::string num(std::uint64_t v);
+    static std::string num(double v);
+    static std::string boolean(bool v);
+
+    /** Complete event ("X"): a span [ts, ts+dur] on track (pid,tid). */
+    void complete(const std::string &name, const std::string &cat,
+                  std::uint64_t ts_us, std::uint64_t dur_us, int pid,
+                  std::uint64_t tid, Args args = {});
+
+    /** Instant event ("i"), thread-scoped. */
+    void instant(const std::string &name, const std::string &cat,
+                 std::uint64_t ts_us, int pid, std::uint64_t tid,
+                 Args args = {});
+
+    /** Counter event ("C"): one numeric series point per arg. */
+    void counter(const std::string &name, std::uint64_t ts_us, int pid,
+                 Args values);
+
+    /** Metadata: name the thread (track) @p tid of process @p pid. */
+    void threadName(int pid, std::uint64_t tid,
+                    const std::string &name);
+
+    /** Metadata: name the process @p pid. */
+    void processName(int pid, const std::string &name);
+
+    std::size_t size() const { return events.size(); }
+    bool empty() const { return events.empty(); }
+
+    /** The full trace as one JSON object. */
+    std::string toJson() const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        std::string cat;
+        char ph;
+        std::uint64_t ts = 0;
+        std::uint64_t dur = 0; //!< "X" only
+        int pid = 0;
+        std::uint64_t tid = 0;
+        Args args;
+    };
+
+    std::vector<Event> events;
+};
+
+} // namespace vsim::obs
+
+#endif // VSIM_OBS_TRACE_EXPORT_HH

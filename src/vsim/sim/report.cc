@@ -1,9 +1,11 @@
 #include "report.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
 #include "vsim/base/logging.hh"
+#include "vsim/obs/trace_export.hh"
 
 namespace vsim::sim
 {
@@ -133,6 +135,72 @@ toCsv(const std::vector<SweepJob> &jobs,
            << ',' << s.reissues << '\n';
     }
     return os.str();
+}
+
+std::string
+countersJson(const RunResult &r)
+{
+    obs::Registry reg;
+    core::registerStats(reg, r.stats);
+    return reg.toJson();
+}
+
+std::string
+metricsToCsv(const std::vector<SweepJob> &jobs,
+             const std::vector<RunResult> &results)
+{
+    VSIM_ASSERT(jobs.size() == results.size(),
+                "jobs/results size mismatch");
+    std::ostringstream os;
+    os << obs::IntervalSeries::csvHeader("label,workload,");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const obs::IntervalSeries &series = results[i].intervals;
+        if (series.empty())
+            continue;
+        series.appendCsv(os, jobs[i].label + ","
+                                 + results[i].workload + ",");
+    }
+    return os.str();
+}
+
+std::string
+sweepTraceJson(const std::vector<JobSpan> &spans)
+{
+    using obs::TraceWriter;
+    TraceWriter writer;
+    const int pid = 1;
+    writer.processName(pid, "sweep");
+
+    // Track ids: pool workers get 1..N in index order, the caller
+    // thread (serial runs) track 0.
+    int max_worker = -1;
+    for (const JobSpan &sp : spans)
+        max_worker = std::max(max_worker, sp.worker);
+    writer.threadName(pid, 0, "caller");
+    for (int w = 0; w <= max_worker; ++w) {
+        writer.threadName(pid, static_cast<std::uint64_t>(w) + 1,
+                          "worker " + std::to_string(w));
+    }
+
+    for (const JobSpan &sp : spans) {
+        const std::uint64_t tid =
+            sp.worker < 0 ? 0
+                          : static_cast<std::uint64_t>(sp.worker) + 1;
+        TraceWriter::Args args;
+        args.emplace_back("workload", TraceWriter::str(sp.workload));
+        args.emplace_back("index", TraceWriter::num(
+                                       static_cast<std::uint64_t>(
+                                           sp.index)));
+        args.emplace_back("queue_wait_us",
+                          TraceWriter::num((sp.startNs - sp.submitNs)
+                                           / 1000));
+        args.emplace_back("cache_hit",
+                          TraceWriter::boolean(sp.cacheHit));
+        writer.complete(sp.label, "sweep-job", sp.startNs / 1000,
+                        (sp.endNs - sp.startNs) / 1000, pid, tid,
+                        std::move(args));
+    }
+    return writer.toJson();
 }
 
 void

@@ -37,6 +37,31 @@ std::string toJson(const std::vector<SweepJob> &jobs,
 std::string toCsv(const std::vector<SweepJob> &jobs,
                   const std::vector<RunResult> &results);
 
+// ---- observability exports --------------------------------------------
+
+/**
+ * The full counter/histogram registry of one run as JSON: every
+ * CoreStats field in self-describing form (name, description, unit,
+ * value) plus the run's three latency/occupancy distributions.
+ */
+std::string countersJson(const RunResult &r);
+
+/**
+ * Interval time series of a whole sweep as CSV (one row per interval
+ * per run, leading label/workload columns). Jobs whose config had
+ * metricsInterval = 0 contribute no rows.
+ */
+std::string metricsToCsv(const std::vector<SweepJob> &jobs,
+                         const std::vector<RunResult> &results);
+
+/**
+ * Sweep execution timeline as Chrome/Perfetto trace_event JSON: one
+ * track per worker, one span per job, annotated with queue wait and
+ * cache-hit status. Load the file in ui.perfetto.dev or
+ * chrome://tracing.
+ */
+std::string sweepTraceJson(const std::vector<JobSpan> &spans);
+
 /**
  * Write @p content to @p path; VSIM_FATAL if the file cannot be
  * opened or written.

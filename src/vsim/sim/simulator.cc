@@ -66,6 +66,7 @@ runWorkload(const std::string &name, int scale,
     r.ipc = out.stats.ipc();
     r.exitCode = out.exitCode;
     r.output = out.output;
+    r.intervals = out.intervals;
     return r;
 }
 

@@ -16,6 +16,7 @@
 #include "vsim/core/core_config.hh"
 #include "vsim/core/core_stats.hh"
 #include "vsim/core/spec_model.hh"
+#include "vsim/obs/interval.hh"
 
 namespace vsim::sim
 {
@@ -63,6 +64,8 @@ struct RunResult
     double ipc = 0.0;
     std::uint64_t exitCode = 0;
     std::string output; //!< anything the program printed
+    /** Interval time series (empty unless cfg.metricsInterval). */
+    obs::IntervalSeries intervals;
 };
 
 /**

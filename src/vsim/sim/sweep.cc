@@ -1,6 +1,8 @@
 #include "sweep.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <sstream>
 
 #include "vsim/base/logging.hh"
@@ -54,7 +56,11 @@ jobKey(const SweepJob &job)
        << ',' << c.l2MissLat << ',' << c.storeForwardLat << ';';
     // Functional units and run control.
     os << c.aluLat << ',' << c.mulLat << ',' << c.divLat << ';'
-       << c.maxCycles;
+       << c.maxCycles << ';';
+    // Observability settings that shape the RunResult (the interval
+    // series is part of the memoized value). traceRetain and
+    // tracePipeline stay out: they never reach a cached result.
+    os << c.metricsInterval;
     return os.str();
 }
 
@@ -66,7 +72,7 @@ RunCache::process()
 }
 
 RunResult
-RunCache::getOrRun(const SweepJob &job)
+RunCache::getOrRun(const SweepJob &job, bool *cache_hit)
 {
     const std::string key = jobKey(job);
     std::promise<RunResult> promise;
@@ -85,6 +91,8 @@ RunCache::getOrRun(const SweepJob &job)
             owner = true;
         }
     }
+    if (cache_hit)
+        *cache_hit = !owner;
     if (owner) {
         try {
             promise.set_value(
@@ -138,20 +146,75 @@ SweepRunner::defaultJobs()
 }
 
 RunResult
-SweepRunner::runOne(const SweepJob &job)
+SweepRunner::runOne(const SweepJob &job, bool *cache_hit)
 {
     if (cache)
-        return cache->getOrRun(job);
+        return cache->getOrRun(job, cache_hit);
+    if (cache_hit)
+        *cache_hit = false;
     return runWorkload(job.workload, job.scale, job.cfg);
 }
+
+namespace
+{
+
+/** Completion-order progress line: "[k/N] label (workload)". */
+void
+progressLine(std::atomic<std::size_t> &done, std::size_t total,
+             const SweepJob &job, bool cached)
+{
+    std::ostringstream os;
+    os << "[" << done.fetch_add(1) + 1 << "/" << total << "] "
+       << job.label << " (" << job.workload << ")";
+    if (cached)
+        os << " [cached]";
+    logLine(os.str());
+}
+
+} // namespace
 
 std::vector<RunResult>
 SweepRunner::run(const std::vector<SweepJob> &jobs)
 {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point epoch = Clock::now();
+    const auto now_ns = [epoch] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - epoch)
+                .count());
+    };
+
     std::vector<RunResult> results(jobs.size());
+    if (spans) {
+        spans->clear();
+        spans->resize(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            JobSpan &sp = (*spans)[i];
+            sp.index = i;
+            sp.label = jobs[i].label;
+            sp.workload = jobs[i].workload;
+        }
+    }
+    std::atomic<std::size_t> done{0};
+
     if (nJobs <= 1 || jobs.size() <= 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            results[i] = runOne(jobs[i]);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            JobSpan *sp = spans ? &(*spans)[i] : nullptr;
+            if (sp) {
+                sp->worker = -1;
+                sp->submitNs = now_ns();
+                sp->startNs = sp->submitNs;
+            }
+            bool cached = false;
+            results[i] = runOne(jobs[i], &cached);
+            if (sp) {
+                sp->endNs = now_ns();
+                sp->cacheHit = cached;
+            }
+            if (progress)
+                progressLine(done, jobs.size(), jobs[i], cached);
+        }
         return results;
     }
 
@@ -160,12 +223,27 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
         ThreadPool pool(std::min<int>(
             nJobs, static_cast<int>(jobs.size())));
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-            pool.submit([this, &jobs, &results, &errors, i] {
+            JobSpan *sp = spans ? &(*spans)[i] : nullptr;
+            if (sp)
+                sp->submitNs = now_ns();
+            pool.submit([this, &jobs, &results, &errors, &done, sp,
+                         now_ns, i] {
+                if (sp) {
+                    sp->worker = ThreadPool::currentWorkerIndex();
+                    sp->startNs = now_ns();
+                }
+                bool cached = false;
                 try {
-                    results[i] = runOne(jobs[i]);
+                    results[i] = runOne(jobs[i], &cached);
                 } catch (...) {
                     errors[i] = std::current_exception();
                 }
+                if (sp) {
+                    sp->endNs = now_ns();
+                    sp->cacheHit = cached;
+                }
+                if (progress)
+                    progressLine(done, jobs.size(), jobs[i], cached);
             });
         }
         pool.wait();

@@ -46,10 +46,31 @@ struct SweepJob
 
 /**
  * Canonical fingerprint of the *simulation inputs* of a job (workload,
- * scale, every timing-relevant CoreConfig field). Two jobs with equal
- * keys produce bit-identical RunResults; the label is excluded.
+ * scale, every timing-relevant CoreConfig field, plus the
+ * metrics-interval setting, whose time series rides in the
+ * RunResult). Two jobs with equal keys produce bit-identical
+ * RunResults; the label is excluded.
  */
 std::string jobKey(const SweepJob &job);
+
+/**
+ * Execution record of one sweep cell: which worker ran it, when it
+ * was submitted / started / finished (nanoseconds relative to the
+ * start of SweepRunner::run), and whether the run cache satisfied it
+ * without simulating. Feeds the Perfetto trace export
+ * (sweepTraceJson in report.hh).
+ */
+struct JobSpan
+{
+    std::size_t index = 0; //!< position in the job list
+    std::string label;
+    std::string workload;
+    int worker = 0; //!< 0-based pool worker; -1 = caller thread
+    std::uint64_t submitNs = 0;
+    std::uint64_t startNs = 0;
+    std::uint64_t endNs = 0;
+    bool cacheHit = false;
+};
 
 /** Thread-safe memoizing cache of finished (and in-flight) runs. */
 class RunCache
@@ -66,9 +87,11 @@ class RunCache
      * Return the cached result for @p job, or simulate it (running at
      * most once per key even under concurrent callers — late arrivals
      * block on the in-flight run). Errors are rethrown to every
-     * caller of the failing key.
+     * caller of the failing key. When @p cache_hit is non-null it is
+     * set to whether the key was already present (a blocking wait on
+     * an in-flight run still counts as a hit).
      */
-    RunResult getOrRun(const SweepJob &job);
+    RunResult getOrRun(const SweepJob &job, bool *cache_hit = nullptr);
 
     std::uint64_t hits() const;
     std::uint64_t misses() const;
@@ -105,14 +128,30 @@ class SweepRunner
 
     int jobCount() const { return nJobs; }
 
+    /**
+     * Emit one atomic "[k/N] label (workload)" stderr line per
+     * finished job (completion order, "[cached]" suffix on cache
+     * hits). Off by default; simulation results are unaffected.
+     */
+    void setProgress(bool on) { progress = on; }
+
+    /**
+     * Record one JobSpan per job into @p sink (cleared and resized by
+     * run()). nullptr (the default) disables span collection and its
+     * clock reads.
+     */
+    void setSpanSink(std::vector<JobSpan> *sink) { spans = sink; }
+
     /** Default worker count: one per hardware thread. */
     static int defaultJobs();
 
   private:
-    RunResult runOne(const SweepJob &job);
+    RunResult runOne(const SweepJob &job, bool *cache_hit);
 
     int nJobs;
     RunCache *cache;
+    bool progress = false;
+    std::vector<JobSpan> *spans = nullptr;
 };
 
 // ---- shared sweep vocabulary ------------------------------------------

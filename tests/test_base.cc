@@ -89,6 +89,44 @@ TEST(Logging, AssertPassesOnTrue)
     SUCCEED();
 }
 
+TEST(Logging, ParseLogLevelNamesAndNumbers)
+{
+    bool ok = false;
+    EXPECT_EQ(parseLogLevel("quiet", &ok), LogLevel::Quiet);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("warn", &ok), LogLevel::Warn);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("info", &ok), LogLevel::Info);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("debug", &ok), LogLevel::Debug);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("0", &ok), LogLevel::Quiet);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("3", &ok), LogLevel::Debug);
+    EXPECT_TRUE(ok);
+}
+
+TEST(Logging, ParseLogLevelRejectsGarbage)
+{
+    for (const char *bad : {"", "loud", "4", "-1", "warn "}) {
+        bool ok = true;
+        EXPECT_EQ(parseLogLevel(bad, &ok), LogLevel::Info) << bad;
+        EXPECT_FALSE(ok) << bad;
+    }
+    // Null ok-pointer form must not crash.
+    EXPECT_EQ(parseLogLevel("nonsense"), LogLevel::Info);
+}
+
+TEST(Logging, SetLogLevelRoundTrips)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(before);
+}
+
 TEST(TextTable, AlignsColumns)
 {
     TextTable t;

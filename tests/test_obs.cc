@@ -1,0 +1,638 @@
+/**
+ * @file
+ * Tests for the observability layer: counter/histogram registry (and
+ * the CoreStats bridge), histogram bucketing edge cases, interval
+ * metrics sampling (determinism across worker counts, conservation
+ * against end-of-run totals), the Chrome trace_event writer, the
+ * pipeline-tracer retained window and export, and sweep job spans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vsim/core/core_stats.hh"
+#include "vsim/core/pipeline_trace.hh"
+#include "vsim/obs/interval.hh"
+#include "vsim/obs/registry.hh"
+#include "vsim/obs/trace_export.hh"
+#include "vsim/sim/report.hh"
+#include "vsim/sim/simulator.hh"
+#include "vsim/sim/sweep.hh"
+
+namespace
+{
+
+using namespace vsim;
+
+// ---- tiny JSON validator ----------------------------------------------
+// Like test_sweep's, plus string escapes and true/false literals (the
+// observability writers escape and emit booleans).
+
+class MiniJson
+{
+  public:
+    explicit MiniJson(const std::string &text) : s(text) {}
+
+    bool
+    parse()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+    int objects = 0;
+    std::vector<std::string> keys;
+
+    int
+    count(const std::string &key) const
+    {
+        int n = 0;
+        for (const auto &k : keys)
+            n += k == key;
+        return n;
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos >= s.size())
+            return false;
+        const char c = s[pos];
+        if (c == '[')
+            return array();
+        if (c == '{')
+            return object();
+        if (c == '"')
+            return string(nullptr);
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        return number();
+    }
+
+    bool
+    literal(const std::string &word)
+    {
+        if (s.compare(pos, word.size(), word) != 0)
+            return false;
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    array()
+    {
+        ++pos; // [
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos; // {
+        ++objects;
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(&key))
+                return false;
+            keys.push_back(key);
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string(std::string *out)
+    {
+        if (peek() != '"')
+            return false;
+        ++pos;
+        std::string v;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+            }
+            v += s[pos++];
+        }
+        if (pos >= s.size())
+            return false;
+        ++pos; // closing quote
+        if (out)
+            *out = v;
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < s.size()
+               && (std::isdigit(static_cast<unsigned char>(s[pos]))
+                   || s[pos] == '.' || s[pos] == 'e' || s[pos] == '+'
+                   || s[pos] == '-'))
+            ++pos;
+        return pos > start;
+    }
+
+    char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size()
+               && std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    std::string s;
+    std::size_t pos = 0;
+};
+
+// ---- registry ---------------------------------------------------------
+
+TEST(Registry, CounterFindOrCreate)
+{
+    obs::Registry reg;
+    obs::Counter &c = reg.counter("foo", "a foo", "events");
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+
+    // Same name returns the same counter; description is not
+    // overwritten.
+    obs::Counter &again = reg.counter("foo", "ignored", "ignored");
+    EXPECT_EQ(&again, &c);
+    EXPECT_EQ(reg.counterCount(), 1u);
+    EXPECT_EQ(again.description(), "a foo");
+
+    EXPECT_NE(reg.findCounter("foo"), nullptr);
+    EXPECT_EQ(reg.findCounter("foo")->value(), 5u);
+    EXPECT_EQ(reg.findCounter("bar"), nullptr);
+}
+
+TEST(Registry, ReferencesSurviveGrowth)
+{
+    obs::Registry reg;
+    obs::Counter &first = reg.counter("first", "d", "u");
+    for (int i = 0; i < 200; ++i)
+        reg.counter("c" + std::to_string(i), "d", "u");
+    first.set(7);
+    EXPECT_EQ(reg.findCounter("first")->value(), 7u);
+}
+
+TEST(Registry, HistogramReplaceByName)
+{
+    obs::Registry reg;
+    obs::Histogram h{"lat", "latency", "cycles", 2, 4};
+    h.sample(1);
+    reg.histogram(h);
+    EXPECT_EQ(reg.findHistogram("lat")->count(), 1u);
+
+    h.sample(3);
+    reg.histogram(h);
+    EXPECT_EQ(reg.histogramCount(), 1u);
+    EXPECT_EQ(reg.findHistogram("lat")->count(), 2u);
+}
+
+TEST(Registry, JsonParsesAndEscapes)
+{
+    obs::Registry reg;
+    reg.counter("weird \"name\"", "desc with \\ and \n", "u").set(3);
+    obs::Histogram h{"h", "d", "u", 1, 2};
+    h.sample(0);
+    reg.histogram(h);
+
+    MiniJson parser(reg.toJson());
+    ASSERT_TRUE(parser.parse()) << reg.toJson();
+    EXPECT_EQ(parser.count("counters"), 1);
+    EXPECT_EQ(parser.count("histograms"), 1);
+}
+
+TEST(RegistryBridge, EveryStatHasACounter)
+{
+    core::CoreStats s;
+    s.cycles = 100;
+    s.retired = 80;
+    s.vpCH = 7;
+    s.dcacheMisses = 3;
+    s.verifyLatency.sample(12);
+
+    obs::Registry reg;
+    core::registerStats(reg, s);
+
+    // Spot-check values and JSON-schema name parity with sim/report.
+    for (const char *name :
+         {"cycles", "retired", "fetched", "dispatched", "issued",
+          "loads", "stores", "branches", "cond_branches",
+          "cond_mispredicts", "squashes", "vp_eligible", "vp_ch",
+          "vp_cl", "vp_ih", "vp_il", "vp_speculated", "verify_events",
+          "invalidate_events", "nullifications", "reissues",
+          "loads_forwarded", "icache_misses", "dcache_misses"}) {
+        EXPECT_NE(reg.findCounter(name), nullptr) << name;
+    }
+    EXPECT_EQ(reg.findCounter("cycles")->value(), 100u);
+    EXPECT_EQ(reg.findCounter("vp_ch")->value(), 7u);
+
+    ASSERT_NE(reg.findHistogram("verify_latency"), nullptr);
+    EXPECT_EQ(reg.findHistogram("verify_latency")->count(), 1u);
+    EXPECT_NE(reg.findHistogram("invalidate_to_reissue"), nullptr);
+    EXPECT_NE(reg.findHistogram("spec_in_flight"), nullptr);
+
+    MiniJson parser(reg.toJson());
+    ASSERT_TRUE(parser.parse());
+}
+
+// ---- histogram bucketing ---------------------------------------------
+
+TEST(Histogram, EmptyIsWellDefined)
+{
+    obs::Histogram h{"h", "d", "u", 4, 8};
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    MiniJson parser(h.toJson());
+    EXPECT_TRUE(parser.parse()) << h.toJson();
+}
+
+TEST(Histogram, SingleSample)
+{
+    obs::Histogram h{"h", "d", "u", 4, 8};
+    h.sample(5);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.sum(), 5u);
+    EXPECT_EQ(h.min(), 5u);
+    EXPECT_EQ(h.max(), 5u);
+    EXPECT_EQ(h.mean(), 5.0);
+    EXPECT_EQ(h.bucket(1), 1u); // [4,8)
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    obs::Histogram h{"h", "d", "u", 4, 2}; // [0,4) [4,8) overflow
+    h.sample(0);
+    h.sample(3);
+    h.sample(4);
+    h.sample(7);
+    h.sample(8);  // first overflow value
+    h.sample(1000);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(Histogram, EqualityFollowsContent)
+{
+    obs::Histogram a{"h", "d", "u", 1, 4};
+    obs::Histogram b{"h", "d", "u", 1, 4};
+    EXPECT_EQ(a, b);
+    a.sample(2);
+    EXPECT_NE(a, b);
+    b.sample(2);
+    EXPECT_EQ(a, b);
+}
+
+// ---- interval metrics -------------------------------------------------
+
+TEST(Interval, DerivedRates)
+{
+    obs::IntervalSample s;
+    s.cycles = 100;
+    s.retired = 250;
+    s.occupancySum = 4800;
+    s.condBranches = 10;
+    s.condMispredicts = 4;
+    s.invalidateEvents = 5;
+    EXPECT_DOUBLE_EQ(s.ipc(), 2.5);
+    EXPECT_DOUBLE_EQ(s.occupancyAvg(), 48.0);
+    EXPECT_DOUBLE_EQ(s.mispredictRate(), 0.4);
+    EXPECT_DOUBLE_EQ(s.invalidationRate(), 0.05);
+
+    obs::IntervalSample zero;
+    EXPECT_EQ(zero.ipc(), 0.0);
+    EXPECT_EQ(zero.mispredictRate(), 0.0);
+}
+
+sim::SweepJob
+metricsJob(const std::string &workload, std::uint64_t interval,
+           bool vp = true)
+{
+    sim::SweepJob job;
+    job.label = workload;
+    job.workload = workload;
+    job.scale = 1;
+    job.cfg = vp ? sim::vpConfig({8, 48}, core::SpecModel::greatModel(),
+                                 core::ConfidenceKind::Real,
+                                 core::UpdateTiming::Delayed)
+                 : sim::baseConfig({8, 48});
+    job.cfg.metricsInterval = interval;
+    return job;
+}
+
+TEST(Interval, SeriesConservesRunTotals)
+{
+    const sim::RunResult r =
+        sim::runWorkload("queens", 1, metricsJob("queens", 256).cfg);
+    ASSERT_FALSE(r.intervals.empty());
+    EXPECT_EQ(r.intervals.period, 256u);
+
+    std::uint64_t cycles = 0, retired = 0, invals = 0, verifies = 0;
+    std::uint64_t prev_end = 0;
+    for (const obs::IntervalSample &s : r.intervals.samples) {
+        EXPECT_EQ(s.cycleStart, prev_end); // contiguous, gap-free
+        prev_end = s.cycleStart + s.cycles;
+        cycles += s.cycles;
+        retired += s.retired;
+        invals += s.invalidateEvents;
+        verifies += s.verifyEvents;
+    }
+    EXPECT_EQ(cycles, r.stats.cycles);
+    EXPECT_EQ(retired, r.stats.retired);
+    EXPECT_EQ(invals, r.stats.invalidateEvents);
+    EXPECT_EQ(verifies, r.stats.verifyEvents);
+}
+
+TEST(Interval, SeriesIdenticalAcrossWorkerCounts)
+{
+    const std::vector<sim::SweepJob> jobs = {
+        metricsJob("queens", 200), metricsJob("compress", 200),
+        metricsJob("m88k", 200, false)};
+
+    sim::RunCache serial_cache, parallel_cache;
+    sim::SweepRunner serial(1, &serial_cache);
+    sim::SweepRunner parallel(8, &parallel_cache);
+    const auto a = serial.run(jobs);
+    const auto b = parallel.run(jobs);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_FALSE(a[i].intervals.empty()) << jobs[i].workload;
+        EXPECT_EQ(a[i].intervals, b[i].intervals) << jobs[i].workload;
+        EXPECT_EQ(a[i].stats.verifyLatency, b[i].stats.verifyLatency);
+        EXPECT_EQ(a[i].stats.specInFlight, b[i].stats.specInFlight);
+    }
+}
+
+TEST(Interval, DisabledProducesNoSamples)
+{
+    const sim::RunResult r =
+        sim::runWorkload("queens", 1, metricsJob("queens", 0).cfg);
+    EXPECT_TRUE(r.intervals.empty());
+    EXPECT_EQ(r.intervals.period, 0u);
+}
+
+TEST(Interval, JobKeyIncludesMetricsInterval)
+{
+    const sim::SweepJob a = metricsJob("queens", 0);
+    const sim::SweepJob b = metricsJob("queens", 100);
+    EXPECT_NE(sim::jobKey(a), sim::jobKey(b));
+}
+
+TEST(Interval, CsvShapeMatchesSamples)
+{
+    const sim::RunResult r =
+        sim::runWorkload("queens", 1, metricsJob("queens", 512).cfg);
+    std::ostringstream os;
+    os << obs::IntervalSeries::csvHeader("");
+    r.intervals.appendCsv(os, "");
+    const std::string csv = os.str();
+
+    std::size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, r.intervals.samples.size() + 1);
+
+    // Header and rows agree on the column count.
+    const std::size_t header_cols =
+        static_cast<std::size_t>(
+            std::count(csv.begin(), csv.begin() + csv.find('\n'), ','))
+        + 1;
+    const std::string first_row = csv.substr(
+        csv.find('\n') + 1,
+        csv.find('\n', csv.find('\n') + 1) - csv.find('\n') - 1);
+    const std::size_t row_cols =
+        static_cast<std::size_t>(
+            std::count(first_row.begin(), first_row.end(), ','))
+        + 1;
+    EXPECT_EQ(header_cols, row_cols);
+
+    MiniJson parser(r.intervals.toJson());
+    EXPECT_TRUE(parser.parse());
+}
+
+// ---- trace_event writer ----------------------------------------------
+
+TEST(TraceWriter, RoundTripsThroughParser)
+{
+    obs::TraceWriter w;
+    w.processName(1, "pipeline");
+    w.threadName(1, 7, "#7 addi \"x\"\\y");
+    w.complete("EX", "pipeline", 10, 3, 1, 7,
+               {{"note", obs::TraceWriter::str("a \"quoted\" value")},
+                {"n", obs::TraceWriter::num(std::uint64_t{42})},
+                {"hit", obs::TraceWriter::boolean(true)}});
+    w.instant("squash", "events", 12, 1, 7);
+    w.counter("ipc", 20, 1, {{"ipc", obs::TraceWriter::num(1.25)}});
+    EXPECT_EQ(w.size(), 5u);
+
+    const std::string js = w.toJson();
+    MiniJson parser(js);
+    ASSERT_TRUE(parser.parse()) << js;
+    EXPECT_EQ(parser.count("traceEvents"), 1);
+    // 5 events, each an object with ph/ts/pid.
+    EXPECT_EQ(parser.count("ph"), 5);
+    EXPECT_EQ(parser.count("dur"), 1);  // only the complete event
+}
+
+TEST(TraceWriter, EmptyTraceIsValid)
+{
+    obs::TraceWriter w;
+    EXPECT_TRUE(w.empty());
+    MiniJson parser(w.toJson());
+    EXPECT_TRUE(parser.parse()) << w.toJson();
+}
+
+// ---- pipeline tracer: retained window + export -----------------------
+
+TEST(TracerCap, DropsOldestRows)
+{
+    core::PipelineTracer t;
+    t.setCapacity(3);
+    for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+        t.label(seq, "i" + std::to_string(seq));
+        t.note(seq, seq, "EX");
+    }
+    EXPECT_EQ(t.dropped(), 2u);
+    const std::string out = t.render();
+    EXPECT_EQ(out.find("i1"), std::string::npos);
+    EXPECT_EQ(out.find("i2"), std::string::npos);
+    EXPECT_NE(out.find("i3"), std::string::npos);
+    EXPECT_NE(out.find("i5"), std::string::npos);
+    EXPECT_NE(out.find("2 oldest"), std::string::npos);
+}
+
+TEST(TracerCap, UnboundedByDefault)
+{
+    core::PipelineTracer t;
+    EXPECT_EQ(t.capacity(), 0u);
+    for (std::uint64_t seq = 1; seq <= 100; ++seq)
+        t.note(seq, seq, "D");
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TracerCap, ClearResetsDropCount)
+{
+    core::PipelineTracer t;
+    t.setCapacity(1);
+    t.note(1, 1, "D");
+    t.note(2, 1, "D");
+    EXPECT_EQ(t.dropped(), 1u);
+    t.clear();
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TracerExport, CoalescesRunsIntoSpans)
+{
+    core::PipelineTracer t;
+    t.label(1, "mul t0, t1, t2");
+    t.note(1, 0, "D");
+    t.note(1, 1, "EX");
+    t.note(1, 2, "EX");
+    t.note(1, 3, "EX");
+    t.note(1, 4, "RT");
+
+    obs::TraceWriter w;
+    t.exportTo(w);
+    // process name + thread name + 3 spans (D, EX x3 coalesced, RT).
+    EXPECT_EQ(w.size(), 5u);
+
+    const std::string js = w.toJson();
+    MiniJson parser(js);
+    ASSERT_TRUE(parser.parse()) << js;
+    EXPECT_NE(js.find("\"dur\": 3"), std::string::npos) << js;
+    EXPECT_NE(js.find("mul t0, t1, t2"), std::string::npos);
+}
+
+// ---- sweep job spans --------------------------------------------------
+
+TEST(SweepSpans, RecordedForEveryJobAndExported)
+{
+    std::vector<sim::SweepJob> jobs = {metricsJob("queens", 0),
+                                       metricsJob("compress", 0),
+                                       metricsJob("queens", 0)};
+    jobs[2].label = "dup of job 0";
+
+    sim::RunCache cache;
+    sim::SweepRunner runner(4, &cache);
+    std::vector<sim::JobSpan> spans;
+    runner.setSpanSink(&spans);
+    const auto results = runner.run(jobs);
+
+    ASSERT_EQ(spans.size(), jobs.size());
+    int hits = 0;
+    for (const sim::JobSpan &sp : spans) {
+        EXPECT_EQ(sp.label, jobs[sp.index].label);
+        EXPECT_EQ(sp.workload, jobs[sp.index].workload);
+        EXPECT_GE(sp.startNs, sp.submitNs);
+        EXPECT_GE(sp.endNs, sp.startNs);
+        EXPECT_GE(sp.worker, 0); // pool path
+        hits += sp.cacheHit;
+    }
+    // Jobs 0 and 2 share a key: exactly one of them simulated.
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(results[0].stats.cycles, results[2].stats.cycles);
+
+    const std::string js = sim::sweepTraceJson(spans);
+    MiniJson parser(js);
+    ASSERT_TRUE(parser.parse()) << js;
+    EXPECT_NE(js.find("queue_wait_us"), std::string::npos);
+    EXPECT_NE(js.find("cache_hit"), std::string::npos);
+    EXPECT_NE(js.find("dup of job 0"), std::string::npos);
+}
+
+TEST(SweepSpans, SerialPathUsesCallerTrack)
+{
+    sim::RunCache cache;
+    sim::SweepRunner runner(1, &cache);
+    std::vector<sim::JobSpan> spans;
+    runner.setSpanSink(&spans);
+    runner.run({metricsJob("queens", 0)});
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].worker, -1);
+    EXPECT_FALSE(spans[0].cacheHit);
+
+    MiniJson parser(sim::sweepTraceJson(spans));
+    EXPECT_TRUE(parser.parse());
+}
+
+TEST(Counters, RunResultRegistryJson)
+{
+    const sim::RunResult r =
+        sim::runWorkload("queens", 1, metricsJob("queens", 0).cfg);
+    const std::string js = sim::countersJson(r);
+    MiniJson parser(js);
+    ASSERT_TRUE(parser.parse()) << js;
+    EXPECT_NE(js.find("\"verify_latency\""), std::string::npos);
+    EXPECT_NE(js.find("\"spec_in_flight\""), std::string::npos);
+}
+
+} // namespace

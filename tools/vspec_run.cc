@@ -25,6 +25,8 @@
 #include "vsim/assembler/assembler.hh"
 #include "vsim/base/logging.hh"
 #include "vsim/core/ooo_core.hh"
+#include "vsim/obs/interval.hh"
+#include "vsim/obs/trace_export.hh"
 #include "vsim/sim/report.hh"
 #include "vsim/sim/simulator.hh"
 #include "vsim/sim/sweep.hh"
@@ -55,8 +57,18 @@ usage(const char *argv0)
         "  --conf C          real|oracle|always (default real)\n"
         "  --timing T        D|I  delayed/immediate update (default D)\n"
         "  --predictor P     fcm|last-value|stride|hybrid (default fcm)\n"
-        "  --trace           print the pipeline diagram (first 200 "
-        "cycles)\n"
+        "  --trace [A:B]     print the pipeline diagram for cycles\n"
+        "                    A..B (default 0:200)\n"
+        "  --trace-retain N  keep only the youngest N instructions in\n"
+        "                    the pipeline trace (bounds memory)\n"
+        "  --trace-json PATH write the pipeline trace as Chrome/\n"
+        "                    Perfetto trace_event JSON\n"
+        "  --metrics-interval N\n"
+        "                    sample interval metrics every N cycles\n"
+        "  --metrics PATH    write the interval time series as CSV\n"
+        "  --counters PATH   write the full counter/histogram registry\n"
+        "                    as JSON\n"
+        "  --progress        print a completion line to stderr\n"
         "  --json [PATH]     emit the statistics as one JSON object\n"
         "                    (to PATH if given, else stdout)\n");
 }
@@ -86,9 +98,12 @@ main(int argc, char **argv)
     using namespace vsim;
 
     std::string workload, asm_file, json_path;
+    std::string metrics_path, counters_path, trace_json_path;
     int scale = -1;
     bool trace = false;
     bool json = false;
+    bool progress = false;
+    std::uint64_t trace_from = 0, trace_to = 200;
     core::CoreConfig cfg;
     cfg.issueWidth = 8;
     cfg.windowSize = 48;
@@ -151,6 +166,48 @@ main(int argc, char **argv)
             cfg.valuePredictor = need_value("--predictor");
         } else if (!std::strcmp(argv[i], "--trace")) {
             trace = true;
+            // Optional A:B cycle-window operand.
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+                const char *w = argv[++i];
+                char *end = nullptr;
+                errno = 0;
+                const unsigned long long a = std::strtoull(w, &end, 10);
+                if (errno == ERANGE || end == w || *end != ':') {
+                    std::fprintf(stderr,
+                                 "--trace window must be A:B, got '%s'\n",
+                                 w);
+                    return 2;
+                }
+                const char *btext = end + 1;
+                errno = 0;
+                const unsigned long long b =
+                    std::strtoull(btext, &end, 10);
+                if (errno == ERANGE || end == btext || *end != '\0'
+                    || b < a) {
+                    std::fprintf(stderr,
+                                 "--trace window must be A:B, got '%s'\n",
+                                 w);
+                    return 2;
+                }
+                trace_from = a;
+                trace_to = b;
+            }
+        } else if (!std::strcmp(argv[i], "--trace-retain")) {
+            cfg.traceRetain = static_cast<std::size_t>(
+                parsePositiveInt(argv[0], "--trace-retain",
+                                 need_value("--trace-retain")));
+        } else if (!std::strcmp(argv[i], "--trace-json")) {
+            trace_json_path = need_value("--trace-json");
+        } else if (!std::strcmp(argv[i], "--metrics-interval")) {
+            cfg.metricsInterval = static_cast<std::uint64_t>(
+                parsePositiveInt(argv[0], "--metrics-interval",
+                                 need_value("--metrics-interval")));
+        } else if (!std::strcmp(argv[i], "--metrics")) {
+            metrics_path = need_value("--metrics");
+        } else if (!std::strcmp(argv[i], "--counters")) {
+            counters_path = need_value("--counters");
+        } else if (!std::strcmp(argv[i], "--progress")) {
+            progress = true;
         } else if (!std::strcmp(argv[i], "--json")) {
             json = true;
             // Optional output path operand.
@@ -165,20 +222,31 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
-    cfg.tracePipeline = trace;
+    if (!metrics_path.empty() && cfg.metricsInterval == 0) {
+        std::fprintf(stderr,
+                     "--metrics needs --metrics-interval N\n");
+        return 2;
+    }
+    const bool trace_json = !trace_json_path.empty();
+    cfg.tracePipeline = trace || trace_json;
 
     try {
         sim::RunResult r;
         std::string trace_text;
+        obs::TraceWriter trace_writer;
 
-        if (!workload.empty() && !trace) {
-            // Workload runs go through the sweep engine's run cache.
+        if (!workload.empty() && !cfg.tracePipeline) {
+            // Workload runs go through the sweep engine's run cache,
+            // driven by a single-job SweepRunner so --progress shares
+            // the sweep machinery (results are identical either way).
             sim::SweepJob job;
             job.label = sim::configLabel(cfg);
             job.workload = workload;
             job.scale = scale;
             job.cfg = cfg;
-            r = sim::RunCache::process().getOrRun(job);
+            sim::SweepRunner runner(1, &sim::RunCache::process());
+            runner.setProgress(progress);
+            r = runner.run({job}).front();
         } else {
             assembler::Program prog;
             if (!workload.empty()) {
@@ -203,10 +271,35 @@ main(int argc, char **argv)
             r.ipc = out.stats.ipc();
             r.exitCode = out.exitCode;
             r.output = out.output;
+            r.intervals = out.intervals;
             if (trace)
-                trace_text = core.tracer().render(0, 200);
+                trace_text = core.tracer().render(trace_from, trace_to);
+            if (trace_json)
+                core.tracer().exportTo(trace_writer);
+            if (progress)
+                logLine("[1/1] " + sim::configLabel(cfg) + " ("
+                        + r.workload + ")");
         }
         const core::CoreStats &s = r.stats;
+
+        if (!metrics_path.empty()) {
+            std::ostringstream csv;
+            csv << obs::IntervalSeries::csvHeader("");
+            r.intervals.appendCsv(csv, "");
+            sim::writeFile(metrics_path, csv.str());
+        }
+        if (!counters_path.empty())
+            sim::writeFile(counters_path, sim::countersJson(r) + "\n");
+        if (trace_json) {
+            // Overlay the interval IPC as a Perfetto counter track.
+            for (const obs::IntervalSample &iv : r.intervals.samples) {
+                trace_writer.counter(
+                    "ipc", iv.cycleStart, 1,
+                    {{"ipc", obs::TraceWriter::num(iv.ipc())}});
+            }
+            sim::writeFile(trace_json_path,
+                           trace_writer.toJson() + "\n");
+        }
 
         if (json) {
             const std::string js = sim::toJson(r) + "\n";

@@ -13,6 +13,7 @@
  */
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,9 +35,20 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s NAME [--quick] [--scale N] [--jobs N] "
                  "[--json PATH] [--csv PATH]\n"
+                 "       %*s [--metrics-interval N] [--metrics PATH] "
+                 "[--trace-json PATH] [--progress]\n"
                  "       %s --list\n"
+                 "  --metrics-interval N  sample interval metrics every "
+                 "N cycles\n"
+                 "  --metrics PATH        write the per-run interval "
+                 "series as CSV\n"
+                 "  --trace-json PATH     write the sweep execution "
+                 "timeline as Chrome/Perfetto JSON\n"
+                 "  --progress            print one stderr line per "
+                 "finished run\n"
                  "named sweeps:\n",
-                 argv0, argv0);
+                 argv0, static_cast<int>(std::strlen(argv0) + 7), "",
+                 argv0);
     for (const auto &s : vsim::sim::namedSweeps())
         std::fprintf(stderr, "  %-16s %s\n", s.name.c_str(),
                      s.description.c_str());
@@ -66,6 +78,9 @@ main(int argc, char **argv)
     using namespace vsim;
 
     std::string name, json_path, csv_path;
+    std::string metrics_path, trace_json_path;
+    std::uint64_t metrics_interval = 0;
+    bool progress = false;
     sim::SweepOptions opt;
     int jobs = sim::SweepRunner::defaultJobs();
 
@@ -92,6 +107,16 @@ main(int argc, char **argv)
             json_path = need_value("--json");
         } else if (!std::strcmp(argv[i], "--csv")) {
             csv_path = need_value("--csv");
+        } else if (!std::strcmp(argv[i], "--metrics-interval")) {
+            metrics_interval = static_cast<std::uint64_t>(
+                parsePositiveInt(argv[0], "--metrics-interval",
+                                 need_value("--metrics-interval")));
+        } else if (!std::strcmp(argv[i], "--metrics")) {
+            metrics_path = need_value("--metrics");
+        } else if (!std::strcmp(argv[i], "--trace-json")) {
+            trace_json_path = need_value("--trace-json");
+        } else if (!std::strcmp(argv[i], "--progress")) {
+            progress = true;
         } else if (argv[i][0] != '-' && name.empty()) {
             name = argv[i];
         } else {
@@ -103,12 +128,23 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
+    if (!metrics_path.empty() && metrics_interval == 0) {
+        std::fprintf(stderr,
+                     "--metrics needs --metrics-interval N\n");
+        return 2;
+    }
 
     try {
         const sim::NamedSweep &spec = sim::sweepByName(name);
-        const std::vector<sim::SweepJob> sweep_jobs = spec.build(opt);
+        std::vector<sim::SweepJob> sweep_jobs = spec.build(opt);
+        for (sim::SweepJob &job : sweep_jobs)
+            job.cfg.metricsInterval = metrics_interval;
 
         sim::SweepRunner runner(jobs);
+        runner.setProgress(progress);
+        std::vector<sim::JobSpan> spans;
+        if (!trace_json_path.empty())
+            runner.setSpanSink(&spans);
         const std::vector<sim::RunResult> results =
             runner.run(sweep_jobs);
 
@@ -138,6 +174,16 @@ main(int argc, char **argv)
         if (!csv_path.empty()) {
             sim::writeFile(csv_path, sim::toCsv(sweep_jobs, results));
             std::printf("\nwrote %s\n", csv_path.c_str());
+        }
+        if (!metrics_path.empty()) {
+            sim::writeFile(metrics_path,
+                           sim::metricsToCsv(sweep_jobs, results));
+            std::printf("\nwrote %s\n", metrics_path.c_str());
+        }
+        if (!trace_json_path.empty()) {
+            sim::writeFile(trace_json_path,
+                           sim::sweepTraceJson(spans) + "\n");
+            std::printf("\nwrote %s\n", trace_json_path.c_str());
         }
         return 0;
     } catch (const FatalError &err) {
