@@ -66,6 +66,41 @@ BM_OooValueSpeculation(benchmark::State &state)
 }
 BENCHMARK(BM_OooValueSpeculation)->Unit(benchmark::kMillisecond);
 
+/**
+ * Before/after of the event-driven wakeup path at a large window:
+ * identical runs (bit-for-bit, see tests/test_scheduler.cc) through
+ * the legacy O(window)-per-cycle scan vs. the ready-list scheduler.
+ * The headline metric is simulated cycles per wall-clock second;
+ * compress keeps the 256-entry window occupied, so the per-cycle
+ * rescan cost the ready lists remove is fully visible.
+ */
+void
+BM_OooWindow256(benchmark::State &state)
+{
+    const auto prog =
+        workloads::buildProgram(workloads::byName("compress"), 1);
+    const auto kind = state.range(0) == 0
+                          ? core::SchedulerKind::Scan
+                          : core::SchedulerKind::ReadyList;
+    std::uint64_t simcycles = 0;
+    for (auto _ : state) {
+        core::CoreConfig cfg = sim::vpConfig(
+            {8, 256}, core::SpecModel::greatModel(),
+            core::ConfidenceKind::Real, core::UpdateTiming::Delayed);
+        cfg.scheduler = kind;
+        core::OooCore core(prog, cfg);
+        simcycles += core.run().stats.cycles;
+    }
+    state.counters["simcycles/s"] = benchmark::Counter(
+        static_cast<double>(simcycles), benchmark::Counter::kIsRate);
+    state.SetLabel(kind == core::SchedulerKind::Scan ? "scan"
+                                                     : "ready-list");
+}
+BENCHMARK(BM_OooWindow256)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

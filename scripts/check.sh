@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the normal build + full test suite, then a
-# ThreadSanitizer build of the sweep engine tests. Run from the repo
-# root:
+# Tier-1 verification: the normal build + full test suite, sanitizer
+# builds, byte-identity of the user-facing outputs against the golden
+# captures, and the ready-list scheduler's perf gate. Run from the
+# repo root:
 #
 #   scripts/check.sh
 #
-# The TSan stage rebuilds into build-tsan/ so it never disturbs the
-# primary build tree.
+# The sanitizer stages rebuild into build-tsan/ and build-asan/ so
+# they never disturb the primary build tree.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,6 +25,41 @@ cmake --build build-tsan -j --target test_sweep test_obs
 ./build-tsan/tests/test_sweep
 ./build-tsan/tests/test_obs
 
+echo "== tier-1: Address+UB Sanitizer (core, policy, scheduler) =="
+cmake -B build-asan -S . -DVSIM_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j --target \
+    test_core_base test_core_vspec test_core_misc test_core_xprod \
+    test_policy test_event_queue test_scheduler
+./build-asan/tests/test_core_base
+./build-asan/tests/test_core_vspec
+./build-asan/tests/test_core_misc
+./build-asan/tests/test_policy
+./build-asan/tests/test_event_queue
+./build-asan/tests/test_scheduler
+# The full cross product is covered (without sanitizers) by ctest;
+# under ASan run only the regression slice to keep the gate fast.
+./build-asan/tests/test_core_xprod \
+    --gtest_filter='CoreXprod.MixedHierVerifyFlatInvalRegression'
+
+echo "== tier-1: golden byte-identity (vspec_run / vspec_sweep) =="
+# Every user-facing table and run output must match the pre-refactor
+# captures byte for byte.
+for wl in queens compress m88k; do
+    ./build/tools/vspec_run --workload "$wl" --scale 1 --base \
+        | diff - "tests/golden/run_${wl}_base.txt"
+    for model in super great good; do
+        ./build/tools/vspec_run --workload "$wl" --scale 1 \
+            --model "$model" \
+            | diff - "tests/golden/run_${wl}_${model}.txt"
+    done
+done
+for sweep in base fig3 fig4 confidence predictors verif-latency \
+             reissue-latency; do
+    ./build/tools/vspec_sweep "$sweep" --quick --scale 1 --jobs 4 \
+        | diff - "tests/golden/sweep_${sweep}.txt"
+done
+echo "golden outputs identical"
+
 echo "== tier-1: trace JSON validity =="
 obs_dir=$(mktemp -d)
 trap 'rm -rf "$obs_dir"' EXIT
@@ -35,5 +71,26 @@ trap 'rm -rf "$obs_dir"' EXIT
 python3 -m json.tool "$obs_dir/pipeline.json" >/dev/null
 python3 -m json.tool "$obs_dir/sweep.json" >/dev/null
 echo "trace JSON OK"
+
+echo "== tier-1: scheduler perf gate (window 256) =="
+# The ready-list scheduler must simulate >= 1.3x the cycles/second of
+# the legacy scan at --window 256; the measurement is kept as
+# google-benchmark JSON in build/bench/.
+./build/bench/perf_simulator \
+    --benchmark_filter='BM_OooWindow256' --benchmark_min_time=1 \
+    --benchmark_out=build/bench/perf_window256.json \
+    --benchmark_out_format=json >/dev/null 2>&1
+python3 - build/bench/perf_window256.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rates = {}
+for b in report["benchmarks"]:
+    rates[b["label"]] = b["simcycles/s"]
+ratio = rates["ready-list"] / rates["scan"]
+print(f"scan {rates['scan']:.0f} cyc/s, ready-list "
+      f"{rates['ready-list']:.0f} cyc/s -> {ratio:.2f}x")
+sys.exit(0 if ratio >= 1.3 else 1)
+EOF
 
 echo "== tier-1: OK =="

@@ -125,4 +125,16 @@ class FatalError : public std::exception
         } \
     } while (0)
 
+/**
+ * Invariant check for hot paths: like VSIM_ASSERT in debug builds,
+ * compiled out entirely under NDEBUG.
+ */
+#ifdef NDEBUG
+#define VSIM_DEBUG_ASSERT(cond, ...) \
+    do { \
+    } while (0)
+#else
+#define VSIM_DEBUG_ASSERT(cond, ...) VSIM_ASSERT(cond, __VA_ARGS__)
+#endif
+
 #endif // VSIM_BASE_LOGGING_HH

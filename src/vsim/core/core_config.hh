@@ -31,6 +31,18 @@ enum class ConfidenceKind
     Always, //!< speculate on every prediction (stress configuration)
 };
 
+/**
+ * Wakeup/select implementation. Both produce bit-identical runs
+ * (asserted by tests/test_scheduler.cc); Scan keeps the legacy
+ * O(window)-per-cycle rescan for the before/after comparison in
+ * bench/perf_simulator.cc. Not part of a run's identity (jobKey).
+ */
+enum class SchedulerKind
+{
+    ReadyList, //!< event-driven ready lists (issue_scheduler.hh)
+    Scan,      //!< re-derive the candidate set from scratch each cycle
+};
+
 struct CoreConfig
 {
     // ---- machine width / window (paper: 4/24, 8/48, 16/96) -----------
@@ -70,6 +82,7 @@ struct CoreConfig
     // ---- run control -----------------------------------------------------
     std::uint64_t maxCycles = 2'000'000'000;
     bool tracePipeline = false;
+    SchedulerKind scheduler = SchedulerKind::ReadyList;
 
     // ---- observability ---------------------------------------------------
     /**

@@ -1,0 +1,56 @@
+#include "event_queue.hh"
+
+#include <algorithm>
+
+#include "vsim/base/logging.hh"
+
+namespace vsim::core
+{
+
+void
+EventQueue::schedule(std::uint64_t at, const Event &ev)
+{
+    byCycle[at].push_back(ev);
+}
+
+void
+EventQueue::scheduleWave(std::uint64_t at, EventKind kind, int slot,
+                         std::uint64_t seq, bool hierarchical)
+{
+    schedule(at, {kind, slot, seq, hierarchical ? 0 : -1});
+}
+
+void
+EventQueue::advanceWave(std::uint64_t now, const Event &ev)
+{
+    VSIM_ASSERT(ev.depth >= 0, "advancing a non-wave event");
+    schedule(now + 1, {ev.kind, ev.slot, ev.seq, ev.depth + 1});
+}
+
+std::vector<Event>
+EventQueue::popBatch(std::uint64_t now)
+{
+    VSIM_ASSERT(due(now), "popBatch with no due events");
+    auto it = byCycle.begin();
+    std::vector<Event> batch = std::move(it->second);
+    byCycle.erase(it);
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Event &a, const Event &b) {
+                         if (a.seq != b.seq)
+                             return a.seq < b.seq;
+                         return static_cast<int>(a.kind)
+                                < static_cast<int>(b.kind);
+                     });
+    return batch;
+}
+
+std::size_t
+EventQueue::pendingEvents() const
+{
+    std::size_t n = 0;
+    for (const auto &[at, batch] : byCycle)
+        n += batch.size();
+    return n;
+}
+
+} // namespace vsim::core

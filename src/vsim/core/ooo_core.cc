@@ -1,3 +1,13 @@
+/**
+ * @file
+ * OooCore backbone: construction, window slot management, squash,
+ * nullification, the SpecHooks bridge into the policy sweeps, the
+ * wakeup-scheduler bookkeeping, observability sampling and the
+ * top-level cycle loop. The pipeline stages themselves live in
+ * ooo_frontend.cc (fetch/dispatch), ooo_issue.cc (wakeup/select/issue)
+ * and ooo_commit.cc (completion/events/retire).
+ */
+
 #include "ooo_core.hh"
 
 #include <algorithm>
@@ -8,20 +18,9 @@
 namespace vsim::core
 {
 
-namespace
-{
-
-/** True when the instruction's result register is value-predictable. */
-bool
-vpEligibleInst(const isa::Inst &inst)
-{
-    return inst.destReg() >= 0 && !inst.isControl();
-}
-
-} // namespace
-
 OooCore::OooCore(const assembler::Program &prog, const CoreConfig &config)
     : cfg(config), model(config.model),
+      policies(makePolicies(config.model)),
       trace(arch::preExecute(prog)),
       bpred_(bpred::makeBranchPredictor(config.branchPredictor)),
       vpred_(vpred::makeValuePredictor(config.valuePredictor)),
@@ -59,6 +58,9 @@ OooCore::OooCore(const assembler::Program &prog, const CoreConfig &config)
     vpTrained.assign(trace.entries.size(), false);
     bpTrained.assign(trace.entries.size(), false);
 
+    sched.reset(cfg.windowSize);
+    waiters.assign(static_cast<std::size_t>(cfg.windowSize), {});
+
     tracer_.setCapacity(cfg.traceRetain);
     intervals_.period = cfg.metricsInterval;
 }
@@ -85,6 +87,10 @@ OooCore::allocSlot()
     RsEntry &e = window[static_cast<std::size_t>(slot)];
     e = RsEntry{};
     e.busy = true;
+    // Waiters of the slot's previous tenant are all dead by now (a
+    // retiring producer has broadcast; a squashed one took every
+    // younger consumer with it) — drop them before they accumulate.
+    waiters[static_cast<std::size_t>(slot)].clear();
     return slot;
 }
 
@@ -96,6 +102,8 @@ OooCore::freeSlot(int slot)
     e.busy = false;
     freeSlots.push_back(slot);
     --liveEntries;
+    if (readyListScheduler())
+        sched.remove(slot);
 }
 
 void
@@ -106,963 +114,6 @@ OooCore::rebuildRegTags()
         const RsEntry &e = entry(slot);
         if (int dest = e.inst.destReg(); dest >= 0)
             regTag[static_cast<std::size_t>(dest)] = slot;
-    }
-}
-
-// =====================================================================
-// fetch
-// =====================================================================
-
-void
-OooCore::fetchStage()
-{
-    if (halted || fetchSawHalt || cycle < fetchResumeAt)
-        return;
-
-    const int width = cfg.effFetchWidth();
-    const std::size_t buf_cap = static_cast<std::size_t>(2 * width);
-    int fetched = 0;
-
-    while (fetched < width && fetchQueue.size() < buf_cap) {
-        const std::uint32_t word =
-            static_cast<std::uint32_t>(memory.read(fetchPc, 4));
-        const auto decoded = isa::decode(word);
-        if (!decoded) {
-            // Wrong-path fetch ran into non-code bytes; a real machine
-            // would raise a fault that the squash discards. Idle the
-            // front end until the redirect arrives.
-            VSIM_ASSERT(!fetchOnCorrectPath,
-                        "illegal instruction on the correct path at pc=",
-                        fetchPc);
-            fetchResumeAt = ~0ull;
-            return;
-        }
-        const isa::Inst inst = *decoded;
-
-        // Instruction-cache timing: a miss stalls the front end for
-        // the fill delay; the line is resident on resume.
-        const int ilat = icacheH.access(fetchPc, false);
-        if (ilat > cfg.icacheHitLat) {
-            fetchResumeAt =
-                cycle + static_cast<std::uint64_t>(ilat - cfg.icacheHitLat);
-            return;
-        }
-
-        FetchedInst f;
-        f.pc = fetchPc;
-        f.inst = inst;
-        f.availableAt = cycle + 1;
-        f.traceIndex = fetchOnCorrectPath ? fetchTraceIdx : -1;
-
-        // ---- next-PC prediction (paper §5.1 rules) ------------------
-        const bool on_path =
-            fetchOnCorrectPath
-            && fetchTraceIdx
-                   < static_cast<std::int64_t>(trace.entries.size());
-        VSIM_ASSERT(!fetchOnCorrectPath || on_path,
-                    "fetch ran past the end of the program trace");
-        const arch::TraceEntry *te =
-            on_path ? &trace.entries[static_cast<std::size_t>(
-                          fetchTraceIdx)]
-                    : nullptr;
-        if (te) {
-            VSIM_ASSERT(te->pc == fetchPc,
-                        "correct-path fetch diverged from trace");
-        }
-
-        if (inst.isCondBranch()) {
-            const bool pred_dir = bpred_->predict(fetchPc);
-            if (te) {
-                const bool actual_dir = te->nextPc != fetchPc + 4;
-                auto trained =
-                    bpTrained.begin() + static_cast<std::ptrdiff_t>(
-                                            fetchTraceIdx);
-                if (!*trained) {
-                    bpred_->update(fetchPc, actual_dir);
-                    *trained = true;
-                }
-                if (pred_dir == actual_dir) {
-                    // Targets are always right when direction is right.
-                    f.predTaken = actual_dir;
-                    f.predNextPc = te->nextPc;
-                } else {
-                    f.predTaken = pred_dir;
-                    f.predNextPc = pred_dir
-                                       ? arch::directTarget(inst, fetchPc)
-                                       : fetchPc + 4;
-                }
-            } else {
-                f.predTaken = pred_dir;
-                f.predNextPc = pred_dir
-                                   ? arch::directTarget(inst, fetchPc)
-                                   : fetchPc + 4;
-            }
-        } else if (inst.op == isa::Op::JAL) {
-            f.predTaken = true;
-            f.predNextPc = arch::directTarget(inst, fetchPc);
-        } else if (inst.op == isa::Op::JALR) {
-            // Unconditional jumps are always predicted correctly on
-            // the correct path (§5.1); the wrong path has no oracle,
-            // so fall through and let execution redirect.
-            f.predTaken = true;
-            f.predNextPc = te ? te->nextPc : fetchPc + 4;
-        } else {
-            f.predTaken = false;
-            f.predNextPc = fetchPc + 4;
-        }
-
-        fetchQueue.push_back(f);
-        ++stats_.fetched;
-        ++fetched;
-
-        if (fetchOnCorrectPath) {
-            if (inst.op == isa::Op::HALT) {
-                fetchSawHalt = true;
-                return;
-            }
-            if (te && f.predNextPc != te->nextPc)
-                fetchOnCorrectPath = false; // entering the wrong path
-            ++fetchTraceIdx;
-        }
-        fetchPc = f.predNextPc;
-    }
-}
-
-// =====================================================================
-// dispatch
-// =====================================================================
-
-void
-OooCore::captureOperand(RsEntry &e, int idx, int reg)
-{
-    Operand &o = e.src[idx];
-    o = Operand{};
-    if (reg < 0) {
-        o.state = OperandState::Unused;
-        return;
-    }
-    o.reg = reg;
-    const int t = reg == 0 ? -1 : regTag[static_cast<std::size_t>(reg)];
-    if (t < 0) {
-        o.value = reg == 0 ? 0 : archRegs[static_cast<std::size_t>(reg)];
-        o.state = OperandState::Valid;
-        o.tag = -1;
-        o.readyAt = cycle;
-        o.validAt = cycle;
-        return;
-    }
-
-    RsEntry &p = entry(t);
-    o.tag = t;
-    if (p.predicted && !p.predResolved) {
-        // The prediction stands in for the producer's result until the
-        // verification network resolves it.
-        o.value = p.predValue;
-        o.state = OperandState::Predicted;
-        o.deps.set(static_cast<std::size_t>(t));
-        o.readyAt = cycle;
-    } else if (p.executed) {
-        o.value = p.outValue;
-        o.deps = p.outDeps;
-        o.readyAt = std::max(cycle, p.execDoneAt);
-        if (o.deps.none()) {
-            o.state = OperandState::Valid;
-            o.validAt = cycle;
-        } else {
-            o.state = OperandState::Speculative;
-        }
-    } else {
-        o.state = OperandState::Invalid; // wait on the result bus
-    }
-}
-
-void
-OooCore::predictValueAt(RsEntry &e)
-{
-    if (!cfg.useValuePrediction || !vpEligibleInst(e.inst))
-        return;
-    e.vpEligible = true;
-
-    const bool have_actual = e.traceIndex >= 0;
-    const std::uint64_t actual =
-        have_actual
-            ? trace.entries[static_cast<std::size_t>(e.traceIndex)].value
-            : 0;
-
-    if (predOverride) {
-        if (auto forced = predOverride(e.pc, actual)) {
-            e.predValue = *forced;
-            e.predConfident = true;
-            e.predicted = true;
-        } else {
-            e.vpEligible = false;
-        }
-        return;
-    }
-
-    const vpred::Prediction p = vpred_->predict(e.pc);
-    e.predValue = p.value;
-    e.predToken = p.token;
-
-    switch (cfg.confidence) {
-      case ConfidenceKind::Real:
-        e.predConfident = conf_->confident(e.pc);
-        break;
-      case ConfidenceKind::Oracle:
-        e.predConfident = have_actual && p.value == actual;
-        break;
-      case ConfidenceKind::Always:
-        e.predConfident = true;
-        break;
-    }
-    e.predicted = e.predConfident;
-
-    if (cfg.updateTiming == UpdateTiming::Immediate) {
-        // Idealised immediate update with the correct value (§5.2),
-        // once per dynamic instance. The wrong path has no oracle and
-        // cannot train.
-        if (have_actual
-            && !vpTrained[static_cast<std::size_t>(e.traceIndex)]) {
-            vpTrained[static_cast<std::size_t>(e.traceIndex)] = true;
-            vpred_->pushHistory(e.pc, actual);
-            vpred_->updateTable(e.pc, p.token, actual);
-            if (cfg.confidence == ConfidenceKind::Real)
-                conf_->update(e.pc, p.value == actual);
-        }
-    } else {
-        // Delayed update: history speculatively advanced with the
-        // prediction now; tables trained at retirement (§5.2).
-        vpred_->pushHistory(e.pc, p.value);
-    }
-}
-
-void
-OooCore::dispatchStage()
-{
-    if (halted)
-        return;
-    const int width = cfg.effFetchWidth();
-    for (int n = 0; n < width && !fetchQueue.empty(); ++n) {
-        const FetchedInst &f = fetchQueue.front();
-        if (f.availableAt > cycle || liveEntries >= cfg.windowSize)
-            return;
-
-        const int slot = allocSlot();
-        RsEntry &e = entry(slot);
-        e.slot = slot;
-        e.seq = nextSeq++;
-        e.pc = f.pc;
-        e.inst = f.inst;
-        e.traceIndex = f.traceIndex;
-        e.dispatchAt = cycle;
-        e.predTaken = f.predTaken;
-        e.predNextPc = f.predNextPc;
-
-        captureOperand(e, 0, e.inst.srcReg1());
-        captureOperand(e, 1, e.inst.srcReg2());
-        predictValueAt(e);
-        if (e.predicted)
-            ++specLive;
-
-        if (int dest = e.inst.destReg(); dest >= 0)
-            regTag[static_cast<std::size_t>(dest)] = slot;
-        if (e.inst.isMem())
-            lsq.push_back(slot);
-        windowOrder.push_back(slot);
-
-        if (cfg.tracePipeline) {
-            tracer_.label(e.seq, isa::disassemble(e.inst));
-            tracer_.note(e.seq, cycle, "D");
-        }
-
-        fetchQueue.pop_front();
-        ++stats_.dispatched;
-    }
-}
-
-// =====================================================================
-// wakeup / select / issue
-// =====================================================================
-
-bool
-OooCore::loadOrderingSatisfied(const RsEntry &e) const
-{
-    // Loads execute only once every preceding store address is known
-    // (§2.1); bytes covered by an older store additionally need the
-    // store's data to be present and valid.
-    for (int slot : lsq) {
-        const RsEntry &s = window[static_cast<std::size_t>(slot)];
-        if (s.seq >= e.seq)
-            break;
-        if (!s.inst.isStore())
-            continue;
-        if (!s.addrReady || s.addrReadyAt > cycle)
-            return false;
-
-        const std::uint64_t lo = std::max(s.memAddr, e.memAddr);
-        const std::uint64_t hi =
-            std::min(s.memAddr + static_cast<std::uint64_t>(
-                                     s.inst.memSize()),
-                     e.memAddr + static_cast<std::uint64_t>(
-                                     e.inst.memSize()));
-        if (lo < hi) {
-            const Operand &data = s.src[0];
-            if (data.state != OperandState::Valid
-                || data.readyAt > cycle) {
-                return false;
-            }
-        }
-    }
-    return true;
-}
-
-bool
-OooCore::loadValue(const RsEntry &e, std::uint64_t &value,
-                   bool &forwarded) const
-{
-    const int size = e.inst.memSize();
-    forwarded = false;
-    std::uint64_t raw = 0;
-    for (int i = 0; i < size; ++i) {
-        const std::uint64_t addr = e.memAddr + static_cast<unsigned>(i);
-        std::uint8_t byte = memory.readByte(addr);
-        // Youngest older store covering this byte wins.
-        for (int slot : lsq) {
-            const RsEntry &s = window[static_cast<std::size_t>(slot)];
-            if (s.seq >= e.seq)
-                break;
-            if (!s.inst.isStore() || !s.addrReady)
-                continue;
-            if (addr >= s.memAddr
-                && addr < s.memAddr + static_cast<std::uint64_t>(
-                              s.inst.memSize())) {
-                byte = static_cast<std::uint8_t>(
-                    s.src[0].value >> (8 * (addr - s.memAddr)));
-                forwarded = true;
-            }
-        }
-        raw |= static_cast<std::uint64_t>(byte) << (8 * i);
-    }
-    value = arch::loadExtend(e.inst, raw);
-    return true;
-}
-
-bool
-OooCore::canIssue(const RsEntry &e) const
-{
-    if (!e.busy || e.issued || cycle <= e.dispatchAt
-        || cycle < e.reissueAt) {
-        return false;
-    }
-    for (const Operand &o : e.src) {
-        if (!o.used())
-            continue;
-        if (!o.hasValue() || o.readyAt > cycle)
-            return false;
-    }
-
-    const bool needs_valid =
-        e.inst.isBranch() || e.inst.isSystem()
-            ? model.branchNeedsValidOps || !cfg.useValuePrediction
-            : false;
-    if (needs_valid) {
-        for (const Operand &o : e.src) {
-            if (!o.used())
-                continue;
-            if (o.state != OperandState::Valid)
-                return false;
-            if (o.validViaEvent
-                && cycle < o.validAt + static_cast<std::uint64_t>(
-                               model.verifyToBranch)) {
-                return false;
-            }
-        }
-    }
-
-    if (e.inst.isMem() && (model.memNeedsValidOps
-                           || !cfg.useValuePrediction)) {
-        // Address operand: loads use src[0], stores src[1].
-        const Operand &base = e.inst.isLoad() ? e.src[0] : e.src[1];
-        if (base.used()) {
-            if (base.state != OperandState::Valid)
-                return false;
-            if (base.validViaEvent
-                && cycle < base.validAt + static_cast<std::uint64_t>(
-                               model.verifyAddrToMem)) {
-                return false;
-            }
-        }
-    }
-    return true;
-}
-
-void
-OooCore::issueEntry(RsEntry &e)
-{
-    // Gather register-role values from the operand slots (the operand
-    // order mirrors Inst::srcReg1/srcReg2).
-    const isa::OpInfo &oi = e.inst.info();
-    std::uint64_t ra_val = 0, rb_val = 0, rc_val = 0;
-    if (oi.readsRa) {
-        ra_val = e.src[0].value;
-        if (oi.readsRb)
-            rb_val = e.src[1].value;
-    } else {
-        if (oi.readsRb)
-            rb_val = e.src[0].value;
-        if (oi.readsRc)
-            rc_val = e.src[1].value;
-    }
-
-    const arch::ExecOut out =
-        arch::evaluate(e.inst, e.pc, ra_val, rb_val, rc_val);
-
-    int lat = cfg.aluLat;
-    Completion c;
-    c.slot = e.slot;
-    c.seq = e.seq;
-    c.value = out.value;
-    c.taken = out.taken;
-    c.nextPc = out.nextPc;
-
-    switch (e.inst.info().cls) {
-      case isa::ExecClass::IntAlu:
-      case isa::ExecClass::Branch:
-      case isa::ExecClass::System:
-        lat = cfg.aluLat;
-        break;
-      case isa::ExecClass::IntMul:
-        lat = cfg.mulLat;
-        break;
-      case isa::ExecClass::IntDiv:
-        lat = cfg.divLat;
-        break;
-      case isa::ExecClass::Store:
-        lat = cfg.aluLat; // address generation only
-        e.memAddr = out.memAddr;
-        break;
-      case isa::ExecClass::Load: {
-        e.memAddr = out.memAddr;
-        bool forwarded = false;
-        std::uint64_t value = 0;
-        loadValue(e, value, forwarded);
-        c.value = value;
-        if (forwarded) {
-            lat = cfg.aluLat + cfg.storeForwardLat;
-            ++stats_.loadsForwarded;
-        } else {
-            lat = cfg.aluLat + dcacheH.access(e.memAddr, false);
-            ++dcachePortsUsed;
-        }
-        break;
-      }
-    }
-
-    e.issued = true;
-    ++e.nonce;
-    ++e.execCount;
-    if (e.execCount > 1) {
-        ++stats_.reissues;
-        stats_.invalToReissue.sample(cycle - e.nullifiedAt);
-    }
-    c.nonce = e.nonce;
-    completions[cycle + static_cast<std::uint64_t>(lat)].push_back(c);
-    ++stats_.issued;
-
-    if (cfg.tracePipeline) {
-        for (int k = 0; k < lat; ++k)
-            tracer_.note(e.seq, cycle + static_cast<unsigned>(k), "EX");
-    }
-}
-
-void
-OooCore::issueStage()
-{
-    if (halted)
-        return;
-
-    struct Candidate
-    {
-        int prio;   //!< 0 = branch/load first
-        int spec;   //!< non-speculative preferred
-        std::uint64_t seq;
-        int slot;
-    };
-    std::vector<Candidate> cands;
-    cands.reserve(static_cast<std::size_t>(liveEntries));
-
-    for (int slot : windowOrder) {
-        RsEntry &e = entry(slot);
-        if (!canIssue(e))
-            continue;
-        int spec = 0;
-        for (const Operand &o : e.src) {
-            if (o.used() && o.state != OperandState::Valid)
-                spec = 1;
-        }
-        int prio = (e.inst.isBranch() || e.inst.isLoad()) ? 0 : 1;
-        switch (model.selectPolicy) {
-          case SelectPolicy::TypedSpecLast:
-            break; // paper §3.5: type, then non-spec, then age
-          case SelectPolicy::TypedOnly:
-            spec = 0;
-            break;
-          case SelectPolicy::OldestFirst:
-            prio = 0;
-            spec = 0;
-            break;
-          case SelectPolicy::TypedSpecFirst:
-            spec = 1 - spec;
-            break;
-        }
-        cands.push_back({prio, spec, e.seq, slot});
-    }
-    std::sort(cands.begin(), cands.end(),
-              [](const Candidate &a, const Candidate &b) {
-                  if (a.prio != b.prio)
-                      return a.prio < b.prio;
-                  if (a.spec != b.spec)
-                      return a.spec < b.spec;
-                  return a.seq < b.seq;
-              });
-
-    int issued = 0;
-    for (const Candidate &cand : cands) {
-        if (issued >= cfg.issueWidth)
-            break;
-        RsEntry &e = entry(cand.slot);
-        if (e.inst.isLoad()) {
-            // Effective address needed for the ordering check; compute
-            // it from the base operand (cheap, pure).
-            const Operand &base = e.src[0];
-            e.memAddr =
-                base.value
-                + static_cast<std::uint64_t>(
-                      static_cast<std::int64_t>(e.inst.imm));
-            if (!loadOrderingSatisfied(e))
-                continue;
-            // Loads that cannot forward need a data-cache port.
-            bool would_forward = false;
-            std::uint64_t dummy;
-            loadValue(e, dummy, would_forward);
-            if (!would_forward
-                && dcachePortsUsed >= cfg.effDcachePorts()) {
-                continue;
-            }
-        }
-        issueEntry(e);
-        ++issued;
-    }
-}
-
-// =====================================================================
-// completion / broadcast
-// =====================================================================
-
-void
-OooCore::broadcast(RsEntry &producer)
-{
-    const bool keep_prediction =
-        producer.predicted && !producer.predResolved;
-    for (int slot : windowOrder) {
-        RsEntry &f = entry(slot);
-        if (f.seq <= producer.seq)
-            continue;
-        for (Operand &o : f.src) {
-            if (!o.used() || o.state != OperandState::Invalid
-                || o.tag != producer.slot) {
-                continue;
-            }
-            if (keep_prediction) {
-                o.value = producer.predValue;
-                o.state = OperandState::Predicted;
-                o.deps.reset();
-                o.deps.set(static_cast<std::size_t>(producer.slot));
-                o.readyAt = cycle;
-            } else {
-                o.value = producer.outValue;
-                o.deps = producer.outDeps;
-                o.readyAt = cycle;
-                if (o.deps.none()) {
-                    o.state = OperandState::Valid;
-                    o.validAt = cycle;
-                    o.validViaEvent = false;
-                    f.verifiedAt = std::max(f.verifiedAt, cycle);
-                } else {
-                    o.state = OperandState::Speculative;
-                }
-            }
-        }
-    }
-}
-
-void
-OooCore::noteOutputValid(RsEntry &e, bool via_event)
-{
-    e.outValid = true;
-    e.outValidAt = cycle;
-    e.outValidViaEvent = via_event;
-    e.verifiedAt = std::max(e.verifiedAt, cycle);
-    if (e.predicted && !e.predResolved && !e.eqScheduled) {
-        e.eqScheduled = true;
-        scheduleEvent(cycle + static_cast<std::uint64_t>(
-                                  model.execToEquality),
-                      {EventKind::EqCheck, e.slot, e.seq, -1});
-    }
-}
-
-void
-OooCore::applyCompletions()
-{
-    auto it = completions.begin();
-    while (it != completions.end() && it->first <= cycle) {
-        for (const Completion &c : it->second) {
-            RsEntry &e = entry(c.slot);
-            if (!e.busy || e.seq != c.seq || e.nonce != c.nonce
-                || !e.issued || e.executed) {
-                continue; // stale (nullified or squashed meanwhile)
-            }
-            e.executed = true;
-            e.execDoneAt = cycle;
-            e.outValue = c.value;
-            e.outDeps.reset();
-            for (const Operand &o : e.src) {
-                if (o.used())
-                    e.outDeps |= o.deps;
-            }
-            e.verifiedAt = std::max(e.verifiedAt, cycle);
-            if (e.inst.isStore()) {
-                e.addrReady = true;
-                e.addrReadyAt = cycle;
-            }
-            if (cfg.tracePipeline)
-                tracer_.note(e.seq, cycle, "W");
-
-            if (e.outDeps.none())
-                noteOutputValid(e, false);
-            broadcast(e);
-
-            if (e.inst.isBranch() && c.nextPc != e.predNextPc) {
-                // Branch misprediction: squash younger work and
-                // redirect fetch to the computed target. Fetch is back
-                // on the correct path only if the computed target is
-                // architecturally right (it can be wrong when branches
-                // are allowed to resolve with speculative operands).
-                ++stats_.squashes;
-                const bool on_path =
-                    e.traceIndex >= 0
-                    && c.nextPc
-                           == trace.entries[static_cast<std::size_t>(
-                                                e.traceIndex)]
-                                  .nextPc;
-                squashAfter(e.seq, c.nextPc,
-                            on_path ? e.traceIndex + 1 : -1);
-                // Later re-executions (speculative resolution only)
-                // compare against the path actually being fetched.
-                e.predNextPc = c.nextPc;
-                e.mispredicted = true;
-            }
-        }
-        it = completions.erase(it);
-    }
-}
-
-// =====================================================================
-// verification / invalidation events
-// =====================================================================
-
-void
-OooCore::scheduleEvent(std::uint64_t at, const Event &ev)
-{
-    events[at].push_back(ev);
-}
-
-void
-OooCore::doEqCheck(RsEntry &e)
-{
-    if (!e.executed || !e.outDeps.none() || !e.predicted
-        || e.predResolved) {
-        e.eqScheduled = false;
-        return;
-    }
-    e.eqScheduled = false;
-    if (e.outValue == e.predValue) {
-        scheduleEvent(cycle + static_cast<std::uint64_t>(
-                                  model.equalityToVerify),
-                      {EventKind::Verify, e.slot, e.seq,
-                       model.verifyScheme == VerifyScheme::Hierarchical
-                               || model.verifyScheme == VerifyScheme::Hybrid
-                           ? 0
-                           : -1});
-    } else {
-        scheduleEvent(cycle + static_cast<std::uint64_t>(
-                                  model.equalityToInvalidate),
-                      {EventKind::Invalidate, e.slot, e.seq,
-                       model.invalScheme == InvalScheme::Hierarchical ? 0
-                                                                      : -1});
-    }
-}
-
-void
-OooCore::doVerify(RsEntry &p, int depth)
-{
-    const std::size_t pbit = static_cast<std::size_t>(p.slot);
-
-    if (!p.predResolved) {
-        ++stats_.verifyEvents;
-        p.predResolved = true;
-        p.verifiedAt = std::max(p.verifiedAt, cycle);
-        stats_.verifyLatency.sample(cycle - p.dispatchAt);
-        --specLive;
-        if (cfg.tracePipeline)
-            tracer_.note(p.seq, cycle, "V");
-    }
-
-    const VerifyScheme scheme = model.verifyScheme;
-    if (scheme == VerifyScheme::RetirementBased) {
-        // Consumers learn at the producer's retirement; nothing to do
-        // here (see retireOne()).
-        return;
-    }
-    const bool hier = scheme == VerifyScheme::Hierarchical
-                      || scheme == VerifyScheme::Hybrid;
-
-    // Hierarchical semantics advance one dependence level per event.
-    // All "was X cleansed?" tests must observe the state *before* the
-    // event started, otherwise an in-order sweep cleanses producers
-    // in-place and collapses the wave into the flattened behaviour —
-    // so snapshot which outputs and which entries' inputs carried the
-    // bit at the start of the step.
-    SpecMask out_had_bit;  //!< slots whose output carried bit p
-    SpecMask in_had_bit;   //!< slots with an input carrying bit p
-    if (hier) {
-        for (int slot : windowOrder) {
-            const RsEntry &f = entry(slot);
-            if (f.executed && f.outDeps.test(pbit))
-                out_had_bit.set(static_cast<std::size_t>(slot));
-            for (const Operand &o : f.src) {
-                if (o.used() && o.deps.test(pbit))
-                    in_had_bit.set(static_cast<std::size_t>(slot));
-            }
-        }
-    }
-
-    bool any_left = false;
-    for (int slot : windowOrder) {
-        RsEntry &f = entry(slot);
-        if (f.slot == p.slot)
-            continue;
-        for (Operand &o : f.src) {
-            if (!o.used() || !o.deps.test(pbit))
-                continue;
-            bool clear = true;
-            if (hier && o.tag != p.slot && o.tag >= 0) {
-                // Clears only when the operand's producer's output was
-                // already cleansed before this wave step.
-                const RsEntry &prod =
-                    window[static_cast<std::size_t>(o.tag)];
-                clear = !prod.busy || prod.seq >= f.seq
-                        || !prod.executed
-                        || !out_had_bit.test(
-                               static_cast<std::size_t>(o.tag));
-            }
-            if (!clear) {
-                any_left = true;
-                continue;
-            }
-            o.deps.reset(pbit);
-            if (o.deps.none() && o.state != OperandState::Invalid
-                && o.state != OperandState::Valid) {
-                o.state = OperandState::Valid;
-                o.validAt = cycle;
-                o.validViaEvent = true;
-                f.verifiedAt = std::max(f.verifiedAt, cycle);
-            }
-        }
-        if (f.executed && f.outDeps.test(pbit)) {
-            // The output cleanses one wave step after its inputs did
-            // (flattened: immediately).
-            const bool inputs_were_clean =
-                !hier
-                || !in_had_bit.test(static_cast<std::size_t>(slot));
-            if (inputs_were_clean) {
-                f.outDeps.reset(pbit);
-                if (f.outDeps.none())
-                    noteOutputValid(f, true);
-            } else {
-                any_left = true;
-            }
-        }
-    }
-
-    if (hier && any_left) {
-        // Advance the wave one level next cycle.
-        scheduleEvent(cycle + 1,
-                      {EventKind::Verify, p.slot, p.seq, depth + 1});
-    }
-}
-
-void
-OooCore::nullify(RsEntry &e)
-{
-    // Wakeup nullification (§3.4): remove the effects of the previous
-    // execution and enable a future wakeup.
-    e.issued = false;
-    e.executed = false;
-    ++e.nonce;
-    e.outDeps.reset();
-    e.outValid = false;
-    e.eqScheduled = false;
-    if (e.inst.isStore()) {
-        e.addrReady = false;
-    }
-    e.reissueAt = cycle + static_cast<std::uint64_t>(
-                              model.invalidateToReissue);
-    e.nullifiedAt = cycle;
-    ++stats_.nullifications;
-    if (cfg.tracePipeline)
-        tracer_.note(e.seq, cycle, "I");
-}
-
-void
-OooCore::doInvalidate(RsEntry &p, int depth)
-{
-    const std::size_t pbit = static_cast<std::size_t>(p.slot);
-
-    if (!p.predResolved) {
-        ++stats_.invalidateEvents;
-        p.predResolved = true;
-        p.verifiedAt = std::max(p.verifiedAt, cycle);
-        stats_.verifyLatency.sample(cycle - p.dispatchAt);
-        --specLive;
-        if (cfg.tracePipeline)
-            tracer_.note(p.seq, cycle, "EQ!");
-    }
-
-    if (model.invalScheme == InvalScheme::Complete) {
-        // Complete invalidation (§3.1): treat the value misprediction
-        // like a branch misprediction — squash everything younger than
-        // p and refetch. p itself keeps its (correct) computed result.
-        ++stats_.squashes;
-        squashAfter(p.seq, p.pc + 4,
-                    p.traceIndex >= 0 ? p.traceIndex + 1 : -1);
-        return;
-    }
-
-    const bool hier = model.invalScheme == InvalScheme::Hierarchical;
-    bool any_left = false;
-
-    // Snapshot pre-step producer state for the hierarchical wave (see
-    // doVerify: in-place nullification must not let the wave jump
-    // levels within one event).
-    SpecMask was_executed, out_had_bit;
-    if (hier) {
-        for (int slot : windowOrder) {
-            const RsEntry &f = entry(slot);
-            if (f.executed) {
-                was_executed.set(static_cast<std::size_t>(slot));
-                if (f.outDeps.test(pbit))
-                    out_had_bit.set(static_cast<std::size_t>(slot));
-            }
-        }
-    }
-
-    for (int slot : windowOrder) {
-        RsEntry &f = entry(slot);
-        if (f.slot == p.slot)
-            continue;
-        bool affected = false;
-        for (Operand &o : f.src) {
-            if (!o.used() || !o.deps.test(pbit))
-                continue;
-            if (o.tag == p.slot) {
-                // Direct consumer: the correct value rides the same
-                // broadcast that signals the invalidation.
-                o.value = p.outValue;
-                o.deps.reset();
-                o.state = OperandState::Valid;
-                o.validAt = cycle;
-                o.validViaEvent = true;
-                o.readyAt = cycle;
-                f.verifiedAt = std::max(f.verifiedAt, cycle);
-                affected = true;
-            } else if (!hier) {
-                // Flattened: every transitive dependent resets at once
-                // and re-captures from its producer's re-broadcast.
-                o.state = OperandState::Invalid;
-                o.deps.reset();
-                affected = true;
-            } else {
-                // Hierarchical wave: react only once the operand's own
-                // producer was dealt with in an *earlier* step.
-                const RsEntry *prod =
-                    o.tag >= 0
-                        ? &window[static_cast<std::size_t>(o.tag)]
-                        : nullptr;
-                const std::size_t tbit =
-                    static_cast<std::size_t>(o.tag >= 0 ? o.tag : 0);
-                if (!prod || !prod->busy || prod->seq >= f.seq) {
-                    o.state = OperandState::Invalid;
-                    o.deps.reset();
-                    affected = true;
-                } else if (!was_executed.test(tbit)) {
-                    // Producer was nullified in an earlier wave step.
-                    o.state = OperandState::Invalid;
-                    o.deps.reset();
-                    affected = true;
-                } else if (!out_had_bit.test(tbit)
-                           && prod->executed) {
-                    // Producer re-executed with corrected inputs
-                    // before this step.
-                    o.value = prod->outValue;
-                    o.deps = prod->outDeps;
-                    o.readyAt = cycle;
-                    if (o.deps.none()) {
-                        o.state = OperandState::Valid;
-                        o.validAt = cycle;
-                        o.validViaEvent = true;
-                        f.verifiedAt = std::max(f.verifiedAt, cycle);
-                    } else {
-                        o.state = OperandState::Speculative;
-                    }
-                    affected = true;
-                } else {
-                    any_left = true;
-                }
-            }
-        }
-        if (affected && (f.issued || f.executed))
-            nullify(f);
-    }
-
-    if (hier && any_left) {
-        scheduleEvent(cycle + 1,
-                      {EventKind::Invalidate, p.slot, p.seq, depth + 1});
-    }
-}
-
-void
-OooCore::processEvents()
-{
-    while (!events.empty() && events.begin()->first <= cycle) {
-        std::vector<Event> batch = std::move(events.begin()->second);
-        events.erase(events.begin());
-        for (const Event &ev : batch) {
-            RsEntry &e = entry(ev.slot);
-            if (!e.busy || e.seq != ev.seq)
-                continue; // squashed
-            switch (ev.kind) {
-              case EventKind::EqCheck:
-                doEqCheck(e);
-                break;
-              case EventKind::Verify:
-                doVerify(e, ev.depth);
-                break;
-              case EventKind::Invalidate:
-                doInvalidate(e, ev.depth);
-                break;
-            }
-        }
     }
 }
 
@@ -1105,184 +156,120 @@ OooCore::squashAfter(std::uint64_t seq, std::uint64_t new_fetch_pc,
 }
 
 // =====================================================================
-// retire
+// nullification / prediction resolution
 // =====================================================================
 
-bool
-OooCore::retireOne()
+void
+OooCore::nullify(RsEntry &e)
 {
-    if (windowOrder.empty())
-        return false;
-    const int slot = windowOrder.front();
-    RsEntry &e = entry(slot);
-
-    if (!e.executed || !e.outDeps.none())
-        return false;
-    if (e.predicted && !e.predResolved)
-        return false;
-    for (const Operand &o : e.src) {
-        if (o.used() && o.state != OperandState::Valid)
-            return false;
-    }
-    if (cycle < e.verifiedAt + static_cast<std::uint64_t>(
-                                   model.verifyToFreeResource)) {
-        return false;
-    }
-    if (e.inst.isStore() && dcachePortsUsed >= cfg.effDcachePorts())
-        return false; // no store port this cycle
-    // A predicted instruction drives its verification/invalidation
-    // transaction from its reservation station: under a *hierarchical*
-    // (multi-step) wave it cannot release the entry while any
-    // in-flight value still carries its dependence bit. Single-event
-    // schemes never leave residue (flattened clears everything at
-    // once; the retirement-based/hybrid sweep clears it at this very
-    // retirement), so the guard must not apply to them — under
-    // retirement-based verification it would deadlock against itself.
-    if (e.predicted) {
-        const bool wave_verify =
-            model.verifyScheme == VerifyScheme::Hierarchical;
-        const bool wave_inval =
-            model.invalScheme == InvalScheme::Hierarchical;
-        const bool mispredicted = e.predValue != e.outValue;
-        if (mispredicted ? wave_inval : wave_verify) {
-            const std::size_t pbit = static_cast<std::size_t>(e.slot);
-            for (int other : windowOrder) {
-                const RsEntry &f = entry(other);
-                if (f.slot == e.slot)
-                    continue;
-                if (f.executed && f.outDeps.test(pbit))
-                    return false;
-                for (const Operand &o : f.src) {
-                    if (o.used() && o.deps.test(pbit))
-                        return false;
-                }
-            }
-        }
-    }
-
-    // ---- golden check against the functional pre-execution ----------
-    VSIM_ASSERT(e.traceIndex >= 0,
-                "wrong-path instruction reached retirement, pc=", e.pc);
-    VSIM_ASSERT(e.traceIndex == static_cast<std::int64_t>(retiredCount),
-                "retirement out of trace order at pc=", e.pc);
-    const arch::TraceEntry &te =
-        trace.entries[static_cast<std::size_t>(e.traceIndex)];
-    VSIM_ASSERT(te.pc == e.pc, "retired pc mismatch");
-    if (int dest = e.inst.destReg(); dest >= 0) {
-        VSIM_ASSERT(e.outValue == te.value,
-                    "value mismatch at retirement, pc=", e.pc,
-                    " ooo=", e.outValue, " func=", te.value);
-        archRegs[static_cast<std::size_t>(dest)] = e.outValue;
-        if (regTag[static_cast<std::size_t>(dest)] == slot)
-            regTag[static_cast<std::size_t>(dest)] = -1;
-    }
-
+    // Wakeup nullification (§3.4): remove the effects of the previous
+    // execution and enable a future wakeup.
+    e.issued = false;
+    e.executed = false;
+    ++e.nonce;
+    e.outDeps.reset();
+    e.outValid = false;
+    e.eqScheduled = false;
     if (e.inst.isStore()) {
-        memory.write(e.memAddr, e.src[0].value, e.inst.memSize());
-        dcacheH.access(e.memAddr, true);
-        ++dcachePortsUsed;
-        ++stats_.retiredStores;
-    } else if (e.inst.isLoad()) {
-        ++stats_.retiredLoads;
-    } else if (e.inst.isSystem()) {
-        switch (e.inst.op) {
-          case isa::Op::HALT:
-            halted = true;
-            exitCode = e.src[0].used() ? e.src[0].value : 0;
-            break;
-          case isa::Op::PUTC:
-            output.push_back(static_cast<char>(e.src[0].value));
-            break;
-          case isa::Op::PUTI:
-            output += std::to_string(
-                static_cast<std::int64_t>(e.src[0].value));
-            break;
-          default:
-            VSIM_PANIC("unknown system op at retire");
-        }
-    } else if (e.inst.isBranch()) {
-        ++stats_.retiredBranches;
-        if (e.inst.isCondBranch()) {
-            ++stats_.condBranches;
-            if (e.mispredicted)
-                ++stats_.condMispredicts;
-        }
+        e.addrReady = false;
     }
-
-    // ---- value-prediction accounting & delayed training --------------
-    if (e.vpEligible) {
-        ++stats_.vpEligible;
-        const bool correct = e.predValue == e.outValue;
-        auto &pp = perPcVp[e.pc];
-        ++pp.first;
-        pp.second += correct;
-        if (correct)
-            ++(e.predConfident ? stats_.vpCH : stats_.vpCL);
-        else
-            ++(e.predConfident ? stats_.vpIH : stats_.vpIL);
-        if (e.predicted)
-            ++stats_.vpSpeculated;
-        if (!predOverride && cfg.updateTiming == UpdateTiming::Delayed) {
-            vpred_->updateTable(e.pc, e.predToken, e.outValue);
-            vpred_->commitHistory(e.pc, e.outValue, correct);
-            if (cfg.confidence == ConfidenceKind::Real)
-                conf_->update(e.pc, correct);
-        }
-    }
-
-    // Retirement-based verification: the paper's §3.2 scheme validates
-    // consumers through the retirement broadcast.
-    if (e.predicted
-        && (model.verifyScheme == VerifyScheme::RetirementBased
-            || model.verifyScheme == VerifyScheme::Hybrid)) {
-        const std::size_t pbit = static_cast<std::size_t>(e.slot);
-        for (int fslot : windowOrder) {
-            RsEntry &f = entry(fslot);
-            if (f.slot == e.slot)
-                continue;
-            for (Operand &o : f.src) {
-                if (!o.used() || !o.deps.test(pbit))
-                    continue;
-                o.deps.reset(pbit);
-                if (o.deps.none() && o.state != OperandState::Invalid
-                    && o.state != OperandState::Valid) {
-                    o.state = OperandState::Valid;
-                    o.validAt = cycle;
-                    o.validViaEvent = true;
-                    f.verifiedAt = std::max(f.verifiedAt, cycle);
-                }
-            }
-            if (f.executed && f.outDeps.test(pbit)) {
-                f.outDeps.reset(pbit);
-                if (f.outDeps.none())
-                    noteOutputValid(f, true);
-            }
-        }
-    }
-
+    e.reissueAt = cycle + static_cast<std::uint64_t>(
+                              model.invalidateToReissue);
+    e.nullifiedAt = cycle;
+    ++stats_.nullifications;
     if (cfg.tracePipeline)
-        tracer_.note(e.seq, cycle, "RT");
-
-    if (e.inst.isMem()) {
-        VSIM_ASSERT(!lsq.empty() && lsq.front() == slot,
-                    "LSQ out of order at retirement");
-        lsq.pop_front();
-    }
-    windowOrder.pop_front();
-    freeSlot(slot);
-    ++retiredCount;
-    ++stats_.retired;
-    return true;
+        tracer_.note(e.seq, cycle, "I");
+    touchWakeup(e.slot);
 }
 
 void
-OooCore::retireStage()
+OooCore::noteOutputValid(RsEntry &e, bool via_event)
 {
-    const int width = cfg.effRetireWidth();
-    for (int n = 0; n < width && !halted; ++n) {
-        if (!retireOne())
-            break;
+    e.outValid = true;
+    e.outValidAt = cycle;
+    e.outValidViaEvent = via_event;
+    e.verifiedAt = std::max(e.verifiedAt, cycle);
+    if (e.predicted && !e.predResolved && !e.eqScheduled) {
+        e.eqScheduled = true;
+        events.schedule(cycle + static_cast<std::uint64_t>(
+                                    model.execToEquality),
+                        {EventKind::EqCheck, e.slot, e.seq, -1});
     }
+}
+
+void
+OooCore::resolvePrediction(RsEntry &p, bool verified)
+{
+    if (p.predResolved)
+        return;
+    ++(verified ? stats_.verifyEvents : stats_.invalidateEvents);
+    p.predResolved = true;
+    p.verifiedAt = std::max(p.verifiedAt, cycle);
+    stats_.verifyLatency.sample(cycle - p.dispatchAt);
+    --specLive;
+    if (cfg.tracePipeline)
+        tracer_.note(p.seq, cycle, verified ? "V" : "EQ!");
+}
+
+// =====================================================================
+// SpecHooks: side effects raised by the policy sweeps
+// =====================================================================
+
+void
+OooCore::outputBecameValid(RsEntry &e)
+{
+    noteOutputValid(e, true);
+}
+
+void
+OooCore::nullifyEntry(RsEntry &e)
+{
+    nullify(e);
+}
+
+void
+OooCore::completeSquash(RsEntry &p)
+{
+    // Complete invalidation (§3.1): treat the value misprediction
+    // like a branch misprediction — squash everything younger than
+    // p and refetch. p itself keeps its (correct) computed result.
+    ++stats_.squashes;
+    squashAfter(p.seq, p.pc + 4,
+                p.traceIndex >= 0 ? p.traceIndex + 1 : -1);
+}
+
+void
+OooCore::wakeupChanged(RsEntry &e)
+{
+    touchWakeup(e.slot);
+}
+
+void
+OooCore::operandInvalidated(RsEntry &e, int idx)
+{
+    if (!readyListScheduler())
+        return;
+    if (e.src[idx].tag >= 0)
+        registerWaiter(e.slot, idx, e.src[idx].tag);
+    sched.touch(e.slot);
+}
+
+// =====================================================================
+// wakeup-scheduler bookkeeping
+// =====================================================================
+
+void
+OooCore::touchWakeup(int slot)
+{
+    if (readyListScheduler())
+        sched.touch(slot);
+}
+
+void
+OooCore::registerWaiter(int consumer_slot, int idx, int tag)
+{
+    waiters[static_cast<std::size_t>(tag)].push_back(
+        {consumer_slot, idx});
 }
 
 // =====================================================================

@@ -16,9 +16,21 @@
  * confidence estimator consulted at dispatch, and the verification
  * network. Dependence on unresolved predictions is tracked exactly:
  * every operand and every produced value carries a bitmask (over
- * window slots) of the predictions it transitively depends on, so the
- * flattened-hierarchical verify/invalidate events of the model are a
- * single mask sweep — precisely the parallel semantics of §3.1/§3.2.
+ * window slots) of the predictions it transitively depends on — see
+ * window_types.hh.
+ *
+ * The core is layered (see DESIGN.md):
+ *
+ *   frontend   fetch/dispatch stages            (ooo_frontend.cc)
+ *   backend    wakeup/select/issue              (ooo_issue.cc)
+ *              completion/events/retire         (ooo_commit.cc)
+ *   policy/    the §3 model variables as strategy objects —
+ *              SelectionPolicy, VerifyPolicy, InvalidatePolicy —
+ *              constructed from the SpecModel by makePolicies()
+ *   events     EventQueue with a deterministic (cycle, seq, kind)
+ *              ordering contract                (event_queue.hh)
+ *   wakeup     IssueScheduler ready lists keyed by operand
+ *              availability                     (issue_scheduler.hh)
  *
  * Timing of the speculation events is governed entirely by the
  * SpecModel latency variables (§4); with value prediction disabled the
@@ -33,7 +45,6 @@
 #ifndef VSIM_CORE_OOO_CORE_HH
 #define VSIM_CORE_OOO_CORE_HH
 
-#include <bitset>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -44,8 +55,12 @@
 
 #include "core_config.hh"
 #include "core_stats.hh"
+#include "event_queue.hh"
+#include "issue_scheduler.hh"
 #include "pipeline_trace.hh"
+#include "policy/policies.hh"
 #include "spec_model.hh"
+#include "window_types.hh"
 #include "vsim/obs/interval.hh"
 #include "vsim/arch/functional_core.hh"
 #include "vsim/assembler/program.hh"
@@ -56,22 +71,6 @@
 
 namespace vsim::core
 {
-
-/** Upper bound on the instruction window (paper's largest is 96). */
-constexpr int kMaxWindow = 128;
-
-/** Set of unresolved predictions a value transitively depends on. */
-using SpecMask = std::bitset<kMaxWindow>;
-
-/** State of a reservation-station input operand (§2.2). */
-enum class OperandState : std::uint8_t
-{
-    Unused,      //!< the instruction has no such operand
-    Invalid,     //!< no value yet; waiting on the result bus
-    Predicted,   //!< value came directly from the value predictor
-    Speculative, //!< computed from >=1 predicted/speculative input
-    Valid,       //!< architecturally correct
-};
 
 /** Final result of a simulation run. */
 struct SimOutcome
@@ -93,7 +92,7 @@ struct SimOutcome
 using PredictionOverride = std::function<std::optional<std::uint64_t>(
     std::uint64_t pc, std::uint64_t correct_value)>;
 
-class OooCore
+class OooCore : private SpecHooks
 {
   public:
     /**
@@ -101,7 +100,7 @@ class OooCore
      * pre-execution to obtain the oracle trace.
      */
     OooCore(const assembler::Program &prog, const CoreConfig &config);
-    ~OooCore();
+    ~OooCore() override;
 
     OooCore(const OooCore &) = delete;
     OooCore &operator=(const OooCore &) = delete;
@@ -128,128 +127,61 @@ class OooCore
     std::uint64_t programLength() const { return trace.entries.size(); }
 
   private:
-    // ---- per-operand / per-entry structures ---------------------------
-
-    struct Operand
-    {
-        OperandState state = OperandState::Unused;
-        int reg = -1;
-        int tag = -1;            //!< producing slot; -1 = register file
-        std::uint64_t value = 0;
-        SpecMask deps;
-        std::uint64_t readyAt = 0;  //!< cycle the value can be consumed
-        std::uint64_t validAt = 0;  //!< cycle state became Valid
-        bool validViaEvent = false; //!< validity arrived via the network
-
-        bool hasValue() const { return state != OperandState::Invalid
-                                       && state != OperandState::Unused; }
-        bool used() const { return state != OperandState::Unused; }
-    };
-
-    struct RsEntry
-    {
-        bool busy = false;
-        int slot = -1; //!< own physical index (= prediction bit)
-        std::uint64_t seq = 0;
-        std::uint64_t nonce = 0; //!< bumps on (re)issue/nullify
-        std::uint64_t pc = 0;
-        isa::Inst inst;
-        std::int64_t traceIndex = -1; //!< -1 on the wrong path
-
-        Operand src[2];
-
-        bool issued = false;
-        bool executed = false;
-        std::uint64_t dispatchAt = 0;
-        std::uint64_t execDoneAt = 0;
-        std::uint64_t reissueAt = 0; //!< earliest re-select after nullify
-        std::uint64_t nullifiedAt = 0; //!< cycle of the last nullification
-        int execCount = 0;
-
-        std::uint64_t outValue = 0;
-        SpecMask outDeps;
-        bool outValid = false;
-        std::uint64_t outValidAt = 0;
-        bool outValidViaEvent = false;
-
-        // value prediction bookkeeping
-        bool vpEligible = false;
-        bool predicted = false; //!< confident prediction visible to users
-        bool predResolved = false;
-        bool eqScheduled = false;
-        std::uint64_t predValue = 0;
-        std::uint64_t predToken = 0;
-        bool predConfident = false;
-        bool predWasCorrect = false; //!< filled at retire
-
-        // control
-        bool predTaken = false;
-        std::uint64_t predNextPc = 0;
-        bool mispredicted = false; //!< caused a squash at resolution
-
-        // memory
-        bool addrReady = false;
-        std::uint64_t memAddr = 0;
-        std::uint64_t addrReadyAt = 0;
-
-        // retire gating
-        std::uint64_t verifiedAt = 0;
-    };
-
-    /** In-flight execution whose completion is pending. */
-    struct Completion
-    {
-        int slot;
-        std::uint64_t seq;
-        std::uint64_t nonce;
-        std::uint64_t value;   //!< result computed at issue
-        bool taken;            //!< branch outcome
-        std::uint64_t nextPc;  //!< branch target / next pc
-    };
-
-    enum class EventKind : std::uint8_t { EqCheck, Verify, Invalidate };
-
-    struct Event
-    {
-        EventKind kind;
-        int slot;
-        std::uint64_t seq;
-        /** Hierarchical schemes: remaining wave depth (unused = -1). */
-        int depth = -1;
-    };
-
     // ---- pipeline stages (called in reverse order each cycle) ----------
-    void applyCompletions();
-    void processEvents();
-    void retireStage();
-    void issueStage();
-    void dispatchStage();
-    void fetchStage();
+    void applyCompletions(); // ooo_commit.cc
+    void processEvents();    // ooo_commit.cc
+    void retireStage();      // ooo_commit.cc
+    void issueStage();       // ooo_issue.cc
+    void dispatchStage();    // ooo_frontend.cc
+    void fetchStage();       // ooo_frontend.cc
 
-    // ---- helpers --------------------------------------------------------
+    // ---- slot / window helpers (ooo_core.cc) ---------------------------
     int allocSlot();
     void freeSlot(int slot);
     int windowCount() const { return liveEntries; }
     RsEntry &entry(int slot) { return window[static_cast<std::size_t>(slot)]; }
+    const RsEntry &
+    entry(int slot) const
+    {
+        return window[static_cast<std::size_t>(slot)];
+    }
+    WindowRef windowRef() { return {window, windowOrder}; }
+    void squashAfter(std::uint64_t seq, std::uint64_t new_fetch_pc,
+                     std::int64_t resume_trace_idx);
+    void rebuildRegTags();
+    void nullify(RsEntry &e);
+    void noteOutputValid(RsEntry &e, bool via_event);
+    void resolvePrediction(RsEntry &p, bool verified);
 
+    // ---- frontend helpers (ooo_frontend.cc) ----------------------------
     void captureOperand(RsEntry &e, int idx, int reg);
-    void broadcast(RsEntry &producer);
+    void predictValueAt(RsEntry &e);
+
+    // ---- backend helpers (ooo_issue.cc / ooo_commit.cc) -----------------
     bool canIssue(const RsEntry &e) const;
+    WakeClass classifyWakeup(int slot) const;
     bool loadOrderingSatisfied(const RsEntry &e) const;
     bool loadValue(const RsEntry &e, std::uint64_t &value,
                    bool &forwarded) const;
     void issueEntry(RsEntry &e);
-    void scheduleEvent(std::uint64_t at, const Event &ev);
+    void broadcast(RsEntry &producer);
     void doEqCheck(RsEntry &e);
-    void doVerify(RsEntry &p, int depth);
-    void doInvalidate(RsEntry &p, int depth);
-    void nullify(RsEntry &e);
-    void noteOutputValid(RsEntry &e, bool via_event);
-    void squashAfter(std::uint64_t seq, std::uint64_t new_fetch_pc,
-                     std::int64_t resume_trace_idx);
-    void rebuildRegTags();
     bool retireOne();
-    void predictValueAt(RsEntry &e);
+
+    // ---- SpecHooks: mutations raised by the policy sweeps ---------------
+    void outputBecameValid(RsEntry &e) override;
+    void nullifyEntry(RsEntry &e) override;
+    void completeSquash(RsEntry &p) override;
+    void wakeupChanged(RsEntry &e) override;
+    void operandInvalidated(RsEntry &e, int idx) override;
+
+    // ---- wakeup-scheduler bookkeeping ------------------------------------
+    bool readyListScheduler() const
+    {
+        return cfg.scheduler == SchedulerKind::ReadyList;
+    }
+    void touchWakeup(int slot);
+    void registerWaiter(int consumer_slot, int idx, int tag);
 
     // ---- observability ---------------------------------------------------
     /** End-of-cycle sampling (histograms + interval metrics). */
@@ -260,6 +192,7 @@ class OooCore
     // ---- configuration / substrate --------------------------------------
     CoreConfig cfg;
     SpecModel model;
+    PolicySet policies;
     arch::ExecTrace trace;
     mem::MemImage memory; //!< committed memory state
     std::array<std::uint64_t, isa::kNumRegs> archRegs{};
@@ -308,7 +241,21 @@ class OooCore
     bool fetchSawHalt = false;
 
     std::map<std::uint64_t, std::vector<Completion>> completions;
-    std::map<std::uint64_t, std::vector<Event>> events;
+    EventQueue events;
+
+    // ---- event-driven wakeup state ----------------------------------------
+    IssueScheduler sched;
+    /**
+     * Broadcast waiter lists: per producer slot, the (consumer slot,
+     * operand index) pairs whose operand sits in Invalid state waiting
+     * on that producer's result bus. Replaces the O(window) consumer
+     * scan per completed instruction; stale pairs (squashed or
+     * re-captured consumers) are filtered by the same busy/seq/tag
+     * checks the scan used. Maintained only by the ready-list
+     * scheduler; the legacy Scan path keeps the full sweep.
+     */
+    std::vector<std::vector<std::pair<int, int>>> waiters;
+    std::vector<std::pair<int, int>> waiterScratch;
 
     std::uint64_t retiredCount = 0;
     int dcachePortsUsed = 0; //!< reset each cycle

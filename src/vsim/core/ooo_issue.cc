@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Backend wakeup/select/issue of the layered core. Two selection
+ * implementations produce the same candidate set every cycle:
+ *
+ *  - Scan: the legacy O(window) rescan of every reservation station
+ *    against the full wakeup conditions (canIssue).
+ *  - ReadyList: the event-driven IssueScheduler; the core touches a
+ *    slot whenever something a wakeup decision reads changes, and
+ *    classifyWakeup() maps the entry onto ready-now / ready-at-a-
+ *    known-cycle / parked-until-an-event.
+ *
+ * Both paths feed the same (prio, spec, seq) sort, where the key comes
+ * from the model's SelectionPolicy (§3.5), so runs are bit-identical.
+ * Load store-ordering and data-cache-port constraints are evaluated in
+ * the selection loop (not in wakeup): a load blocked by them stays a
+ * candidate and retries, exactly as the scan behaved.
+ */
+
+#include "ooo_core.hh"
+
+#include <algorithm>
+
+#include "vsim/arch/exec.hh"
+#include "vsim/base/logging.hh"
+
+namespace vsim::core
+{
+
+bool
+OooCore::loadOrderingSatisfied(const RsEntry &e) const
+{
+    // Loads execute only once every preceding store address is known
+    // (§2.1); bytes covered by an older store additionally need the
+    // store's data to be present and valid.
+    for (int slot : lsq) {
+        const RsEntry &s = window[static_cast<std::size_t>(slot)];
+        if (s.seq >= e.seq)
+            break;
+        if (!s.inst.isStore())
+            continue;
+        if (!s.addrReady || s.addrReadyAt > cycle)
+            return false;
+
+        const std::uint64_t lo = std::max(s.memAddr, e.memAddr);
+        const std::uint64_t hi =
+            std::min(s.memAddr + static_cast<std::uint64_t>(
+                                     s.inst.memSize()),
+                     e.memAddr + static_cast<std::uint64_t>(
+                                     e.inst.memSize()));
+        if (lo < hi) {
+            const Operand &data = s.src[0];
+            if (data.state != OperandState::Valid
+                || data.readyAt > cycle) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+OooCore::loadValue(const RsEntry &e, std::uint64_t &value,
+                   bool &forwarded) const
+{
+    const int size = e.inst.memSize();
+    forwarded = false;
+    std::uint64_t raw = 0;
+    for (int i = 0; i < size; ++i) {
+        const std::uint64_t addr = e.memAddr + static_cast<unsigned>(i);
+        std::uint8_t byte = memory.readByte(addr);
+        // Youngest older store covering this byte wins.
+        for (int slot : lsq) {
+            const RsEntry &s = window[static_cast<std::size_t>(slot)];
+            if (s.seq >= e.seq)
+                break;
+            if (!s.inst.isStore() || !s.addrReady)
+                continue;
+            if (addr >= s.memAddr
+                && addr < s.memAddr + static_cast<std::uint64_t>(
+                              s.inst.memSize())) {
+                byte = static_cast<std::uint8_t>(
+                    s.src[0].value >> (8 * (addr - s.memAddr)));
+                forwarded = true;
+            }
+        }
+        raw |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    value = arch::loadExtend(e.inst, raw);
+    return true;
+}
+
+bool
+OooCore::canIssue(const RsEntry &e) const
+{
+    if (!e.busy || e.issued || cycle <= e.dispatchAt
+        || cycle < e.reissueAt) {
+        return false;
+    }
+    for (const Operand &o : e.src) {
+        if (!o.used())
+            continue;
+        if (!o.hasValue() || o.readyAt > cycle)
+            return false;
+    }
+
+    const bool needs_valid =
+        e.inst.isBranch() || e.inst.isSystem()
+            ? model.branchNeedsValidOps || !cfg.useValuePrediction
+            : false;
+    if (needs_valid) {
+        for (const Operand &o : e.src) {
+            if (!o.used())
+                continue;
+            if (o.state != OperandState::Valid)
+                return false;
+            if (o.validViaEvent
+                && cycle < o.validAt + static_cast<std::uint64_t>(
+                               model.verifyToBranch)) {
+                return false;
+            }
+        }
+    }
+
+    if (e.inst.isMem() && (model.memNeedsValidOps
+                           || !cfg.useValuePrediction)) {
+        // Address operand: loads use src[0], stores src[1].
+        const Operand &base = e.inst.isLoad() ? e.src[0] : e.src[1];
+        if (base.used()) {
+            if (base.state != OperandState::Valid)
+                return false;
+            if (base.validViaEvent
+                && cycle < base.validAt + static_cast<std::uint64_t>(
+                               model.verifyAddrToMem)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+/**
+ * canIssue() recast for the ready-list scheduler: instead of a yes/no
+ * at the current cycle, report *when* the entry's conditions hold
+ * absent further events. Every condition is either monotone in time
+ * (dispatch delay, reissue delay, operand readyAt, the verify-to-use
+ * gates) — giving a Timed verdict at the max of the thresholds — or
+ * requires another event to change operand state, giving Parked.
+ */
+WakeClass
+OooCore::classifyWakeup(int slot) const
+{
+    const RsEntry &e = entry(slot);
+    if (!e.busy || e.issued)
+        return WakeClass::idle();
+
+    std::uint64_t at = std::max(e.dispatchAt + 1, e.reissueAt);
+    for (const Operand &o : e.src) {
+        if (!o.used())
+            continue;
+        if (!o.hasValue())
+            return WakeClass::parked(); // waits on the result bus
+        at = std::max(at, o.readyAt);
+    }
+
+    const bool needs_valid =
+        e.inst.isBranch() || e.inst.isSystem()
+            ? model.branchNeedsValidOps || !cfg.useValuePrediction
+            : false;
+    if (needs_valid) {
+        for (const Operand &o : e.src) {
+            if (!o.used())
+                continue;
+            if (o.state != OperandState::Valid)
+                return WakeClass::parked();
+            if (o.validViaEvent) {
+                at = std::max(at,
+                              o.validAt + static_cast<std::uint64_t>(
+                                              model.verifyToBranch));
+            }
+        }
+    }
+
+    if (e.inst.isMem() && (model.memNeedsValidOps
+                           || !cfg.useValuePrediction)) {
+        const Operand &base = e.inst.isLoad() ? e.src[0] : e.src[1];
+        if (base.used()) {
+            if (base.state != OperandState::Valid)
+                return WakeClass::parked();
+            if (base.validViaEvent) {
+                at = std::max(at,
+                              base.validAt + static_cast<std::uint64_t>(
+                                                 model.verifyAddrToMem));
+            }
+        }
+    }
+    return at <= cycle ? WakeClass::ready() : WakeClass::timed(at);
+}
+
+void
+OooCore::issueEntry(RsEntry &e)
+{
+    // Gather register-role values from the operand slots (the operand
+    // order mirrors Inst::srcReg1/srcReg2).
+    const isa::OpInfo &oi = e.inst.info();
+    std::uint64_t ra_val = 0, rb_val = 0, rc_val = 0;
+    if (oi.readsRa) {
+        ra_val = e.src[0].value;
+        if (oi.readsRb)
+            rb_val = e.src[1].value;
+    } else {
+        if (oi.readsRb)
+            rb_val = e.src[0].value;
+        if (oi.readsRc)
+            rc_val = e.src[1].value;
+    }
+
+    const arch::ExecOut out =
+        arch::evaluate(e.inst, e.pc, ra_val, rb_val, rc_val);
+
+    int lat = cfg.aluLat;
+    Completion c;
+    c.slot = e.slot;
+    c.seq = e.seq;
+    c.value = out.value;
+    c.taken = out.taken;
+    c.nextPc = out.nextPc;
+
+    switch (e.inst.info().cls) {
+      case isa::ExecClass::IntAlu:
+      case isa::ExecClass::Branch:
+      case isa::ExecClass::System:
+        lat = cfg.aluLat;
+        break;
+      case isa::ExecClass::IntMul:
+        lat = cfg.mulLat;
+        break;
+      case isa::ExecClass::IntDiv:
+        lat = cfg.divLat;
+        break;
+      case isa::ExecClass::Store:
+        lat = cfg.aluLat; // address generation only
+        e.memAddr = out.memAddr;
+        break;
+      case isa::ExecClass::Load: {
+        e.memAddr = out.memAddr;
+        bool forwarded = false;
+        std::uint64_t value = 0;
+        loadValue(e, value, forwarded);
+        c.value = value;
+        if (forwarded) {
+            lat = cfg.aluLat + cfg.storeForwardLat;
+            ++stats_.loadsForwarded;
+        } else {
+            lat = cfg.aluLat + dcacheH.access(e.memAddr, false);
+            ++dcachePortsUsed;
+        }
+        break;
+      }
+    }
+
+    e.issued = true;
+    ++e.nonce;
+    ++e.execCount;
+    if (e.execCount > 1) {
+        ++stats_.reissues;
+        stats_.invalToReissue.sample(cycle - e.nullifiedAt);
+    }
+    c.nonce = e.nonce;
+    completions[cycle + static_cast<std::uint64_t>(lat)].push_back(c);
+    ++stats_.issued;
+
+    if (readyListScheduler())
+        sched.remove(e.slot);
+
+    if (cfg.tracePipeline) {
+        for (int k = 0; k < lat; ++k)
+            tracer_.note(e.seq, cycle + static_cast<unsigned>(k), "EX");
+    }
+}
+
+void
+OooCore::issueStage()
+{
+    if (halted)
+        return;
+
+    struct Candidate
+    {
+        int prio;   //!< 0 issues first (SelectKey)
+        int spec;   //!< tie break within a prio class
+        std::uint64_t seq;
+        int slot;
+    };
+    std::vector<Candidate> cands;
+    cands.reserve(static_cast<std::size_t>(liveEntries));
+
+    const auto addCandidate = [&](int slot) {
+        const RsEntry &e = entry(slot);
+        bool spec = false;
+        for (const Operand &o : e.src) {
+            if (o.used() && o.state != OperandState::Valid)
+                spec = true;
+        }
+        const bool typed = e.inst.isBranch() || e.inst.isLoad();
+        const SelectKey k = policies.select->key(typed, spec);
+        cands.push_back({k.prio, k.spec, e.seq, slot});
+    };
+
+    if (readyListScheduler()) {
+        const std::vector<int> &readySlots = sched.collectReady(
+            cycle, [this](int slot) { return classifyWakeup(slot); });
+        for (int slot : readySlots) {
+            VSIM_DEBUG_ASSERT(canIssue(entry(slot)),
+                              "ready-list slot fails the wakeup "
+                              "conditions");
+            addCandidate(slot);
+        }
+    } else {
+        for (int slot : windowOrder) {
+            if (canIssue(entry(slot)))
+                addCandidate(slot);
+        }
+    }
+
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.prio != b.prio)
+                      return a.prio < b.prio;
+                  if (a.spec != b.spec)
+                      return a.spec < b.spec;
+                  return a.seq < b.seq;
+              });
+
+    int issued = 0;
+    for (const Candidate &cand : cands) {
+        if (issued >= cfg.issueWidth)
+            break;
+        RsEntry &e = entry(cand.slot);
+        if (e.inst.isLoad()) {
+            // Effective address needed for the ordering check; compute
+            // it from the base operand (cheap, pure).
+            const Operand &base = e.src[0];
+            e.memAddr =
+                base.value
+                + static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(e.inst.imm));
+            if (!loadOrderingSatisfied(e))
+                continue;
+            // Loads that cannot forward need a data-cache port.
+            bool would_forward = false;
+            std::uint64_t dummy;
+            loadValue(e, dummy, would_forward);
+            if (!would_forward
+                && dcachePortsUsed >= cfg.effDcachePorts()) {
+                continue;
+            }
+        }
+        issueEntry(e);
+        ++issued;
+    }
+}
+
+} // namespace vsim::core

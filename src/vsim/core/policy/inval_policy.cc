@@ -1,0 +1,154 @@
+#include "inval_policy.hh"
+
+#include "vsim/base/logging.hh"
+
+namespace vsim::core
+{
+
+bool
+InvalidatePolicy::apply(const WindowRef &w, RsEntry &p,
+                        std::uint64_t cycle, SpecHooks &hooks) const
+{
+    const std::size_t pbit = static_cast<std::size_t>(p.slot);
+    const bool hier = hierarchical();
+    bool any_left = false;
+
+    // Snapshot pre-step producer state for the hierarchical wave (see
+    // VerifyPolicy::apply: in-place nullification must not let the
+    // wave jump levels within one event).
+    SpecMask was_executed, out_had_bit;
+    if (hier) {
+        for (int slot : w.order) {
+            const RsEntry &f = w.at(slot);
+            if (f.executed) {
+                was_executed.set(static_cast<std::size_t>(slot));
+                if (f.outDeps.test(pbit))
+                    out_had_bit.set(static_cast<std::size_t>(slot));
+            }
+        }
+    }
+
+    for (int slot : w.order) {
+        RsEntry &f = w.at(slot);
+        if (f.slot == p.slot)
+            continue;
+        bool affected = false;
+        for (int idx = 0; idx < 2; ++idx) {
+            Operand &o = f.src[idx];
+            if (!o.used() || !o.deps.test(pbit))
+                continue;
+            if (o.tag == p.slot) {
+                // Direct consumer: the correct value rides the same
+                // broadcast that signals the invalidation.
+                o.value = p.outValue;
+                o.deps.reset();
+                o.state = OperandState::Valid;
+                o.validAt = cycle;
+                o.validViaEvent = true;
+                o.readyAt = cycle;
+                f.verifiedAt = std::max(f.verifiedAt, cycle);
+                hooks.wakeupChanged(f);
+                affected = true;
+            } else if (!hier) {
+                // Flattened: every transitive dependent resets at once
+                // and re-captures from its producer's re-broadcast.
+                o.state = OperandState::Invalid;
+                o.deps.reset();
+                hooks.operandInvalidated(f, idx);
+                affected = true;
+            } else {
+                // Hierarchical wave: react only once the operand's own
+                // producer was dealt with in an *earlier* step.
+                const RsEntry *prod =
+                    o.tag >= 0 ? &w.at(o.tag) : nullptr;
+                const std::size_t tbit =
+                    static_cast<std::size_t>(o.tag >= 0 ? o.tag : 0);
+                if (!prod || !prod->busy || prod->seq >= f.seq) {
+                    o.state = OperandState::Invalid;
+                    o.deps.reset();
+                    hooks.operandInvalidated(f, idx);
+                    affected = true;
+                } else if (!was_executed.test(tbit)) {
+                    // Producer was nullified in an earlier wave step.
+                    o.state = OperandState::Invalid;
+                    o.deps.reset();
+                    hooks.operandInvalidated(f, idx);
+                    affected = true;
+                } else if (!out_had_bit.test(tbit)
+                           && prod->executed) {
+                    // Producer re-executed with corrected inputs
+                    // before this step.
+                    o.value = prod->outValue;
+                    o.deps = prod->outDeps;
+                    o.readyAt = cycle;
+                    if (o.deps.none()) {
+                        o.state = OperandState::Valid;
+                        o.validAt = cycle;
+                        o.validViaEvent = true;
+                        f.verifiedAt = std::max(f.verifiedAt, cycle);
+                    } else {
+                        o.state = OperandState::Speculative;
+                    }
+                    hooks.wakeupChanged(f);
+                    affected = true;
+                } else {
+                    any_left = true;
+                }
+            }
+        }
+        if (affected && (f.issued || f.executed))
+            hooks.nullifyEntry(f);
+    }
+    return hier && any_left;
+}
+
+namespace
+{
+
+/** Selective, all successors in one event (parallel network). */
+class FlattenedInval final : public InvalidatePolicy
+{
+  public:
+    const char *name() const override { return "flattened"; }
+};
+
+/** Selective, one dependence level per cycle. */
+class HierarchicalInval final : public InvalidatePolicy
+{
+  public:
+    const char *name() const override { return "hierarchical"; }
+    bool hierarchical() const override { return true; }
+};
+
+/** Treat value misprediction like branch misprediction (§3.1). */
+class CompleteInval final : public InvalidatePolicy
+{
+  public:
+    const char *name() const override { return "complete"; }
+    bool complete() const override { return true; }
+    bool
+    apply(const WindowRef &, RsEntry &p, std::uint64_t,
+          SpecHooks &hooks) const override
+    {
+        hooks.completeSquash(p);
+        return false;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<InvalidatePolicy>
+makeInvalPolicy(InvalScheme scheme)
+{
+    switch (scheme) {
+      case InvalScheme::Flattened:
+        return std::make_unique<FlattenedInval>();
+      case InvalScheme::Hierarchical:
+        return std::make_unique<HierarchicalInval>();
+      case InvalScheme::Complete:
+        return std::make_unique<CompleteInval>();
+    }
+    VSIM_PANIC("unhandled invalidation scheme");
+}
+
+} // namespace vsim::core

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * One-stop factory binding a SpecModel's model variables (§3) to the
+ * strategy objects the backend drives: selection (§3.5), verification
+ * (§3.2) and invalidation (§3.1).
+ */
+
+#ifndef VSIM_CORE_POLICY_POLICIES_HH
+#define VSIM_CORE_POLICY_POLICIES_HH
+
+#include "inval_policy.hh"
+#include "select_policy.hh"
+#include "verify_policy.hh"
+#include "vsim/core/spec_model.hh"
+
+namespace vsim::core
+{
+
+/** The per-concern rule modules of one speculative-execution model. */
+struct PolicySet
+{
+    std::unique_ptr<SelectionPolicy> select;
+    std::unique_ptr<VerifyPolicy> verify;
+    std::unique_ptr<InvalidatePolicy> invalidate;
+};
+
+inline PolicySet
+makePolicies(const SpecModel &model)
+{
+    return {makeSelectionPolicy(model.selectPolicy),
+            makeVerifyPolicy(model.verifyScheme),
+            makeInvalPolicy(model.invalScheme)};
+}
+
+} // namespace vsim::core
+
+#endif // VSIM_CORE_POLICY_POLICIES_HH

@@ -1,0 +1,176 @@
+#include "verify_policy.hh"
+
+#include "vsim/base/logging.hh"
+
+namespace vsim::core
+{
+
+bool
+VerifyPolicy::apply(const WindowRef &w, RsEntry &p, std::uint64_t cycle,
+                    SpecHooks &hooks) const
+{
+    const std::size_t pbit = static_cast<std::size_t>(p.slot);
+    const bool hier = hierarchical();
+
+    // Hierarchical semantics advance one dependence level per event.
+    // All "was X cleansed?" tests must observe the state *before* the
+    // event started, otherwise an in-order sweep cleanses producers
+    // in-place and collapses the wave into the flattened behaviour —
+    // so snapshot which outputs and which entries' inputs carried the
+    // bit at the start of the step.
+    SpecMask out_had_bit;  //!< slots whose output carried bit p
+    SpecMask in_had_bit;   //!< slots with an input carrying bit p
+    if (hier) {
+        for (int slot : w.order) {
+            const RsEntry &f = w.at(slot);
+            if (f.executed && f.outDeps.test(pbit))
+                out_had_bit.set(static_cast<std::size_t>(slot));
+            for (const Operand &o : f.src) {
+                if (o.used() && o.deps.test(pbit))
+                    in_had_bit.set(static_cast<std::size_t>(slot));
+            }
+        }
+    }
+
+    bool any_left = false;
+    for (int slot : w.order) {
+        RsEntry &f = w.at(slot);
+        if (f.slot == p.slot)
+            continue;
+        for (Operand &o : f.src) {
+            if (!o.used() || !o.deps.test(pbit))
+                continue;
+            bool clear = true;
+            if (hier && o.tag != p.slot && o.tag >= 0) {
+                // Clears only when the operand's producer's output was
+                // already cleansed before this wave step.
+                const RsEntry &prod = w.at(o.tag);
+                clear = !prod.busy || prod.seq >= f.seq
+                        || !prod.executed
+                        || !out_had_bit.test(
+                               static_cast<std::size_t>(o.tag));
+            }
+            if (!clear) {
+                any_left = true;
+                continue;
+            }
+            o.deps.reset(pbit);
+            if (o.deps.none() && o.state != OperandState::Invalid
+                && o.state != OperandState::Valid) {
+                o.state = OperandState::Valid;
+                o.validAt = cycle;
+                o.validViaEvent = true;
+                f.verifiedAt = std::max(f.verifiedAt, cycle);
+                hooks.wakeupChanged(f);
+            }
+        }
+        if (f.executed && f.outDeps.test(pbit)) {
+            // The output cleanses one wave step after its inputs did
+            // (flattened: immediately).
+            const bool inputs_were_clean =
+                !hier
+                || !in_had_bit.test(static_cast<std::size_t>(slot));
+            if (inputs_were_clean) {
+                f.outDeps.reset(pbit);
+                if (f.outDeps.none())
+                    hooks.outputBecameValid(f);
+            } else {
+                any_left = true;
+            }
+        }
+    }
+    return hier && any_left;
+}
+
+void
+VerifyPolicy::applyRetire(const WindowRef &w, RsEntry &p,
+                          std::uint64_t cycle, SpecHooks &hooks) const
+{
+    const std::size_t pbit = static_cast<std::size_t>(p.slot);
+    for (int slot : w.order) {
+        RsEntry &f = w.at(slot);
+        if (f.slot == p.slot)
+            continue;
+        for (Operand &o : f.src) {
+            if (!o.used() || !o.deps.test(pbit))
+                continue;
+            o.deps.reset(pbit);
+            if (o.deps.none() && o.state != OperandState::Invalid
+                && o.state != OperandState::Valid) {
+                o.state = OperandState::Valid;
+                o.validAt = cycle;
+                o.validViaEvent = true;
+                f.verifiedAt = std::max(f.verifiedAt, cycle);
+                hooks.wakeupChanged(f);
+            }
+        }
+        if (f.executed && f.outDeps.test(pbit)) {
+            f.outDeps.reset(pbit);
+            if (f.outDeps.none())
+                hooks.outputBecameValid(f);
+        }
+    }
+}
+
+namespace
+{
+
+/**
+ * Flattened-hierarchical "verification network": all direct and
+ * indirect successors informed in a single event (§3.2).
+ */
+class FlattenedVerify final : public VerifyPolicy
+{
+  public:
+    const char *name() const override { return "flattened"; }
+};
+
+/** One dependence level per cycle on the tag-broadcast network. */
+class HierarchicalVerify final : public VerifyPolicy
+{
+  public:
+    const char *name() const override { return "hierarchical"; }
+    bool hierarchical() const override { return true; }
+};
+
+/** Consumers learn only through the retirement broadcast. */
+class RetirementVerify final : public VerifyPolicy
+{
+  public:
+    const char *name() const override { return "retirement"; }
+    bool propagatesOnEvent() const override { return false; }
+    bool sweepsAtRetire() const override { return true; }
+};
+
+/**
+ * Hybrid: hierarchical detection plus retirement-based release — the
+ * retirement sweep clears any residue, so no retire guard is needed.
+ */
+class HybridVerify final : public VerifyPolicy
+{
+  public:
+    const char *name() const override { return "hybrid"; }
+    bool hierarchical() const override { return true; }
+    bool sweepsAtRetire() const override { return true; }
+    bool residueGuardAtRetire() const override { return false; }
+};
+
+} // namespace
+
+std::unique_ptr<VerifyPolicy>
+makeVerifyPolicy(VerifyScheme scheme)
+{
+    switch (scheme) {
+      case VerifyScheme::Flattened:
+        return std::make_unique<FlattenedVerify>();
+      case VerifyScheme::Hierarchical:
+        return std::make_unique<HierarchicalVerify>();
+      case VerifyScheme::RetirementBased:
+        return std::make_unique<RetirementVerify>();
+      case VerifyScheme::Hybrid:
+        return std::make_unique<HybridVerify>();
+    }
+    VSIM_PANIC("unhandled verify scheme");
+}
+
+} // namespace vsim::core

@@ -1,9 +1,57 @@
 #include "spec_model.hh"
 
+#include <cstdlib>
+
 #include "vsim/base/logging.hh"
 
 namespace vsim::core
 {
+
+namespace
+{
+
+/**
+ * Parse a custom latency tuple "E,EI,EV,VF,IR,VB,VA": exactly seven
+ * comma-separated non-negative integers, every field fully consumed.
+ */
+SpecModel
+parseLatencyTuple(const std::string &spec)
+{
+    SpecModel m;
+    m.name = spec;
+    int *const order[7] = {&m.execToEquality,     &m.equalityToInvalidate,
+                           &m.equalityToVerify,   &m.verifyToFreeResource,
+                           &m.invalidateToReissue, &m.verifyToBranch,
+                           &m.verifyAddrToMem};
+
+    const char *p = spec.c_str();
+    for (int i = 0; i < 7; ++i) {
+        char *end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p || v < 0 || v > 1'000'000) {
+            VSIM_FATAL("bad latency tuple '", spec, "': field ", i + 1,
+                       " is not a non-negative integer (expected seven "
+                       "comma-separated values E,EI,EV,VF,IR,VB,VA)");
+        }
+        *order[i] = static_cast<int>(v);
+        p = end;
+        if (i < 6) {
+            if (*p != ',') {
+                VSIM_FATAL("bad latency tuple '", spec, "': expected ',' "
+                           "after field ", i + 1,
+                           " (seven values E,EI,EV,VF,IR,VB,VA)");
+            }
+            ++p;
+        }
+    }
+    if (*p != '\0') {
+        VSIM_FATAL("bad latency tuple '", spec,
+                   "': trailing characters after the seventh field");
+    }
+    return m;
+}
+
+} // namespace
 
 SpecModel
 SpecModel::byName(const std::string &name)
@@ -14,8 +62,101 @@ SpecModel::byName(const std::string &name)
         return greatModel();
     if (name == "good")
         return goodModel();
+    if (name.find(',') != std::string::npos)
+        return parseLatencyTuple(name);
     VSIM_FATAL("unknown speculative execution model '", name,
-               "' (expected super/great/good)");
+               "' (expected super/great/good, or a seven-value latency "
+               "tuple like 0,0,1,1,1,1,1)");
+}
+
+VerifyScheme
+parseVerifyScheme(const std::string &name)
+{
+    if (name == "flattened" || name == "flat")
+        return VerifyScheme::Flattened;
+    if (name == "hierarchical" || name == "hier")
+        return VerifyScheme::Hierarchical;
+    if (name == "retirement" || name == "retire")
+        return VerifyScheme::RetirementBased;
+    if (name == "hybrid")
+        return VerifyScheme::Hybrid;
+    VSIM_FATAL("unknown verification scheme '", name,
+               "' (expected flattened/hierarchical/retirement/hybrid)");
+}
+
+InvalScheme
+parseInvalScheme(const std::string &name)
+{
+    if (name == "flattened" || name == "flat")
+        return InvalScheme::Flattened;
+    if (name == "hierarchical" || name == "hier")
+        return InvalScheme::Hierarchical;
+    if (name == "complete")
+        return InvalScheme::Complete;
+    VSIM_FATAL("unknown invalidation scheme '", name,
+               "' (expected flattened/hierarchical/complete)");
+}
+
+SelectPolicy
+parseSelectPolicy(const std::string &name)
+{
+    if (name == "typed-spec-last")
+        return SelectPolicy::TypedSpecLast;
+    if (name == "typed-only")
+        return SelectPolicy::TypedOnly;
+    if (name == "oldest-first")
+        return SelectPolicy::OldestFirst;
+    if (name == "typed-spec-first")
+        return SelectPolicy::TypedSpecFirst;
+    VSIM_FATAL("unknown selection policy '", name,
+               "' (expected typed-spec-last/typed-only/oldest-first/"
+               "typed-spec-first)");
+}
+
+const char *
+verifySchemeName(VerifyScheme scheme)
+{
+    switch (scheme) {
+      case VerifyScheme::Flattened:
+        return "flattened";
+      case VerifyScheme::Hierarchical:
+        return "hierarchical";
+      case VerifyScheme::RetirementBased:
+        return "retirement";
+      case VerifyScheme::Hybrid:
+        return "hybrid";
+    }
+    return "?";
+}
+
+const char *
+invalSchemeName(InvalScheme scheme)
+{
+    switch (scheme) {
+      case InvalScheme::Flattened:
+        return "flattened";
+      case InvalScheme::Hierarchical:
+        return "hierarchical";
+      case InvalScheme::Complete:
+        return "complete";
+    }
+    return "?";
+}
+
+const char *
+selectPolicyName(SelectPolicy policy)
+{
+    switch (policy) {
+      case SelectPolicy::TypedSpecLast:
+        return "typed-spec-last";
+      case SelectPolicy::TypedOnly:
+        return "typed-only";
+      case SelectPolicy::OldestFirst:
+        return "oldest-first";
+      case SelectPolicy::TypedSpecFirst:
+        return "typed-spec-first";
+    }
+    return "?";
 }
 
 } // namespace vsim::core

@@ -138,9 +138,33 @@ struct SpecModel
     /** Most pessimistic: 1-cycle equality+verify/invalidate as well. */
     static SpecModel goodModel();
 
-    /** Look up by name: "super", "great", "good". */
+    /**
+     * Look up by name ("super", "great", "good") or build a custom
+     * model from a latency tuple "E,EI,EV,VF,IR,VB,VA" — the seven §4
+     * latency variables in the order execToEquality,
+     * equalityToInvalidate, equalityToVerify, verifyToFreeResource,
+     * invalidateToReissue, verifyToBranch, verifyAddrToMem (e.g.
+     * "0,0,1,1,1,1,1"). Fatal on anything else.
+     */
     static SpecModel byName(const std::string &name);
 };
+
+/**
+ * Parse a model-variable name from the command line. Accepted names
+ * (with short aliases): "flattened"/"flat", "hierarchical"/"hier",
+ * "retirement"/"retire", "hybrid" for verification; "flattened",
+ * "hierarchical", "complete" for invalidation; "typed-spec-last",
+ * "typed-only", "oldest-first", "typed-spec-first" for selection.
+ * Fatal with the list of valid names on anything else.
+ */
+VerifyScheme parseVerifyScheme(const std::string &name);
+InvalScheme parseInvalScheme(const std::string &name);
+SelectPolicy parseSelectPolicy(const std::string &name);
+
+/** Canonical names of the model variables (labels, jobKey). */
+const char *verifySchemeName(VerifyScheme scheme);
+const char *invalSchemeName(InvalScheme scheme);
+const char *selectPolicyName(SelectPolicy policy);
 
 inline SpecModel
 SpecModel::superModel()

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The core's shared window substrate: reservation-station entries,
+ * operand state, and the dependence masks that make the verification
+ * network's parallel semantics (§3.1/§3.2) a single mask sweep.
+ *
+ * These types used to be private to OooCore; the layered core keeps
+ * them in one header so the frontend/backend stage files, the policy
+ * objects under policy/, the event queue and the wakeup scheduler all
+ * operate on the same structures without friending each other.
+ */
+
+#ifndef VSIM_CORE_WINDOW_TYPES_HH
+#define VSIM_CORE_WINDOW_TYPES_HH
+
+#include <bitset>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "vsim/isa/isa.hh"
+
+namespace vsim::core
+{
+
+/** Upper bound on the instruction window (sized for --window 256). */
+constexpr int kMaxWindow = 256;
+
+/** Set of unresolved predictions a value transitively depends on. */
+using SpecMask = std::bitset<kMaxWindow>;
+
+/** State of a reservation-station input operand (§2.2). */
+enum class OperandState : std::uint8_t
+{
+    Unused,      //!< the instruction has no such operand
+    Invalid,     //!< no value yet; waiting on the result bus
+    Predicted,   //!< value came directly from the value predictor
+    Speculative, //!< computed from >=1 predicted/speculative input
+    Valid,       //!< architecturally correct
+};
+
+struct Operand
+{
+    OperandState state = OperandState::Unused;
+    int reg = -1;
+    int tag = -1;            //!< producing slot; -1 = register file
+    std::uint64_t value = 0;
+    SpecMask deps;
+    std::uint64_t readyAt = 0;  //!< cycle the value can be consumed
+    std::uint64_t validAt = 0;  //!< cycle state became Valid
+    bool validViaEvent = false; //!< validity arrived via the network
+
+    bool hasValue() const { return state != OperandState::Invalid
+                                   && state != OperandState::Unused; }
+    bool used() const { return state != OperandState::Unused; }
+};
+
+struct RsEntry
+{
+    bool busy = false;
+    int slot = -1; //!< own physical index (= prediction bit)
+    std::uint64_t seq = 0;
+    std::uint64_t nonce = 0; //!< bumps on (re)issue/nullify
+    std::uint64_t pc = 0;
+    isa::Inst inst;
+    std::int64_t traceIndex = -1; //!< -1 on the wrong path
+
+    Operand src[2];
+
+    bool issued = false;
+    bool executed = false;
+    std::uint64_t dispatchAt = 0;
+    std::uint64_t execDoneAt = 0;
+    std::uint64_t reissueAt = 0; //!< earliest re-select after nullify
+    std::uint64_t nullifiedAt = 0; //!< cycle of the last nullification
+    int execCount = 0;
+
+    std::uint64_t outValue = 0;
+    SpecMask outDeps;
+    bool outValid = false;
+    std::uint64_t outValidAt = 0;
+    bool outValidViaEvent = false;
+
+    // value prediction bookkeeping
+    bool vpEligible = false;
+    bool predicted = false; //!< confident prediction visible to users
+    bool predResolved = false;
+    bool eqScheduled = false;
+    std::uint64_t predValue = 0;
+    std::uint64_t predToken = 0;
+    bool predConfident = false;
+    bool predWasCorrect = false; //!< filled at retire
+
+    // control
+    bool predTaken = false;
+    std::uint64_t predNextPc = 0;
+    bool mispredicted = false; //!< caused a squash at resolution
+
+    // memory
+    bool addrReady = false;
+    std::uint64_t memAddr = 0;
+    std::uint64_t addrReadyAt = 0;
+
+    // retire gating
+    std::uint64_t verifiedAt = 0;
+};
+
+/** In-flight execution whose completion is pending. */
+struct Completion
+{
+    int slot;
+    std::uint64_t seq;
+    std::uint64_t nonce;
+    std::uint64_t value;   //!< result computed at issue
+    bool taken;            //!< branch outcome
+    std::uint64_t nextPc;  //!< branch target / next pc
+};
+
+/**
+ * Borrowed view of the window a policy object sweeps over: the
+ * physical slots plus their program (seq) order. The policies never
+ * allocate or free entries; they only rewrite operand/output state.
+ */
+struct WindowRef
+{
+    std::vector<RsEntry> &window;
+    const std::deque<int> &order;
+
+    RsEntry &at(int slot) const
+    {
+        return window[static_cast<std::size_t>(slot)];
+    }
+};
+
+/**
+ * Mutations the policy sweeps raise back into the core: everything
+ * with side effects beyond the window entry itself (stats, tracer,
+ * event scheduling, squash, wakeup-scheduler notifications) goes
+ * through this interface, which keeps the policies unit-testable
+ * against a trivial fake.
+ */
+class SpecHooks
+{
+  public:
+    virtual ~SpecHooks() = default;
+
+    /** @p e's output lost its last dependence bit via the network. */
+    virtual void outputBecameValid(RsEntry &e) = 0;
+
+    /** Wakeup nullification (§3.4) of a mis-speculated consumer. */
+    virtual void nullifyEntry(RsEntry &e) = 0;
+
+    /** Complete invalidation: squash everything younger than @p p. */
+    virtual void completeSquash(RsEntry &p) = 0;
+
+    /**
+     * @p e's operands changed in a way that can affect its wakeup
+     * (value arrived, state promoted/demoted); the issue scheduler
+     * must re-evaluate it.
+     */
+    virtual void wakeupChanged(RsEntry &e) = 0;
+
+    /**
+     * Operand @p idx of @p e was reset to Invalid and now waits on the
+     * result bus again (the core re-registers it with the broadcast
+     * waiter lists on top of wakeupChanged).
+     */
+    virtual void operandInvalidated(RsEntry &e, int idx) = 0;
+};
+
+} // namespace vsim::core
+
+#endif // VSIM_CORE_WINDOW_TYPES_HH

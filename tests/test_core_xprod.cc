@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Cross-product test over every VerifyScheme x InvalScheme x
+ * SelectPolicy combination (4 x 3 x 4 = 48) plus the three named §4.1
+ * latency models: each configuration must terminate, match the
+ * functional (golden) core architecturally, and reproduce the stats
+ * digest captured from the pre-refactor monolithic core bit for bit
+ * (tests/golden/xprod_seed.txt).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "vsim/arch/functional_core.hh"
+#include "vsim/core/ooo_core.hh"
+#include "vsim/sim/simulator.hh"
+#include "vsim/workloads/workloads.hh"
+
+namespace
+{
+
+using namespace vsim;
+
+// Short labels used by the golden capture (enum order).
+const char *const kVerifyNames[] = {"flat", "hier", "retire", "hybrid"};
+const char *const kInvalNames[] = {"flat", "hier", "complete"};
+const char *const kSelectNames[] = {"spec-last", "typed-only", "oldest",
+                                    "spec-first"};
+
+/** Stats digest in exactly the golden capture's format. */
+std::string
+digest(const core::CoreStats &s, std::uint64_t exit_code,
+       const std::string &out)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "cycles=%llu retired=%llu fetched=%llu dispatched=%llu "
+        "issued=%llu squashes=%llu nullif=%llu reissues=%llu "
+        "verify=%llu inval=%llu vp=%llu/%llu/%llu/%llu "
+        "mispred=%llu fwd=%llu ic=%llu dc=%llu exit=%llu outlen=%zu",
+        (unsigned long long)s.cycles, (unsigned long long)s.retired,
+        (unsigned long long)s.fetched, (unsigned long long)s.dispatched,
+        (unsigned long long)s.issued, (unsigned long long)s.squashes,
+        (unsigned long long)s.nullifications,
+        (unsigned long long)s.reissues,
+        (unsigned long long)s.verifyEvents,
+        (unsigned long long)s.invalidateEvents,
+        (unsigned long long)s.vpCH, (unsigned long long)s.vpCL,
+        (unsigned long long)s.vpIH, (unsigned long long)s.vpIL,
+        (unsigned long long)s.condMispredicts,
+        (unsigned long long)s.loadsForwarded,
+        (unsigned long long)s.icacheMisses,
+        (unsigned long long)s.dcacheMisses,
+        (unsigned long long)exit_code, out.size());
+    return buf;
+}
+
+/** label -> digest from tests/golden/xprod_seed.txt. */
+const std::map<std::string, std::string> &
+goldenDigests()
+{
+    static const std::map<std::string, std::string> digests = [] {
+        std::map<std::string, std::string> m;
+        std::ifstream in(VSIM_GOLDEN_DIR "/xprod_seed.txt");
+        EXPECT_TRUE(in) << "missing golden capture";
+        std::string line;
+        while (std::getline(in, line)) {
+            const auto sep = line.find(" :: ");
+            if (sep == std::string::npos) {
+                ADD_FAILURE() << "malformed golden line: " << line;
+                continue;
+            }
+            m[line.substr(0, sep)] = line.substr(sep + 4);
+        }
+        EXPECT_EQ(m.size(), 57u); // 48 combos + 3 workloads x 3 models
+        return m;
+    }();
+    return digests;
+}
+
+const assembler::Program &
+queensProgram()
+{
+    static const auto prog =
+        workloads::buildProgram(workloads::byName("queens"), 1);
+    return prog;
+}
+
+/** Functional reference result for architectural comparison. */
+const arch::ExecTrace &
+reference(const std::string &workload)
+{
+    static std::map<std::string, arch::ExecTrace> cache;
+    auto it = cache.find(workload);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(workload,
+                          arch::preExecute(workloads::buildProgram(
+                              workloads::byName(workload), 1)))
+                 .first;
+    }
+    return it->second;
+}
+
+/**
+ * Run one configuration and check all three properties. Termination
+ * is implied by halted (run() stops at cfg.maxCycles otherwise).
+ */
+void
+checkCombo(const std::string &label, const assembler::Program &prog,
+           const core::CoreConfig &cfg, const arch::ExecTrace &ref)
+{
+    SCOPED_TRACE(label);
+    core::OooCore c(prog, cfg);
+    const core::SimOutcome out = c.run();
+
+    EXPECT_TRUE(out.halted) << "did not terminate";
+    EXPECT_EQ(out.exitCode, ref.exitCode);
+    EXPECT_EQ(out.output, ref.output);
+
+    const auto &golden = goldenDigests();
+    const auto it = golden.find(label);
+    ASSERT_NE(it, golden.end()) << "no golden digest for " << label;
+    EXPECT_EQ(digest(out.stats, out.exitCode, out.output), it->second);
+}
+
+/** All 12 inval x select combinations of one verification scheme. */
+void
+runVerifySchemeSlice(core::VerifyScheme v)
+{
+    const auto &ref = reference("queens");
+    for (int in = 0; in < 3; ++in) {
+        for (int sp = 0; sp < 4; ++sp) {
+            core::SpecModel model = core::SpecModel::greatModel();
+            model.verifyScheme = v;
+            model.invalScheme = static_cast<core::InvalScheme>(in);
+            model.selectPolicy = static_cast<core::SelectPolicy>(sp);
+            const core::CoreConfig cfg = sim::vpConfig(
+                {8, 48}, model, core::ConfidenceKind::Real,
+                core::UpdateTiming::Delayed);
+            std::ostringstream label;
+            label << "queens "
+                  << kVerifyNames[static_cast<int>(v)] << " "
+                  << kInvalNames[in] << " " << kSelectNames[sp];
+            checkCombo(label.str(), queensProgram(), cfg, ref);
+        }
+    }
+}
+
+TEST(CoreXprod, FlattenedVerify)
+{
+    runVerifySchemeSlice(core::VerifyScheme::Flattened);
+}
+
+TEST(CoreXprod, HierarchicalVerify)
+{
+    runVerifySchemeSlice(core::VerifyScheme::Hierarchical);
+}
+
+TEST(CoreXprod, RetirementVerify)
+{
+    runVerifySchemeSlice(core::VerifyScheme::RetirementBased);
+}
+
+TEST(CoreXprod, HybridVerify)
+{
+    runVerifySchemeSlice(core::VerifyScheme::Hybrid);
+}
+
+TEST(CoreXprod, NamedModelsAcrossWorkloads)
+{
+    for (const char *wl : {"queens", "compress", "m88k"}) {
+        const auto prog =
+            workloads::buildProgram(workloads::byName(wl), 1);
+        for (const char *mn : {"super", "great", "good"}) {
+            const core::CoreConfig cfg = sim::vpConfig(
+                {8, 48}, core::SpecModel::byName(mn),
+                core::ConfidenceKind::Real,
+                core::UpdateTiming::Delayed);
+            checkCombo(std::string(wl) + " model=" + mn, prog, cfg,
+                       reference(wl));
+        }
+    }
+}
+
+/**
+ * Regression for the unified hierarchical-wave depth handling in
+ * EventQueue: a *mixed* configuration (hierarchical verification,
+ * flattened invalidation) keeps wave events (depth >= 0) and
+ * single-shot events (depth -1) in the same queue. Before the
+ * EventQueue extraction the two paths kept separate, duplicated depth
+ * bookkeeping; this pins the behaviour of the merged one.
+ */
+TEST(CoreXprod, MixedHierVerifyFlatInvalRegression)
+{
+    core::SpecModel model = core::SpecModel::greatModel();
+    model.verifyScheme = core::VerifyScheme::Hierarchical;
+    model.invalScheme = core::InvalScheme::Flattened;
+    model.selectPolicy = core::SelectPolicy::TypedSpecLast;
+    const core::CoreConfig cfg =
+        sim::vpConfig({8, 48}, model, core::ConfidenceKind::Real,
+                      core::UpdateTiming::Delayed);
+
+    core::OooCore c(queensProgram(), cfg);
+    const core::SimOutcome out = c.run();
+    const auto &ref = reference("queens");
+    EXPECT_TRUE(out.halted);
+    EXPECT_EQ(out.exitCode, ref.exitCode);
+    EXPECT_EQ(out.output, ref.output);
+
+    // The totals must sit exactly where the seed put them, and the
+    // one-level-per-cycle verification wave must actually cost cycles
+    // relative to the all-at-once flattened network.
+    const auto &golden = goldenDigests();
+    EXPECT_EQ(digest(out.stats, out.exitCode, out.output),
+              golden.at("queens hier flat spec-last"));
+    const std::string &flat = golden.at("queens flat flat spec-last");
+    const std::uint64_t flat_cycles =
+        std::stoull(flat.substr(flat.find("cycles=") + 7));
+    EXPECT_GT(out.stats.cycles, flat_cycles);
+}
+
+} // namespace

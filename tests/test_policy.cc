@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Unit tests of the policy strategy objects under core/policy/:
+ * selection keys (§3.5), verification sweeps (§3.2) and invalidation
+ * sweeps (§3.1), each run in isolation against a synthetic window and
+ * a recording SpecHooks fake — no OooCore involved.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "vsim/core/policy/policies.hh"
+
+namespace
+{
+
+using namespace vsim::core;
+
+// =====================================================================
+// selection (§3.5)
+// =====================================================================
+
+TEST(SelectPolicyTest, Names)
+{
+    EXPECT_STREQ(
+        makeSelectionPolicy(SelectPolicy::TypedSpecLast)->name(),
+        "typed-spec-last");
+    EXPECT_STREQ(makeSelectionPolicy(SelectPolicy::TypedOnly)->name(),
+                 "typed-only");
+    EXPECT_STREQ(makeSelectionPolicy(SelectPolicy::OldestFirst)->name(),
+                 "oldest-first");
+    EXPECT_STREQ(
+        makeSelectionPolicy(SelectPolicy::TypedSpecFirst)->name(),
+        "typed-spec-first");
+}
+
+/** (prio, spec) compared lexicographically, as the issue sort does. */
+bool
+beats(const SelectKey &a, const SelectKey &b)
+{
+    return a.prio != b.prio ? a.prio < b.prio : a.spec < b.spec;
+}
+
+TEST(SelectPolicyTest, TypedSpecLastOrder)
+{
+    // Paper §3.5: branches/loads first; within a class,
+    // non-speculative preferred; age (handled by the caller) last.
+    const auto p = makeSelectionPolicy(SelectPolicy::TypedSpecLast);
+    const SelectKey tn = p->key(true, false), ts = p->key(true, true);
+    const SelectKey un = p->key(false, false), us = p->key(false, true);
+    EXPECT_TRUE(beats(tn, ts));
+    EXPECT_TRUE(beats(ts, un));
+    EXPECT_TRUE(beats(un, us));
+}
+
+TEST(SelectPolicyTest, TypedOnlyIgnoresSpeculation)
+{
+    const auto p = makeSelectionPolicy(SelectPolicy::TypedOnly);
+    EXPECT_EQ(p->key(true, false), p->key(true, true));
+    EXPECT_EQ(p->key(false, false), p->key(false, true));
+    EXPECT_TRUE(beats(p->key(true, true), p->key(false, false)));
+}
+
+TEST(SelectPolicyTest, OldestFirstIsPureAge)
+{
+    const auto p = makeSelectionPolicy(SelectPolicy::OldestFirst);
+    EXPECT_EQ(p->key(true, false), p->key(false, true));
+    EXPECT_EQ(p->key(true, true), p->key(false, false));
+}
+
+TEST(SelectPolicyTest, TypedSpecFirstPrefersSpeculative)
+{
+    const auto p = makeSelectionPolicy(SelectPolicy::TypedSpecFirst);
+    EXPECT_TRUE(beats(p->key(true, true), p->key(true, false)));
+    EXPECT_TRUE(beats(p->key(false, true), p->key(false, false)));
+    EXPECT_TRUE(beats(p->key(true, false), p->key(false, true)));
+}
+
+// =====================================================================
+// synthetic window + recording hooks
+// =====================================================================
+
+/** Records every hook the sweeps raise, mutating nothing. */
+struct RecordingHooks final : SpecHooks
+{
+    std::vector<int> outputValid;  //!< slots via outputBecameValid
+    std::vector<int> nullified;    //!< slots via nullifyEntry
+    std::vector<int> squashed;     //!< producer slots, completeSquash
+    std::vector<int> wakeups;      //!< slots via wakeupChanged
+    std::vector<std::pair<int, int>> invalidated; //!< (slot, operand)
+
+    void outputBecameValid(RsEntry &e) override
+    {
+        outputValid.push_back(e.slot);
+    }
+    void nullifyEntry(RsEntry &e) override
+    {
+        nullified.push_back(e.slot);
+    }
+    void completeSquash(RsEntry &p) override
+    {
+        squashed.push_back(p.slot);
+    }
+    void wakeupChanged(RsEntry &e) override
+    {
+        wakeups.push_back(e.slot);
+    }
+    void operandInvalidated(RsEntry &e, int idx) override
+    {
+        invalidated.push_back({e.slot, idx});
+    }
+};
+
+/**
+ * A three-deep dependence chain around a predicted producer:
+ *
+ *   slot 0  producer, predicted, executed
+ *   slot 1  direct consumer   src[0]: tag 0, deps {0}, Predicted
+ *   slot 2  indirect consumer src[0]: tag 1, deps {0}, Speculative
+ *
+ * Both consumers executed, so their outputs also carry bit 0.
+ */
+struct ChainFixture
+{
+    std::vector<RsEntry> window;
+    std::deque<int> order{0, 1, 2};
+    RecordingHooks hooks;
+
+    ChainFixture()
+    {
+        window.resize(3);
+        for (int s = 0; s < 3; ++s) {
+            RsEntry &e = window[static_cast<std::size_t>(s)];
+            e.busy = true;
+            e.slot = s;
+            e.seq = static_cast<std::uint64_t>(s + 1);
+            e.executed = true;
+            e.issued = true;
+        }
+        RsEntry &p = window[0];
+        p.predicted = true;
+        p.outValue = 111;
+        p.outDeps.set(0);
+
+        RsEntry &c1 = window[1];
+        c1.src[0].state = OperandState::Predicted;
+        c1.src[0].tag = 0;
+        c1.src[0].value = 42; // stale predicted value
+        c1.src[0].deps.set(0);
+        c1.outDeps.set(0);
+
+        RsEntry &c2 = window[2];
+        c2.src[0].state = OperandState::Speculative;
+        c2.src[0].tag = 1;
+        c2.src[0].deps.set(0);
+        c2.outDeps.set(0);
+    }
+
+    WindowRef ref() { return {window, order}; }
+};
+
+// =====================================================================
+// verification (§3.2)
+// =====================================================================
+
+TEST(VerifyPolicyTest, PredicateTable)
+{
+    const auto flat = makeVerifyPolicy(VerifyScheme::Flattened);
+    const auto hier = makeVerifyPolicy(VerifyScheme::Hierarchical);
+    const auto ret = makeVerifyPolicy(VerifyScheme::RetirementBased);
+    const auto hyb = makeVerifyPolicy(VerifyScheme::Hybrid);
+
+    EXPECT_STREQ(flat->name(), "flattened");
+    EXPECT_FALSE(flat->hierarchical());
+    EXPECT_TRUE(flat->propagatesOnEvent());
+    EXPECT_FALSE(flat->sweepsAtRetire());
+    EXPECT_FALSE(flat->residueGuardAtRetire());
+
+    EXPECT_STREQ(hier->name(), "hierarchical");
+    EXPECT_TRUE(hier->hierarchical());
+    EXPECT_TRUE(hier->propagatesOnEvent());
+    EXPECT_FALSE(hier->sweepsAtRetire());
+    EXPECT_TRUE(hier->residueGuardAtRetire());
+
+    EXPECT_STREQ(ret->name(), "retirement");
+    EXPECT_FALSE(ret->hierarchical());
+    EXPECT_FALSE(ret->propagatesOnEvent());
+    EXPECT_TRUE(ret->sweepsAtRetire());
+    EXPECT_FALSE(ret->residueGuardAtRetire());
+
+    EXPECT_STREQ(hyb->name(), "hybrid");
+    EXPECT_TRUE(hyb->hierarchical());
+    EXPECT_TRUE(hyb->propagatesOnEvent());
+    EXPECT_TRUE(hyb->sweepsAtRetire());
+    // Hybrid's retirement sweep clears residue; no guard needed.
+    EXPECT_FALSE(hyb->residueGuardAtRetire());
+}
+
+TEST(VerifyPolicyTest, FlattenedValidatesAllInOneEvent)
+{
+    ChainFixture f;
+    const auto policy = makeVerifyPolicy(VerifyScheme::Flattened);
+    const bool more = policy->apply(f.ref(), f.window[0], 10, f.hooks);
+
+    EXPECT_FALSE(more);
+    // Both consumers' operands lose the bit and turn Valid at once.
+    EXPECT_EQ(f.window[1].src[0].state, OperandState::Valid);
+    EXPECT_EQ(f.window[1].src[0].validAt, 10u);
+    EXPECT_TRUE(f.window[1].src[0].validViaEvent);
+    EXPECT_EQ(f.window[2].src[0].state, OperandState::Valid);
+    EXPECT_TRUE(f.window[1].outDeps.none());
+    EXPECT_TRUE(f.window[2].outDeps.none());
+    EXPECT_EQ(f.hooks.wakeups, (std::vector<int>{1, 2}));
+    EXPECT_EQ(f.hooks.outputValid, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(f.hooks.nullified.empty());
+    EXPECT_TRUE(f.hooks.invalidated.empty());
+}
+
+TEST(VerifyPolicyTest, HierarchicalAdvancesOneLevelPerEvent)
+{
+    ChainFixture f;
+    const auto policy = makeVerifyPolicy(VerifyScheme::Hierarchical);
+
+    // Step 1: only the direct consumer's input cleanses; its output
+    // (and the indirect consumer) wait for the next wave step.
+    ASSERT_TRUE(policy->apply(f.ref(), f.window[0], 10, f.hooks));
+    EXPECT_EQ(f.window[1].src[0].state, OperandState::Valid);
+    EXPECT_EQ(f.window[2].src[0].state, OperandState::Speculative);
+    EXPECT_FALSE(f.window[1].outDeps.none());
+    EXPECT_EQ(f.hooks.wakeups, (std::vector<int>{1}));
+
+    // Step 2: the direct consumer's output cleanses; the indirect
+    // consumer's input sees it only at step 3.
+    ASSERT_TRUE(policy->apply(f.ref(), f.window[0], 11, f.hooks));
+    EXPECT_TRUE(f.window[1].outDeps.none());
+    EXPECT_EQ(f.hooks.outputValid, (std::vector<int>{1}));
+    EXPECT_EQ(f.window[2].src[0].state, OperandState::Speculative);
+
+    // Step 3: the wave reaches the indirect consumer's input; its
+    // output cleanses one step after its inputs, i.e. at step 4.
+    ASSERT_TRUE(policy->apply(f.ref(), f.window[0], 12, f.hooks));
+    EXPECT_EQ(f.window[2].src[0].state, OperandState::Valid);
+    EXPECT_EQ(f.window[2].src[0].validAt, 12u);
+    EXPECT_FALSE(f.window[2].outDeps.none());
+
+    // Step 4: nothing remains.
+    EXPECT_FALSE(policy->apply(f.ref(), f.window[0], 13, f.hooks));
+    EXPECT_TRUE(f.window[2].outDeps.none());
+    EXPECT_EQ(f.hooks.outputValid, (std::vector<int>{1, 2}));
+}
+
+TEST(VerifyPolicyTest, RetirementSweepValidatesEverything)
+{
+    ChainFixture f;
+    const auto policy = makeVerifyPolicy(VerifyScheme::RetirementBased);
+    policy->applyRetire(f.ref(), f.window[0], 20, f.hooks);
+
+    EXPECT_EQ(f.window[1].src[0].state, OperandState::Valid);
+    EXPECT_EQ(f.window[2].src[0].state, OperandState::Valid);
+    EXPECT_TRUE(f.window[1].outDeps.none());
+    EXPECT_TRUE(f.window[2].outDeps.none());
+    EXPECT_EQ(f.hooks.outputValid, (std::vector<int>{1, 2}));
+}
+
+TEST(VerifyPolicyTest, SweepLeavesUnrelatedBitsAlone)
+{
+    ChainFixture f;
+    // The indirect consumer also depends on some other prediction.
+    f.window[2].src[0].deps.set(5);
+    f.window[2].outDeps.set(5);
+
+    const auto policy = makeVerifyPolicy(VerifyScheme::Flattened);
+    policy->apply(f.ref(), f.window[0], 10, f.hooks);
+
+    // Bit 0 cleared, bit 5 kept: still speculative, no wakeup raised
+    // beyond the direct consumer, output not yet valid.
+    EXPECT_EQ(f.window[2].src[0].state, OperandState::Speculative);
+    EXPECT_TRUE(f.window[2].src[0].deps.test(5));
+    EXPECT_FALSE(f.window[2].src[0].deps.test(0));
+    EXPECT_TRUE(f.window[2].outDeps.test(5));
+    EXPECT_EQ(f.hooks.wakeups, (std::vector<int>{1}));
+    EXPECT_EQ(f.hooks.outputValid, (std::vector<int>{1}));
+}
+
+// =====================================================================
+// invalidation (§3.1)
+// =====================================================================
+
+TEST(InvalPolicyTest, PredicateTable)
+{
+    const auto flat = makeInvalPolicy(InvalScheme::Flattened);
+    const auto hier = makeInvalPolicy(InvalScheme::Hierarchical);
+    const auto comp = makeInvalPolicy(InvalScheme::Complete);
+
+    EXPECT_STREQ(flat->name(), "flattened");
+    EXPECT_FALSE(flat->hierarchical());
+    EXPECT_FALSE(flat->complete());
+    EXPECT_FALSE(flat->residueGuardAtRetire());
+
+    EXPECT_STREQ(hier->name(), "hierarchical");
+    EXPECT_TRUE(hier->hierarchical());
+    EXPECT_FALSE(hier->complete());
+    EXPECT_TRUE(hier->residueGuardAtRetire());
+
+    EXPECT_STREQ(comp->name(), "complete");
+    EXPECT_FALSE(comp->hierarchical());
+    EXPECT_TRUE(comp->complete());
+    EXPECT_FALSE(comp->residueGuardAtRetire());
+}
+
+TEST(InvalPolicyTest, FlattenedCorrectsDirectResetsIndirect)
+{
+    ChainFixture f;
+    const auto policy = makeInvalPolicy(InvalScheme::Flattened);
+    const bool more = policy->apply(f.ref(), f.window[0], 10, f.hooks);
+
+    EXPECT_FALSE(more);
+    // Direct consumer rides the corrected value off the broadcast.
+    EXPECT_EQ(f.window[1].src[0].state, OperandState::Valid);
+    EXPECT_EQ(f.window[1].src[0].value, 111u);
+    EXPECT_EQ(f.window[1].src[0].readyAt, 10u);
+    // Indirect consumer re-captures from its producer's re-broadcast.
+    EXPECT_EQ(f.window[2].src[0].state, OperandState::Invalid);
+    EXPECT_TRUE(f.window[2].src[0].deps.none());
+    EXPECT_EQ(f.hooks.invalidated,
+              (std::vector<std::pair<int, int>>{{2, 0}}));
+    // Both consumed a wrong value while issued: wakeup nullification.
+    EXPECT_EQ(f.hooks.nullified, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(f.hooks.squashed.empty());
+}
+
+TEST(InvalPolicyTest, HierarchicalWaveReactsLevelByLevel)
+{
+    ChainFixture f;
+    const auto policy = makeInvalPolicy(InvalScheme::Hierarchical);
+
+    // Step 1: direct consumer corrected; the indirect consumer's
+    // producer still carried the bit at the start of the step, so it
+    // must wait for a later level.
+    ASSERT_TRUE(policy->apply(f.ref(), f.window[0], 10, f.hooks));
+    EXPECT_EQ(f.window[1].src[0].state, OperandState::Valid);
+    EXPECT_EQ(f.window[1].src[0].value, 111u);
+    EXPECT_EQ(f.window[2].src[0].state, OperandState::Speculative);
+    EXPECT_EQ(f.hooks.nullified, (std::vector<int>{1}));
+
+    // The nullification resets the direct consumer's execution state,
+    // as OooCore::nullify does.
+    f.window[1].executed = false;
+    f.window[1].issued = false;
+    f.window[1].outDeps.reset();
+
+    // Step 2: the indirect consumer sees its producer was nullified
+    // and resets to wait on the re-broadcast.
+    EXPECT_FALSE(policy->apply(f.ref(), f.window[0], 11, f.hooks));
+    EXPECT_EQ(f.window[2].src[0].state, OperandState::Invalid);
+    EXPECT_EQ(f.hooks.invalidated,
+              (std::vector<std::pair<int, int>>{{2, 0}}));
+    EXPECT_EQ(f.hooks.nullified, (std::vector<int>{1, 2}));
+}
+
+TEST(InvalPolicyTest, CompleteRaisesSquashOnly)
+{
+    ChainFixture f;
+    const auto policy = makeInvalPolicy(InvalScheme::Complete);
+    EXPECT_FALSE(policy->apply(f.ref(), f.window[0], 10, f.hooks));
+
+    // Complete invalidation delegates wholesale to the squash path;
+    // the sweep itself must not touch any consumer state.
+    EXPECT_EQ(f.hooks.squashed, (std::vector<int>{0}));
+    EXPECT_EQ(f.window[1].src[0].state, OperandState::Predicted);
+    EXPECT_EQ(f.window[2].src[0].state, OperandState::Speculative);
+    EXPECT_TRUE(f.hooks.nullified.empty());
+    EXPECT_TRUE(f.hooks.wakeups.empty());
+    EXPECT_TRUE(f.hooks.invalidated.empty());
+}
+
+// =====================================================================
+// factory
+// =====================================================================
+
+TEST(PolicySetTest, FactoryBindsModelVariables)
+{
+    SpecModel m = SpecModel::greatModel();
+    m.verifyScheme = VerifyScheme::Hybrid;
+    m.invalScheme = InvalScheme::Complete;
+    m.selectPolicy = SelectPolicy::OldestFirst;
+
+    const PolicySet p = makePolicies(m);
+    EXPECT_STREQ(p.verify->name(), "hybrid");
+    EXPECT_STREQ(p.invalidate->name(), "complete");
+    EXPECT_STREQ(p.select->name(), "oldest-first");
+}
+
+} // namespace

@@ -53,7 +53,13 @@ usage(const char *argv0)
         "  --width N         issue width (default 8)\n"
         "  --window N        window size (default 48)\n"
         "  --base            disable value prediction (default)\n"
-        "  --model M         super|great|good (enables prediction)\n"
+        "  --model M         super|great|good, or a custom latency\n"
+        "                    tuple E,EI,EV,VF,IR,VB,VA such as\n"
+        "                    0,0,1,1,1,1,1 (enables prediction)\n"
+        "  --verify-scheme V flattened|hierarchical|retirement|hybrid\n"
+        "  --inval-scheme I  flattened|hierarchical|complete\n"
+        "  --select S        typed-spec-last|typed-only|oldest-first|\n"
+        "                    typed-spec-first\n"
         "  --conf C          real|oracle|always (default real)\n"
         "  --timing T        D|I  delayed/immediate update (default D)\n"
         "  --predictor P     fcm|last-value|stride|hybrid (default fcm)\n"
@@ -134,8 +140,37 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--model")) {
             cfg.useValuePrediction = true;
             try {
+                // Keep any scheme overrides given before --model.
+                const core::SpecModel prev = cfg.model;
                 cfg.model = core::SpecModel::byName(
                     need_value("--model"));
+                cfg.model.verifyScheme = prev.verifyScheme;
+                cfg.model.invalScheme = prev.invalScheme;
+                cfg.model.selectPolicy = prev.selectPolicy;
+            } catch (const FatalError &err) {
+                std::fprintf(stderr, "%s\n", err.what());
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--verify-scheme")) {
+            try {
+                cfg.model.verifyScheme = core::parseVerifyScheme(
+                    need_value("--verify-scheme"));
+            } catch (const FatalError &err) {
+                std::fprintf(stderr, "%s\n", err.what());
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--inval-scheme")) {
+            try {
+                cfg.model.invalScheme = core::parseInvalScheme(
+                    need_value("--inval-scheme"));
+            } catch (const FatalError &err) {
+                std::fprintf(stderr, "%s\n", err.what());
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--select")) {
+            try {
+                cfg.model.selectPolicy = core::parseSelectPolicy(
+                    need_value("--select"));
             } catch (const FatalError &err) {
                 std::fprintf(stderr, "%s\n", err.what());
                 return 2;

@@ -18,11 +18,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "vsim/base/logging.hh"
 #include "vsim/base/stats.hh"
+#include "vsim/core/spec_model.hh"
 #include "vsim/sim/report.hh"
 #include "vsim/sim/sweep.hh"
 
@@ -46,6 +48,17 @@ usage(const char *argv0)
                  "timeline as Chrome/Perfetto JSON\n"
                  "  --progress            print one stderr line per "
                  "finished run\n"
+                 "  --model M             override the latency model of "
+                 "every speculative run:\n"
+                 "                        super|great|good or a tuple "
+                 "E,EI,EV,VF,IR,VB,VA\n"
+                 "  --verify-scheme V     override verification: "
+                 "flattened|hierarchical|retirement|hybrid\n"
+                 "  --inval-scheme I      override invalidation: "
+                 "flattened|hierarchical|complete\n"
+                 "  --select S            override selection: "
+                 "typed-spec-last|typed-only|\n"
+                 "                        oldest-first|typed-spec-first\n"
                  "named sweeps:\n",
                  argv0, static_cast<int>(std::strlen(argv0) + 7), "",
                  argv0);
@@ -83,6 +96,10 @@ main(int argc, char **argv)
     bool progress = false;
     sim::SweepOptions opt;
     int jobs = sim::SweepRunner::defaultJobs();
+    std::optional<core::SpecModel> model_override;
+    std::optional<core::VerifyScheme> verify_override;
+    std::optional<core::InvalScheme> inval_override;
+    std::optional<core::SelectPolicy> select_override;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> const char * {
@@ -117,6 +134,38 @@ main(int argc, char **argv)
             trace_json_path = need_value("--trace-json");
         } else if (!std::strcmp(argv[i], "--progress")) {
             progress = true;
+        } else if (!std::strcmp(argv[i], "--model")) {
+            try {
+                model_override =
+                    core::SpecModel::byName(need_value("--model"));
+            } catch (const FatalError &err) {
+                std::fprintf(stderr, "%s\n", err.what());
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--verify-scheme")) {
+            try {
+                verify_override = core::parseVerifyScheme(
+                    need_value("--verify-scheme"));
+            } catch (const FatalError &err) {
+                std::fprintf(stderr, "%s\n", err.what());
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--inval-scheme")) {
+            try {
+                inval_override = core::parseInvalScheme(
+                    need_value("--inval-scheme"));
+            } catch (const FatalError &err) {
+                std::fprintf(stderr, "%s\n", err.what());
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--select")) {
+            try {
+                select_override = core::parseSelectPolicy(
+                    need_value("--select"));
+            } catch (const FatalError &err) {
+                std::fprintf(stderr, "%s\n", err.what());
+                return 2;
+            }
         } else if (argv[i][0] != '-' && name.empty()) {
             name = argv[i];
         } else {
@@ -137,8 +186,27 @@ main(int argc, char **argv)
     try {
         const sim::NamedSweep &spec = sim::sweepByName(name);
         std::vector<sim::SweepJob> sweep_jobs = spec.build(opt);
-        for (sim::SweepJob &job : sweep_jobs)
+        for (sim::SweepJob &job : sweep_jobs) {
             job.cfg.metricsInterval = metrics_interval;
+            if (!job.cfg.useValuePrediction)
+                continue;
+            // Each override replaces only its own aspect of the job's
+            // model: --model the latency variables, the scheme flags
+            // the corresponding model variable.
+            if (model_override) {
+                core::SpecModel m = *model_override;
+                m.verifyScheme = job.cfg.model.verifyScheme;
+                m.invalScheme = job.cfg.model.invalScheme;
+                m.selectPolicy = job.cfg.model.selectPolicy;
+                job.cfg.model = m;
+            }
+            if (verify_override)
+                job.cfg.model.verifyScheme = *verify_override;
+            if (inval_override)
+                job.cfg.model.invalScheme = *inval_override;
+            if (select_override)
+                job.cfg.model.selectPolicy = *select_override;
+        }
 
         sim::SweepRunner runner(jobs);
         runner.setProgress(progress);
