@@ -37,9 +37,11 @@ cmake --build build-asan -j --target \
 ./build-asan/tests/test_event_queue
 ./build-asan/tests/test_scheduler
 # The full cross product is covered (without sanitizers) by ctest;
-# under ASan run only the regression slice to keep the gate fast.
-./build-asan/tests/test_core_xprod \
-    --gtest_filter='CoreXprod.MixedHierVerifyFlatInvalRegression'
+# under ASan run the regression slice plus the speculative
+# memory-resolution slice (memDeps bookkeeping is exactly the kind of
+# lifetime bug the sanitizers exist for) to keep the gate fast.
+./build-asan/tests/test_core_xprod --gtest_filter=\
+'CoreXprod.MixedHierVerifyFlatInvalRegression:CoreXprod.SpecMemResolutionAcrossSchemes'
 
 echo "== tier-1: golden byte-identity (vspec_run / vspec_sweep) =="
 # Every user-facing table and run output must match the pre-refactor
@@ -51,6 +53,11 @@ for wl in queens compress m88k; do
         ./build/tools/vspec_run --workload "$wl" --scale 1 \
             --model "$model" \
             | diff - "tests/golden/run_${wl}_${model}.txt"
+        # Speculative memory resolution (§3.2) has its own captures;
+        # the valid-ops outputs above must stay untouched by it.
+        ./build/tools/vspec_run --workload "$wl" --scale 1 \
+            --model "$model" --mem-resolution spec \
+            | diff - "tests/golden/run_${wl}_${model}_specmem.txt"
     done
 done
 for sweep in base fig3 fig4 confidence predictors verif-latency \

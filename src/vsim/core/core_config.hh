@@ -58,6 +58,7 @@ struct CoreConfig
     std::string valuePredictor = "fcm";
     ConfidenceKind confidence = ConfidenceKind::Real;
     int confidenceBits = 3;      //!< resetting-counter width
+    int confidenceTableBits = 16; //!< log2 of the confidence table size
     int confidenceThreshold = -1; //!< -1 = confident only at max
     UpdateTiming updateTiming = UpdateTiming::Delayed;
 

@@ -124,6 +124,11 @@ OooCore::applyCompletions()
                 if (o.used())
                     e.outDeps |= o.deps;
             }
+            // Memory-carried dependences acquired at issue (always
+            // empty under valid-ops memory resolution). The network
+            // may have cleared bits while the access was in flight;
+            // the fold uses the maintained mask, not the snapshot.
+            e.outDeps |= e.memDeps;
             e.verifiedAt = std::max(e.verifiedAt, cycle);
             if (e.inst.isStore()) {
                 e.addrReady = true;
@@ -265,6 +270,8 @@ OooCore::retireOne()
                 if (f.slot == e.slot)
                     continue;
                 if (f.executed && f.outDeps.test(pbit))
+                    return false;
+                if (f.memDeps.test(pbit))
                     return false;
                 for (const Operand &o : f.src) {
                     if (o.used() && o.deps.test(pbit))

@@ -25,7 +25,8 @@ OooCore::OooCore(const assembler::Program &prog, const CoreConfig &config)
       bpred_(bpred::makeBranchPredictor(config.branchPredictor)),
       vpred_(vpred::makeValuePredictor(config.valuePredictor)),
       conf_(std::make_unique<vpred::ResettingConfidence>(
-          config.confidenceBits, 16, config.confidenceThreshold)),
+          config.confidenceBits, config.confidenceTableBits,
+          config.confidenceThreshold)),
       l2(config.l2cache),
       icacheH(config.icache, l2,
               {config.icacheHitLat, config.l2HitLat, config.l2MissLat}),
@@ -35,15 +36,6 @@ OooCore::OooCore(const assembler::Program &prog, const CoreConfig &config)
     VSIM_ASSERT(cfg.windowSize > 0 && cfg.windowSize <= kMaxWindow,
                 "window size ", cfg.windowSize, " out of range");
     VSIM_ASSERT(cfg.issueWidth > 0, "bad issue width");
-    if (cfg.useValuePrediction && !model.memNeedsValidOps) {
-        // Speculative *memory* resolution would require tracking
-        // dependences through memory (stores written with speculative
-        // data invalidating forwarded loads), which the verification
-        // network does not cover; the paper's evaluation also resolves
-        // memory only with valid operands (§3.2).
-        VSIM_FATAL("memNeedsValidOps=false is not supported with value "
-                   "prediction; see DESIGN.md");
-    }
 
     // Committed architectural state starts exactly like the loader's.
     arch::ArchState init = arch::loadProgram(prog);
@@ -168,6 +160,7 @@ OooCore::nullify(RsEntry &e)
     e.executed = false;
     ++e.nonce;
     e.outDeps.reset();
+    e.memDeps.reset();
     e.outValid = false;
     e.eqScheduled = false;
     if (e.inst.isStore()) {

@@ -163,6 +163,12 @@ class OooCore : private SpecHooks
     bool loadOrderingSatisfied(const RsEntry &e) const;
     bool loadValue(const RsEntry &e, std::uint64_t &value,
                    bool &forwarded) const;
+    SpecMask memCarriedDeps(const RsEntry &e) const;
+    /** Memory ops may resolve with speculative operands (§3.2). */
+    bool specMemResolution() const
+    {
+        return cfg.useValuePrediction && !model.memNeedsValidOps;
+    }
     void issueEntry(RsEntry &e);
     void broadcast(RsEntry &producer);
     void doEqCheck(RsEntry &e);

@@ -32,7 +32,11 @@ OooCore::loadOrderingSatisfied(const RsEntry &e) const
 {
     // Loads execute only once every preceding store address is known
     // (§2.1); bytes covered by an older store additionally need the
-    // store's data to be present and valid.
+    // store's data to be present. Under valid-ops memory resolution
+    // the covering store's data must also be *valid*; with speculative
+    // resolution (memNeedsValidOps=false) a predicted or speculative
+    // value forwards as-is and the load carries the store's dependence
+    // bits in memDeps instead.
     for (int slot : lsq) {
         const RsEntry &s = window[static_cast<std::size_t>(slot)];
         if (s.seq >= e.seq)
@@ -50,13 +54,54 @@ OooCore::loadOrderingSatisfied(const RsEntry &e) const
                                      e.inst.memSize()));
         if (lo < hi) {
             const Operand &data = s.src[0];
-            if (data.state != OperandState::Valid
-                || data.readyAt > cycle) {
+            if (data.readyAt > cycle)
+                return false;
+            if (specMemResolution() ? !data.hasValue()
+                                    : data.state != OperandState::Valid) {
                 return false;
             }
         }
     }
     return true;
+}
+
+SpecMask
+OooCore::memCarriedDeps(const RsEntry &e) const
+{
+    // The predictions this load's result depends on *through the LSQ*
+    // (speculative memory resolution only). Two channels:
+    //
+    //  - disambiguation: the ordering check consulted every older
+    //    store's address, and those addresses may have been computed
+    //    from speculative operands — a mispredicted address re-opens
+    //    the check, so the address operands' dependence bits ride
+    //    along for every older store regardless of overlap (whether
+    //    the store overlaps is itself part of the speculation);
+    //  - forwarding: bytes taken from an overlapping store's data
+    //    operand inherit that operand's dependence bits.
+    //
+    // Register-carried dependences (the load's own address base) are
+    // covered by the ordinary operand masks and are not duplicated
+    // here.
+    SpecMask deps;
+    for (int slot : lsq) {
+        const RsEntry &s = window[static_cast<std::size_t>(slot)];
+        if (s.seq >= e.seq)
+            break;
+        if (!s.inst.isStore() || !s.addrReady)
+            continue;
+        if (s.src[1].used())
+            deps |= s.src[1].deps;
+        const std::uint64_t lo = std::max(s.memAddr, e.memAddr);
+        const std::uint64_t hi =
+            std::min(s.memAddr + static_cast<std::uint64_t>(
+                                     s.inst.memSize()),
+                     e.memAddr + static_cast<std::uint64_t>(
+                                     e.inst.memSize()));
+        if (lo < hi && s.src[0].used())
+            deps |= s.src[0].deps;
+    }
+    return deps;
 }
 
 bool
@@ -244,6 +289,9 @@ OooCore::issueEntry(RsEntry &e)
         break;
       case isa::ExecClass::Load: {
         e.memAddr = out.memAddr;
+        e.memDeps.reset();
+        if (specMemResolution())
+            e.memDeps = memCarriedDeps(e);
         bool forwarded = false;
         std::uint64_t value = 0;
         loadValue(e, value, forwarded);

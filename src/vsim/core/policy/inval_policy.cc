@@ -96,6 +96,17 @@ InvalidatePolicy::apply(const WindowRef &w, RsEntry &p,
                 }
             }
         }
+        if (f.memDeps.test(pbit)) {
+            // Memory-carried dependence: the load's disambiguation or
+            // forwarding consulted prediction p through the LSQ. The
+            // access itself is suspect, so the load is killed outright
+            // (no selective value patch is possible — the wrong datum
+            // came from the memory system, not an operand latch) and
+            // reissue re-runs disambiguation against the corrected
+            // store state. Like the LSQ port in the verification
+            // sweep, this reacts in one step under every scheme.
+            affected = true;
+        }
         if (affected && (f.issued || f.executed))
             hooks.nullifyEntry(f);
     }

@@ -64,6 +64,11 @@ VerifyPolicy::apply(const WindowRef &w, RsEntry &p, std::uint64_t cycle,
                 hooks.wakeupChanged(f);
             }
         }
+        // Memory-carried dependences clear in one step regardless of
+        // scheme: the LSQ disambiguation port is a flattened structure
+        // (it re-checked against the store's slot directly, not
+        // through the tag-broadcast tree), so there is no wave to run.
+        f.memDeps.reset(pbit);
         if (f.executed && f.outDeps.test(pbit)) {
             // The output cleanses one wave step after its inputs did
             // (flattened: immediately).
@@ -104,6 +109,7 @@ VerifyPolicy::applyRetire(const WindowRef &w, RsEntry &p,
                 hooks.wakeupChanged(f);
             }
         }
+        f.memDeps.reset(pbit);
         if (f.executed && f.outDeps.test(pbit)) {
             f.outDeps.reset(pbit);
             if (f.outDeps.none())

@@ -128,7 +128,14 @@ struct SpecModel
 
     /** Branches resolve only with valid operands (paper's choice). */
     bool branchNeedsValidOps = true;
-    /** Memory ops access memory only with valid addresses. */
+    /**
+     * Memory ops access memory only with valid addresses (§3.2,
+     * the paper's evaluation default). When false, loads may issue
+     * with speculative addresses and forward speculative store data;
+     * the LSQ tracks the memory-carried dependences (RsEntry::memDeps)
+     * and raises violations through the invalidation network
+     * (--mem-resolution spec).
+     */
     bool memNeedsValidOps = true;
 
     /** Most optimistic model of §4.1. */

@@ -100,6 +100,18 @@ struct RsEntry
     bool addrReady = false;
     std::uint64_t memAddr = 0;
     std::uint64_t addrReadyAt = 0;
+    /**
+     * Memory-carried dependences (§3.2, memNeedsValidOps=false): the
+     * predictions a load's *result* depends on through the LSQ rather
+     * than through its register operands — the address operands of the
+     * older stores it was disambiguated against plus the data operands
+     * of the stores it forwarded from. Snapshotted at issue, folded
+     * into outDeps at completion, cleared by the verification network
+     * and tested by the invalidation sweep (a set bit there nullifies
+     * the load for reissue). Always empty when memory resolution
+     * requires valid operands.
+     */
+    SpecMask memDeps;
 
     // retire gating
     std::uint64_t verifiedAt = 0;

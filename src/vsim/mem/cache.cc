@@ -45,8 +45,10 @@ Cache::setIndex(std::uint64_t block) const
 }
 
 bool
-Cache::access(std::uint64_t addr, bool is_write)
+Cache::access(std::uint64_t addr, bool is_write, Eviction *evicted)
 {
+    if (evicted)
+        *evicted = Eviction{};
     const std::uint64_t block = blockAddr(addr);
     const std::uint64_t set = setIndex(block);
     Line *base = &lines[set * static_cast<std::uint64_t>(cfg.assoc)];
@@ -71,6 +73,12 @@ Cache::access(std::uint64_t addr, bool is_write)
     accesses.record(false);
     if (victim->valid && victim->dirty)
         ++writebackCount;
+    if (evicted) {
+        evicted->valid = victim->valid;
+        evicted->dirty = victim->valid && victim->dirty;
+        evicted->addr =
+            victim->tag * static_cast<std::uint64_t>(cfg.blockBytes);
+    }
     victim->valid = true;
     victim->dirty = is_write;
     victim->tag = block;
@@ -94,8 +102,11 @@ Cache::probe(std::uint64_t addr) const
 void
 Cache::flush()
 {
-    for (auto &line : lines)
+    for (auto &line : lines) {
+        if (line.valid && line.dirty)
+            ++writebackCount;
         line = Line{};
+    }
     useCounter = 0;
 }
 
@@ -107,13 +118,20 @@ CacheHierarchy::CacheHierarchy(const CacheConfig &l1_cfg, Cache &l2,
 int
 CacheHierarchy::access(std::uint64_t addr, bool is_write)
 {
-    if (l1Cache.access(addr, is_write))
+    Eviction victim;
+    if (l1Cache.access(addr, is_write, &victim))
         return lat.l1Hit;
     // Fill from L2; the L2 sees the miss as a (clean) read, since this
     // is a timing-only model.
-    if (l2Cache.access(addr, false))
-        return lat.l2Hit;
-    return lat.l2Miss;
+    const int latency = l2Cache.access(addr, false) ? lat.l2Hit
+                                                    : lat.l2Miss;
+    // A dirty L1 victim drains into the L2 as a write. The writeback
+    // sits behind a write buffer, so it does not lengthen the demand
+    // fill — but the L2 tag/dirty state and its access/writeback
+    // counters must see the traffic.
+    if (victim.dirty)
+        l2Cache.access(victim.addr, true);
+    return latency;
 }
 
 } // namespace vsim::mem

@@ -31,6 +31,17 @@ struct CacheConfig
     int blockBytes = 32;
 };
 
+/**
+ * Block displaced by a miss allocation: reported so the next level can
+ * absorb the writeback traffic of a dirty victim.
+ */
+struct Eviction
+{
+    bool valid = false; //!< a valid block was displaced
+    bool dirty = false; //!< ... and it was dirty (writeback)
+    std::uint64_t addr = 0; //!< base address of the displaced block
+};
+
 class Cache
 {
   public:
@@ -39,14 +50,22 @@ class Cache
     /**
      * Look up @p addr, updating LRU and allocating on miss.
      * @param is_write marks the block dirty on a write hit/allocate.
+     * @param evicted if non-null, receives the block displaced by a
+     *        miss allocation (valid=false on a hit or when the
+     *        allocation filled an empty way).
      * @return true on hit.
      */
-    bool access(std::uint64_t addr, bool is_write);
+    bool access(std::uint64_t addr, bool is_write,
+                Eviction *evicted = nullptr);
 
     /** Probe without changing any state (used by tests/stats). */
     bool probe(std::uint64_t addr) const;
 
-    /** Drop all blocks (used between simulation phases). */
+    /**
+     * Drop all blocks (used between simulation phases). Valid dirty
+     * lines count as writebacks — flushing is not free in a write-back
+     * cache, and the traffic must not vanish from the stats.
+     */
     void flush();
 
     const CacheConfig &config() const { return cfg; }

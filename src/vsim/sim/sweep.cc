@@ -38,7 +38,8 @@ jobKey(const SweepJob &job)
     // models with equal variables produce bit-identical runs.
     os << c.useValuePrediction << ';' << c.valuePredictor << ';'
        << static_cast<int>(c.confidence) << '/' << c.confidenceBits
-       << '/' << c.confidenceThreshold << ';'
+       << '/' << c.confidenceTableBits << '/' << c.confidenceThreshold
+       << ';'
        << static_cast<int>(c.updateTiming) << ';';
     os << m.execToEquality << ',' << m.equalityToInvalidate << ','
        << m.equalityToVerify << ',' << m.verifyToFreeResource << ','

@@ -228,6 +228,8 @@ ResettingConfidence::ResettingConfidence(int counter_bits, int table_bits,
 {
     VSIM_ASSERT(counter_bits >= 1 && counter_bits <= 8,
                 "bad confidence counter width");
+    VSIM_ASSERT(table_bits >= 1 && table_bits <= 24,
+                "bad confidence table size (log2 entries)");
 }
 
 bool

@@ -33,14 +33,18 @@ loop:
     halt a0
 )";
 
-TEST(CoreConfigGuards, SpeculativeMemoryResolutionRejected)
+// memNeedsValidOps=false used to hard-fatal with value prediction;
+// speculative memory resolution is now a supported configuration and
+// must construct and run to architectural completion.
+TEST(CoreConfigGuards, SpeculativeMemoryResolutionRuns)
 {
     CoreConfig cfg;
     cfg.useValuePrediction = true;
     cfg.model = SpecModel::greatModel();
     cfg.model.memNeedsValidOps = false;
-    EXPECT_THROW(OooCore(assembler::assemble(kSmallLoop), cfg),
-                 FatalError);
+    OooCore core(assembler::assemble(kSmallLoop), cfg);
+    const SimOutcome out = core.run();
+    EXPECT_TRUE(out.halted);
 }
 
 TEST(CoreConfigGuards, OversizedWindowPanics)

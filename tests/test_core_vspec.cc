@@ -453,6 +453,211 @@ TEST(Spec, VerifyAddrToMemLatencyDelaysDependentLoads)
     EXPECT_GT(slow.stats.cycles, fast.stats.cycles);
 }
 
+// ---- speculative memory resolution (§3.2, memNeedsValidOps=false) -----
+
+/**
+ * A store whose data is (wrongly) predicted, immediately followed by a
+ * load of the same address: with speculative memory resolution the
+ * load forwards the wrong value long before the slow producer
+ * resolves, and must be caught by the invalidation network.
+ */
+Program
+memViolationProgram()
+{
+    return assembler::assemble(R"(
+        .data
+    buf: .dword 0
+        .text
+        la s0, buf
+        li t0, 700
+        li t1, 70
+        div t2, t0, t1      # slow producer: t2 = 10
+    p:  addi t3, t2, 1      # 11, force-predicted wrong
+        sd t3, 0(s0)        # store of the predicted value
+        ld a0, 0(s0)        # forwards the speculative data
+        addi a1, a0, 1      # 12
+        halt a1
+    )");
+}
+
+TEST(SpecMem, MisforwardedLoadInvalidatesAndReissues)
+{
+    const Program prog = memViolationProgram();
+    SpecModel model = SpecModel::greatModel();
+    model.memNeedsValidOps = false;
+    model.invalidateToReissue = 5; // make the latency observable
+    const SimOutcome out =
+        runForced(prog, model, {{prog.symbols.at("p"), 99}});
+
+    // Architectural honesty: the wrong forwarded value must never
+    // retire (the in-core golden check would panic; the exit code
+    // seals it from the outside).
+    EXPECT_TRUE(out.halted);
+    EXPECT_EQ(out.exitCode, 12u);
+
+    // The load forwarded speculatively (at least once before the
+    // violation, once after the reissue).
+    EXPECT_GE(out.stats.loadsForwarded, 2u);
+
+    // Exactly one prediction resolved wrong, and the invalidation
+    // nullified (at least) the store and the forwarded load.
+    EXPECT_EQ(out.stats.invalidateEvents, 1u);
+    EXPECT_EQ(out.stats.verifyEvents, 0u);
+    EXPECT_GE(out.stats.nullifications, 2u);
+    EXPECT_GE(out.stats.reissues, 2u);
+
+    // Every reissue waited out the configured Invalidation-Reissue
+    // latency.
+    EXPECT_GE(out.stats.invalToReissue.count(), 2u);
+    EXPECT_GE(out.stats.invalToReissue.min(), 5u);
+}
+
+TEST(SpecMem, ViolationCaughtUnderEveryInvalidationScheme)
+{
+    const Program prog = memViolationProgram();
+    for (core::InvalScheme is :
+         {core::InvalScheme::Flattened, core::InvalScheme::Hierarchical,
+          core::InvalScheme::Complete}) {
+        SpecModel model = SpecModel::greatModel();
+        model.memNeedsValidOps = false;
+        model.invalScheme = is;
+        const SimOutcome out =
+            runForced(prog, model, {{prog.symbols.at("p"), 99}});
+        EXPECT_TRUE(out.halted) << static_cast<int>(is);
+        EXPECT_EQ(out.exitCode, 12u) << static_cast<int>(is);
+        EXPECT_EQ(out.stats.invalidateEvents, 1u)
+            << static_cast<int>(is);
+        // Recovery ran: either selective nullification or a complete
+        // squash — the misforwarded load never retired silently.
+        EXPECT_GT(out.stats.nullifications + out.stats.squashes, 0u)
+            << static_cast<int>(is);
+    }
+}
+
+TEST(SpecMem, CorrectForwardedSpeculationVerifiesInPlace)
+{
+    // Same program, prediction forced *correct*: the speculatively
+    // forwarded load must survive verification without a reissue.
+    const Program prog = memViolationProgram();
+    SpecModel model = SpecModel::greatModel();
+    model.memNeedsValidOps = false;
+    const SimOutcome out =
+        runForced(prog, model, {{prog.symbols.at("p"), 11}});
+    EXPECT_TRUE(out.halted);
+    EXPECT_EQ(out.exitCode, 12u);
+    EXPECT_GE(out.stats.loadsForwarded, 1u);
+    EXPECT_EQ(out.stats.verifyEvents, 1u);
+    EXPECT_EQ(out.stats.invalidateEvents, 0u);
+    EXPECT_EQ(out.stats.nullifications, 0u);
+    EXPECT_EQ(out.stats.reissues, 0u);
+}
+
+TEST(SpecMem, SpecAndValidBitIdenticalWithoutPredictions)
+{
+    // A store/load-heavy loop run with the predictor permanently
+    // silent: with no predictions there are no speculative operands,
+    // so valid-ops and speculative memory resolution must make
+    // identical decisions cycle for cycle.
+    const Program prog = assembler::assemble(R"(
+        .data
+    tab: .dword 3, 1, 4, 1, 5, 9, 2, 6
+        .text
+        la s0, tab
+        li s1, 300
+        li s2, 0
+        li t0, 0
+    loop:
+        andi t1, s2, 7
+        slli t1, t1, 3
+        add t2, s0, t1
+        add t3, t0, s2
+        sd t3, 0(t2)
+        ld t4, 0(t2)     # forwards from the store just above
+        add t0, t0, t4
+        addi s2, s2, 1
+        bne s2, s1, loop
+        halt t0
+    )");
+
+    SpecModel valid_model = SpecModel::greatModel();
+    SpecModel spec_model = SpecModel::greatModel();
+    spec_model.memNeedsValidOps = false;
+    const SimOutcome valid = runForced(prog, valid_model, {});
+    const SimOutcome spec = runForced(prog, spec_model, {});
+
+    EXPECT_TRUE(valid.halted);
+    EXPECT_TRUE(spec.halted);
+    EXPECT_EQ(spec.exitCode, valid.exitCode);
+    EXPECT_EQ(spec.stats.cycles, valid.stats.cycles);
+    EXPECT_EQ(spec.stats.issued, valid.stats.issued);
+    EXPECT_EQ(spec.stats.retired, valid.stats.retired);
+    EXPECT_EQ(spec.stats.fetched, valid.stats.fetched);
+    EXPECT_EQ(spec.stats.loadsForwarded, valid.stats.loadsForwarded);
+    EXPECT_EQ(spec.stats.dcacheMisses, valid.stats.dcacheMisses);
+    EXPECT_EQ(spec.stats.nullifications, 0u);
+    EXPECT_GT(valid.stats.loadsForwarded, 0u); // forwarding exercised
+}
+
+TEST(SpecMem, SpecResolutionNoSlowerThanValidOnForwardedChain)
+{
+    // With an always-correct forced prediction feeding a store -> load
+    // -> use chain, speculative memory resolution forwards early while
+    // valid-ops waits for verification + verifyAddrToMem: spec must
+    // not lose.
+    const Program prog = memViolationProgram();
+    SpecModel valid_model = SpecModel::greatModel();
+    SpecModel spec_model = SpecModel::greatModel();
+    spec_model.memNeedsValidOps = false;
+    const Forced correct = {{prog.symbols.at("p"), 11}};
+    const SimOutcome valid = runForced(prog, valid_model, correct);
+    const SimOutcome spec = runForced(prog, spec_model, correct);
+    EXPECT_EQ(valid.exitCode, 12u);
+    EXPECT_EQ(spec.exitCode, 12u);
+    EXPECT_LE(spec.stats.cycles, valid.stats.cycles);
+}
+
+TEST(SpecMem, HeavyMisspeculationWithMemoryStaysExact)
+{
+    // PRNG-driven store/load traffic under Always confidence and
+    // speculative memory resolution: maximum stress on the
+    // kill-and-reissue path; architectural results must stay exact.
+    const Program prog = assembler::assemble(R"(
+        .data
+    tab: .dword 0, 0, 0, 0, 0, 0, 0, 0
+        .text
+        la s0, tab
+        li s1, 88172645463325252
+        li s2, 150
+        li s3, 0
+    loop:
+        slli t0, s1, 13
+        xor s1, s1, t0
+        srli t0, s1, 7
+        xor s1, s1, t0
+        andi t1, s1, 7
+        slli t1, t1, 3
+        add t2, s0, t1
+        sd s1, 0(t2)
+        ld t3, 0(t2)
+        add s3, s3, t3
+        addi s2, s2, -1
+        bnez s2, loop
+        halt s3
+    )");
+    const SimOutcome base = runPlain(prog);
+
+    for (const char *name : {"super", "great", "good"}) {
+        CoreConfig cfg;
+        cfg.useValuePrediction = true;
+        cfg.model = SpecModel::byName(name);
+        cfg.model.memNeedsValidOps = false;
+        cfg.confidence = ConfidenceKind::Always;
+        const SimOutcome out = OooCore(prog, cfg).run();
+        EXPECT_TRUE(out.halted) << name;
+        EXPECT_EQ(out.exitCode, base.exitCode) << name;
+    }
+}
+
 TEST(Spec, PipelineTracerRecordsSpecEvents)
 {
     const Program prog = fig1Program();

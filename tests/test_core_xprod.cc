@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -61,6 +62,19 @@ digest(const core::CoreStats &s, std::uint64_t exit_code,
     return buf;
 }
 
+/**
+ * Regold mode: with VSIM_XPROD_REGOLD set, checkCombo prints
+ * "label :: digest" lines instead of comparing against the capture —
+ * run the binary with the env var and redirect stdout to regenerate
+ * tests/golden/xprod_seed.txt (existing lines must stay byte-equal).
+ */
+bool
+regoldMode()
+{
+    static const bool r = std::getenv("VSIM_XPROD_REGOLD") != nullptr;
+    return r;
+}
+
 /** label -> digest from tests/golden/xprod_seed.txt. */
 const std::map<std::string, std::string> &
 goldenDigests()
@@ -78,7 +92,10 @@ goldenDigests()
             }
             m[line.substr(0, sep)] = line.substr(sep + 4);
         }
-        EXPECT_EQ(m.size(), 57u); // 48 combos + 3 workloads x 3 models
+        // 48 combos + 3 workloads x 3 models, plus the speculative
+        // memory-resolution slices: 4 verify x 3 inval on queens and
+        // 3 workloads x 3 models, all with mem=spec.
+        EXPECT_EQ(m.size(), 78u);
         return m;
     }();
     return digests;
@@ -123,6 +140,12 @@ checkCombo(const std::string &label, const assembler::Program &prog,
     EXPECT_TRUE(out.halted) << "did not terminate";
     EXPECT_EQ(out.exitCode, ref.exitCode);
     EXPECT_EQ(out.output, ref.output);
+
+    if (regoldMode()) {
+        std::printf("%s :: %s\n", label.c_str(),
+                    digest(out.stats, out.exitCode, out.output).c_str());
+        return;
+    }
 
     const auto &golden = goldenDigests();
     const auto it = golden.find(label);
@@ -185,6 +208,51 @@ TEST(CoreXprod, NamedModelsAcrossWorkloads)
                 core::UpdateTiming::Delayed);
             checkCombo(std::string(wl) + " model=" + mn, prog, cfg,
                        reference(wl));
+        }
+    }
+}
+
+/**
+ * Speculative memory resolution (§3.2, memNeedsValidOps=false) across
+ * the verification/invalidation cross-product: loads issue with
+ * speculative addresses and forward speculative store data, so every
+ * scheme must now also clear/kill memory-carried dependences
+ * (RsEntry::memDeps). Same three properties as above, pinned by their
+ * own golden digests.
+ */
+TEST(CoreXprod, SpecMemResolutionAcrossSchemes)
+{
+    const auto &ref = reference("queens");
+    for (int v = 0; v < 4; ++v) {
+        for (int in = 0; in < 3; ++in) {
+            core::SpecModel model = core::SpecModel::greatModel();
+            model.memNeedsValidOps = false;
+            model.verifyScheme = static_cast<core::VerifyScheme>(v);
+            model.invalScheme = static_cast<core::InvalScheme>(in);
+            const core::CoreConfig cfg = sim::vpConfig(
+                {8, 48}, model, core::ConfidenceKind::Real,
+                core::UpdateTiming::Delayed);
+            std::ostringstream label;
+            label << "queens " << kVerifyNames[v] << " "
+                  << kInvalNames[in] << " spec-last mem=spec";
+            checkCombo(label.str(), queensProgram(), cfg, ref);
+        }
+    }
+}
+
+TEST(CoreXprod, SpecMemNamedModelsAcrossWorkloads)
+{
+    for (const char *wl : {"queens", "compress", "m88k"}) {
+        const auto prog =
+            workloads::buildProgram(workloads::byName(wl), 1);
+        for (const char *mn : {"super", "great", "good"}) {
+            core::SpecModel model = core::SpecModel::byName(mn);
+            model.memNeedsValidOps = false;
+            const core::CoreConfig cfg = sim::vpConfig(
+                {8, 48}, model, core::ConfidenceKind::Real,
+                core::UpdateTiming::Delayed);
+            checkCombo(std::string(wl) + " model=" + mn + " mem=spec",
+                       prog, cfg, reference(wl));
         }
     }
 }

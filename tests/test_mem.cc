@@ -129,6 +129,45 @@ TEST(Cache, FlushDropsEverything)
     EXPECT_FALSE(c.probe(0));
 }
 
+TEST(Cache, FlushCountsDirtyWritebacks)
+{
+    Cache c(smallCache());
+    c.access(0, true);    // dirty
+    c.access(32, false);  // clean
+    c.access(64, true);   // dirty
+    EXPECT_EQ(c.writebacks(), 0u);
+    c.flush();
+    EXPECT_EQ(c.writebacks(), 2u); // both dirty lines drained
+    // A second flush finds an empty cache: no double counting.
+    c.flush();
+    EXPECT_EQ(c.writebacks(), 2u);
+    // A write hit followed by a flush counts exactly once.
+    c.access(0, false);
+    c.access(0, true);
+    c.flush();
+    EXPECT_EQ(c.writebacks(), 3u);
+}
+
+TEST(Cache, AccessReportsEvictedBlock)
+{
+    Cache c(smallCache());
+    Eviction ev;
+    c.access(0 * 128, true, &ev); // set 0, filled empty way
+    EXPECT_FALSE(ev.valid);
+    c.access(1 * 128, false, &ev);
+    EXPECT_FALSE(ev.valid);
+    c.access(2 * 128, false, &ev); // evicts dirty block 0
+    EXPECT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.addr, 0u);
+    c.access(2 * 128, true, &ev); // hit: nothing displaced
+    EXPECT_FALSE(ev.valid);
+    c.access(3 * 128, false, &ev); // evicts block 1*128, clean
+    EXPECT_TRUE(ev.valid);
+    EXPECT_FALSE(ev.dirty);
+    EXPECT_EQ(ev.addr, 1u * 128u);
+}
+
 TEST(Cache, DistinctSetsDoNotConflict)
 {
     Cache c(smallCache());
@@ -163,6 +202,53 @@ TEST(Hierarchy, PaperLatencies)
     // Evict nothing; a different block in the same L2 line: L1 miss,
     // L2 hit (64B L2 blocks cover two 32B L1 blocks) -> 12.
     EXPECT_EQ(h.access(0x4020, false), 12);
+}
+
+TEST(Hierarchy, L1DirtyEvictionInstallsInL2)
+{
+    CacheConfig l2_cfg;
+    l2_cfg.name = "l2";
+    l2_cfg.sizeBytes = 1 << 20;
+    l2_cfg.assoc = 4;
+    l2_cfg.blockBytes = 64;
+    Cache l2(l2_cfg);
+
+    HierarchyLatencies lat;
+    CacheHierarchy h(smallCache(), l2, lat); // tiny 2-way L1
+
+    h.access(0 * 128, true);  // write: L1 block 0 dirty, L2 installs
+    h.access(1 * 128, false); // fills the set's other way
+    h.access(2 * 128, false); // evicts dirty block 0 -> L2 write
+
+    // Three demand fills (cold L2 misses) plus the writeback of the
+    // L1 victim, which hits the block the first demand fill installed.
+    EXPECT_EQ(l2.stats().total(), 4u);
+    EXPECT_EQ(l2.stats().hits(), 1u);
+    // The writeback dirtied the L2 copy: flushing the L2 must drain
+    // exactly that one dirty line.
+    EXPECT_EQ(l2.writebacks(), 0u);
+    l2.flush();
+    EXPECT_EQ(l2.writebacks(), 1u);
+}
+
+TEST(Hierarchy, CleanL1EvictionDoesNotTouchL2)
+{
+    CacheConfig l2_cfg;
+    l2_cfg.name = "l2";
+    l2_cfg.sizeBytes = 1 << 20;
+    l2_cfg.assoc = 4;
+    l2_cfg.blockBytes = 64;
+    Cache l2(l2_cfg);
+
+    HierarchyLatencies lat;
+    CacheHierarchy h(smallCache(), l2, lat);
+
+    h.access(0 * 128, false); // clean
+    h.access(1 * 128, false);
+    h.access(2 * 128, false); // evicts clean block 0: no L2 write
+    EXPECT_EQ(l2.stats().total(), 3u); // demand fills only
+    l2.flush();
+    EXPECT_EQ(l2.writebacks(), 0u);
 }
 
 TEST(Hierarchy, L2SharedBetweenL1s)

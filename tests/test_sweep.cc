@@ -111,6 +111,28 @@ TEST(JobKey, IgnoresLabelButNotConfig)
     EXPECT_NE(sim::jobKey(a), sim::jobKey(f));
 }
 
+TEST(JobKey, MemResolutionAndConfidenceTableAreIdentity)
+{
+    // Speculative vs valid-ops memory resolution produce different
+    // runs and must never collide in the RunCache.
+    sim::SweepJob a = quickJob("queens", true);
+    sim::SweepJob b = quickJob("queens", true);
+    b.cfg.model.memNeedsValidOps = false;
+    EXPECT_NE(sim::jobKey(a), sim::jobKey(b));
+
+    // Ditto for the confidence table size.
+    sim::SweepJob c = quickJob("queens", true);
+    c.cfg.confidenceTableBits = 10;
+    EXPECT_NE(sim::jobKey(a), sim::jobKey(c));
+
+    // The table-bits segment must not be confusable with the
+    // threshold's (both live in the confidence section).
+    sim::SweepJob d = quickJob("queens", true);
+    d.cfg.confidenceThreshold = d.cfg.confidenceTableBits;
+    d.cfg.confidenceTableBits = a.cfg.confidenceThreshold;
+    EXPECT_NE(sim::jobKey(a), sim::jobKey(d));
+}
+
 TEST(JobKey, ModelNameIsCosmetic)
 {
     sim::SweepJob a = quickJob(), b = quickJob();

@@ -60,7 +60,15 @@ usage(const char *argv0)
         "  --inval-scheme I  flattened|hierarchical|complete\n"
         "  --select S        typed-spec-last|typed-only|oldest-first|\n"
         "                    typed-spec-first\n"
+        "  --mem-resolution R\n"
+        "                    valid: memory ops need valid addresses\n"
+        "                    (default, paper §3.2); spec: loads may\n"
+        "                    issue with speculative addresses and\n"
+        "                    forward speculative store data\n"
         "  --conf C          real|oracle|always (default real)\n"
+        "  --conf-table-bits N\n"
+        "                    log2 confidence-table entries (1..24,\n"
+        "                    default 16)\n"
         "  --timing T        D|I  delayed/immediate update (default D)\n"
         "  --predictor P     fcm|last-value|stride|hybrid (default fcm)\n"
         "  --trace [A:B]     print the pipeline diagram for cycles\n"
@@ -147,6 +155,9 @@ main(int argc, char **argv)
                 cfg.model.verifyScheme = prev.verifyScheme;
                 cfg.model.invalScheme = prev.invalScheme;
                 cfg.model.selectPolicy = prev.selectPolicy;
+                cfg.model.branchNeedsValidOps =
+                    prev.branchNeedsValidOps;
+                cfg.model.memNeedsValidOps = prev.memNeedsValidOps;
             } catch (const FatalError &err) {
                 std::fprintf(stderr, "%s\n", err.what());
                 return 2;
@@ -175,6 +186,30 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "%s\n", err.what());
                 return 2;
             }
+        } else if (!std::strcmp(argv[i], "--mem-resolution")) {
+            const std::string r = need_value("--mem-resolution");
+            if (r == "valid")
+                cfg.model.memNeedsValidOps = true;
+            else if (r == "spec")
+                cfg.model.memNeedsValidOps = false;
+            else {
+                std::fprintf(stderr,
+                             "--mem-resolution expects valid|spec, "
+                             "got '%s'\n",
+                             r.c_str());
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--conf-table-bits")) {
+            const int bits = parsePositiveInt(
+                argv[0], "--conf-table-bits",
+                need_value("--conf-table-bits"));
+            if (bits > 24) {
+                std::fprintf(stderr,
+                             "--conf-table-bits expects 1..24, got %d\n",
+                             bits);
+                return 2;
+            }
+            cfg.confidenceTableBits = bits;
         } else if (!std::strcmp(argv[i], "--conf")) {
             const std::string c = need_value("--conf");
             if (c == "real")

@@ -59,6 +59,12 @@ usage(const char *argv0)
                  "  --select S            override selection: "
                  "typed-spec-last|typed-only|\n"
                  "                        oldest-first|typed-spec-first\n"
+                 "  --mem-resolution R    override memory resolution of "
+                 "every speculative run:\n"
+                 "                        valid (addresses must be "
+                 "valid) | spec (speculative\n"
+                 "                        addresses + forwarding "
+                 "allowed)\n"
                  "named sweeps:\n",
                  argv0, static_cast<int>(std::strlen(argv0) + 7), "",
                  argv0);
@@ -100,6 +106,7 @@ main(int argc, char **argv)
     std::optional<core::VerifyScheme> verify_override;
     std::optional<core::InvalScheme> inval_override;
     std::optional<core::SelectPolicy> select_override;
+    std::optional<bool> mem_valid_override;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> const char * {
@@ -166,6 +173,19 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "%s\n", err.what());
                 return 2;
             }
+        } else if (!std::strcmp(argv[i], "--mem-resolution")) {
+            const std::string r = need_value("--mem-resolution");
+            if (r == "valid")
+                mem_valid_override = true;
+            else if (r == "spec")
+                mem_valid_override = false;
+            else {
+                std::fprintf(stderr,
+                             "--mem-resolution expects valid|spec, "
+                             "got '%s'\n",
+                             r.c_str());
+                return 2;
+            }
         } else if (argv[i][0] != '-' && name.empty()) {
             name = argv[i];
         } else {
@@ -198,6 +218,9 @@ main(int argc, char **argv)
                 m.verifyScheme = job.cfg.model.verifyScheme;
                 m.invalScheme = job.cfg.model.invalScheme;
                 m.selectPolicy = job.cfg.model.selectPolicy;
+                m.branchNeedsValidOps =
+                    job.cfg.model.branchNeedsValidOps;
+                m.memNeedsValidOps = job.cfg.model.memNeedsValidOps;
                 job.cfg.model = m;
             }
             if (verify_override)
@@ -206,6 +229,8 @@ main(int argc, char **argv)
                 job.cfg.model.invalScheme = *inval_override;
             if (select_override)
                 job.cfg.model.selectPolicy = *select_override;
+            if (mem_valid_override)
+                job.cfg.model.memNeedsValidOps = *mem_valid_override;
         }
 
         sim::SweepRunner runner(jobs);
