@@ -48,23 +48,93 @@ BM_OooBase(benchmark::State &state)
 }
 BENCHMARK(BM_OooBase)->Unit(benchmark::kMillisecond);
 
+/**
+ * Window-scaling before/after of the sweep domain: identical runs
+ * (bit-for-bit, see tests/test_sweepdiff.cc) through the legacy dense
+ * O(window) scans vs. the sparse subscriber-list sweeps, under the
+ * spec-heavy "good" model whose nonzero network latencies keep many
+ * predictions unresolved at once. The dense scan's cost grows with the
+ * window while the sparse sweeps track the actual consumer counts, so
+ * the gap widens from 64 to 256 entries; scripts/check.sh gates the
+ * 256-entry ratio.
+ */
 void
 BM_OooValueSpeculation(benchmark::State &state)
 {
     const auto prog =
-        workloads::buildProgram(workloads::byName("queens"), 1);
-    std::uint64_t insts = 0;
+        workloads::buildProgram(workloads::byName("compress"), 1);
+    const int window = static_cast<int>(state.range(0));
+    const auto kind = state.range(1) == 0 ? core::SweepKind::Dense
+                                          : core::SweepKind::Sparse;
+    std::uint64_t insts = 0, simcycles = 0;
     for (auto _ : state) {
+        // Always-confident prediction keeps the maximum number of
+        // unresolved predictions in flight, so the verification/
+        // invalidation network carries its full load.
         core::CoreConfig cfg = sim::vpConfig(
-            {8, 48}, core::SpecModel::greatModel(),
-            core::ConfidenceKind::Real, core::UpdateTiming::Delayed);
+            {8, window}, core::SpecModel::goodModel(),
+            core::ConfidenceKind::Always, core::UpdateTiming::Delayed);
+        cfg.sweepKind = kind;
         core::OooCore core(prog, cfg);
-        insts += core.run().stats.retired;
+        const auto stats = core.run().stats;
+        insts += stats.retired;
+        simcycles += stats.cycles;
     }
     state.counters["inst/s"] = benchmark::Counter(
         static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["simcycles/s"] = benchmark::Counter(
+        static_cast<double>(simcycles), benchmark::Counter::kIsRate);
+    state.SetLabel(
+        "w" + std::to_string(window)
+        + (kind == core::SweepKind::Dense ? "-dense" : "-sparse"));
 }
-BENCHMARK(BM_OooValueSpeculation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OooValueSpeculation)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Same comparison under speculative memory resolution (§3.2,
+ * memNeedsValidOps=false): loads carry LSQ dependences in
+ * RsEntry::memDeps, so every verification/invalidation wave also
+ * tests the memory masks — the sweep domain the subscriber lists
+ * narrow is strictly larger here.
+ */
+void
+BM_OooSpecMem(benchmark::State &state)
+{
+    const auto prog =
+        workloads::buildProgram(workloads::byName("compress"), 1);
+    const auto kind = state.range(0) == 0 ? core::SweepKind::Dense
+                                          : core::SweepKind::Sparse;
+    std::uint64_t insts = 0, simcycles = 0;
+    for (auto _ : state) {
+        core::SpecModel model = core::SpecModel::goodModel();
+        model.memNeedsValidOps = false;
+        core::CoreConfig cfg = sim::vpConfig(
+            {8, 256}, model, core::ConfidenceKind::Real,
+            core::UpdateTiming::Delayed);
+        cfg.sweepKind = kind;
+        core::OooCore core(prog, cfg);
+        const auto stats = core.run().stats;
+        insts += stats.retired;
+        simcycles += stats.cycles;
+    }
+    state.counters["inst/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["simcycles/s"] = benchmark::Counter(
+        static_cast<double>(simcycles), benchmark::Counter::kIsRate);
+    state.SetLabel(kind == core::SweepKind::Dense ? "specmem-dense"
+                                                  : "specmem-sparse");
+}
+BENCHMARK(BM_OooSpecMem)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * Before/after of the event-driven wakeup path at a large window:

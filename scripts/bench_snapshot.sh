@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Capture the simulator microbenchmark rates as a committed snapshot
+# (BENCH_PR5.json at the repo root): benchmark name (with its label,
+# when one distinguishes repetitions) -> inst/s, falling back to
+# simcycles/s for benchmarks that only report a cycle rate. Run from
+# the repo root after a RelWithDebInfo build:
+#
+#   scripts/bench_snapshot.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --build build -j --target perf_simulator >/dev/null
+
+out=build/bench/bench_snapshot.json
+./build/bench/perf_simulator \
+    --benchmark_min_time=1 \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json >/dev/null 2>&1
+
+python3 - "$out" <<'EOF' > BENCH_PR5.json
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rates = {}
+for b in report["benchmarks"]:
+    name = b["name"]
+    if b.get("label"):
+        name = f"{name.split('/')[0]}/{b['label']}"
+    rate = b.get("inst/s", b.get("simcycles/s"))
+    if rate is not None:
+        rates[name] = round(rate)
+print(json.dumps(rates, indent=2, sort_keys=True))
+EOF
+
+echo "wrote BENCH_PR5.json:"
+cat BENCH_PR5.json

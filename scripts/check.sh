@@ -19,53 +19,70 @@ cmake --build build -j
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j)
 
-echo "== tier-1: ThreadSanitizer (test_sweep, test_obs) =="
+echo "== tier-1: ThreadSanitizer (test_sweep, test_obs, test_sweepdiff) =="
 cmake -B build-tsan -S . -DVSIM_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target test_sweep test_obs
+cmake --build build-tsan -j --target test_sweep test_obs test_sweepdiff
 ./build-tsan/tests/test_sweep
 ./build-tsan/tests/test_obs
+# The randomized sparse-vs-dense sweep differential also runs here:
+# its programs are sized for sanitizer throughput.
+./build-tsan/tests/test_sweepdiff
 
 echo "== tier-1: Address+UB Sanitizer (core, policy, scheduler) =="
 cmake -B build-asan -S . -DVSIM_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j --target \
     test_core_base test_core_vspec test_core_misc test_core_xprod \
-    test_policy test_event_queue test_scheduler
+    test_policy test_event_queue test_scheduler test_sweepdiff
 ./build-asan/tests/test_core_base
 ./build-asan/tests/test_core_vspec
 ./build-asan/tests/test_core_misc
 ./build-asan/tests/test_policy
 ./build-asan/tests/test_event_queue
 ./build-asan/tests/test_scheduler
+./build-asan/tests/test_sweepdiff
 # The full cross product is covered (without sanitizers) by ctest;
 # under ASan run the regression slice plus the speculative
 # memory-resolution slice (memDeps bookkeeping is exactly the kind of
-# lifetime bug the sanitizers exist for) to keep the gate fast.
+# lifetime bug the sanitizers exist for) to keep the gate fast. The
+# sparse/dense identity test adds the subscriber-index invariant
+# checker (stale-entry pruning touches freed slots) on full windows.
 ./build-asan/tests/test_core_xprod --gtest_filter=\
-'CoreXprod.MixedHierVerifyFlatInvalRegression:CoreXprod.SpecMemResolutionAcrossSchemes'
+'CoreXprod.MixedHierVerifyFlatInvalRegression:CoreXprod.SpecMemResolutionAcrossSchemes:CoreXprod.SparseDenseIdentityAcrossSchemes'
 
 echo "== tier-1: golden byte-identity (vspec_run / vspec_sweep) =="
 # Every user-facing table and run output must match the pre-refactor
-# captures byte for byte.
-for wl in queens compress m88k; do
-    ./build/tools/vspec_run --workload "$wl" --scale 1 --base \
-        | diff - "tests/golden/run_${wl}_base.txt"
-    for model in super great good; do
-        ./build/tools/vspec_run --workload "$wl" --scale 1 \
-            --model "$model" \
-            | diff - "tests/golden/run_${wl}_${model}.txt"
-        # Speculative memory resolution (§3.2) has its own captures;
-        # the valid-ops outputs above must stay untouched by it.
-        ./build/tools/vspec_run --workload "$wl" --scale 1 \
-            --model "$model" --mem-resolution spec \
-            | diff - "tests/golden/run_${wl}_${model}_specmem.txt"
+# captures byte for byte — under both sweep domains: the sparse
+# subscriber-list sweeps (the default) and the legacy dense scans
+# must be indistinguishable in every output.
+for kind in sparse dense; do
+    for wl in queens compress m88k; do
+        ./build/tools/vspec_run --workload "$wl" --scale 1 --base \
+            --sweep-kind "$kind" \
+            | diff - "tests/golden/run_${wl}_base.txt"
+        for model in super great good; do
+            ./build/tools/vspec_run --workload "$wl" --scale 1 \
+                --model "$model" --sweep-kind "$kind" \
+                | diff - "tests/golden/run_${wl}_${model}.txt"
+            # Speculative memory resolution (§3.2) has its own
+            # captures; the valid-ops outputs above must stay
+            # untouched by it.
+            ./build/tools/vspec_run --workload "$wl" --scale 1 \
+                --model "$model" --mem-resolution spec \
+                --sweep-kind "$kind" \
+                | diff - "tests/golden/run_${wl}_${model}_specmem.txt"
+        done
+    done
+    for sweep in base fig3 fig4 confidence predictors verif-latency \
+                 reissue-latency; do
+        ./build/tools/vspec_sweep "$sweep" --quick --scale 1 --jobs 4 \
+            --sweep-kind "$kind" \
+            | diff - "tests/golden/sweep_${sweep}.txt"
     done
 done
-for sweep in base fig3 fig4 confidence predictors verif-latency \
-             reissue-latency; do
-    ./build/tools/vspec_sweep "$sweep" --quick --scale 1 --jobs 4 \
-        | diff - "tests/golden/sweep_${sweep}.txt"
-done
-echo "golden outputs identical"
+# The 78 cross-product stats digests must also be identical under the
+# dense scans (ctest covers the sparse default).
+VSIM_XPROD_SWEEP=dense ./build/tests/test_core_xprod >/dev/null
+echo "golden outputs identical (sparse and dense)"
 
 echo "== tier-1: trace JSON validity =="
 obs_dir=$(mktemp -d)
@@ -97,6 +114,28 @@ for b in report["benchmarks"]:
 ratio = rates["ready-list"] / rates["scan"]
 print(f"scan {rates['scan']:.0f} cyc/s, ready-list "
       f"{rates['ready-list']:.0f} cyc/s -> {ratio:.2f}x")
+sys.exit(0 if ratio >= 1.3 else 1)
+EOF
+
+echo "== tier-1: sweep perf gate (window 256) =="
+# The sparse subscriber-list sweeps must simulate >= 1.3x the
+# cycles/second of the legacy dense window scans on the 256-entry
+# value-speculation benchmark.
+./build/bench/perf_simulator \
+    --benchmark_filter='BM_OooValueSpeculation/256' \
+    --benchmark_min_time=1 \
+    --benchmark_out=build/bench/perf_sweep256.json \
+    --benchmark_out_format=json >/dev/null 2>&1
+python3 - build/bench/perf_sweep256.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rates = {}
+for b in report["benchmarks"]:
+    rates[b["label"]] = b["simcycles/s"]
+ratio = rates["w256-sparse"] / rates["w256-dense"]
+print(f"dense {rates['w256-dense']:.0f} cyc/s, sparse "
+      f"{rates['w256-sparse']:.0f} cyc/s -> {ratio:.2f}x")
 sys.exit(0 if ratio >= 1.3 else 1)
 EOF
 

@@ -43,6 +43,21 @@ enum class SchedulerKind
     Scan,      //!< re-derive the candidate set from scratch each cycle
 };
 
+/**
+ * Verification/invalidation sweep domain. Both produce bit-identical
+ * runs (asserted by tests/test_policy.cc and test_core_xprod.cc):
+ * Sparse visits only the subscriber lists of the resolving prediction
+ * bit (subscriber_index.hh); Dense keeps the legacy O(window)
+ * program-order scan for differential testing and the before/after
+ * comparison in bench/perf_simulator.cc. Not part of a run's identity
+ * (jobKey).
+ */
+enum class SweepKind
+{
+    Sparse, //!< subscriber-list sweeps, O(consumers) per wave
+    Dense,  //!< legacy full-window scan per wave
+};
+
 struct CoreConfig
 {
     // ---- machine width / window (paper: 4/24, 8/48, 16/96) -----------
@@ -84,6 +99,7 @@ struct CoreConfig
     std::uint64_t maxCycles = 2'000'000'000;
     bool tracePipeline = false;
     SchedulerKind scheduler = SchedulerKind::ReadyList;
+    SweepKind sweepKind = SweepKind::Sparse;
 
     // ---- observability ---------------------------------------------------
     /**

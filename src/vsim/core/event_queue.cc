@@ -27,21 +27,23 @@ EventQueue::advanceWave(std::uint64_t now, const Event &ev)
     schedule(now + 1, {ev.kind, ev.slot, ev.seq, ev.depth + 1});
 }
 
-std::vector<Event>
+const std::vector<Event> &
 EventQueue::popBatch(std::uint64_t now)
 {
     VSIM_ASSERT(due(now), "popBatch with no due events");
     auto it = byCycle.begin();
-    std::vector<Event> batch = std::move(it->second);
+    batchScratch.clear();
+    batchScratch.insert(batchScratch.end(), it->second.begin(),
+                        it->second.end());
     byCycle.erase(it);
-    std::stable_sort(batch.begin(), batch.end(),
+    std::stable_sort(batchScratch.begin(), batchScratch.end(),
                      [](const Event &a, const Event &b) {
                          if (a.seq != b.seq)
                              return a.seq < b.seq;
                          return static_cast<int>(a.kind)
                                 < static_cast<int>(b.kind);
                      });
-    return batch;
+    return batchScratch;
 }
 
 std::size_t

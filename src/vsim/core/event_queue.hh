@@ -68,15 +68,19 @@ class EventQueue
 
     /**
      * Remove and return the earliest due batch, sorted (seq, kind).
-     * Only valid while due(now) holds.
+     * Only valid while due(now) holds. The returned reference aliases
+     * reused internal storage: it stays valid while the batch is
+     * iterated (schedule() during iteration only touches the pending
+     * map) and is overwritten by the next popBatch() call.
      */
-    std::vector<Event> popBatch(std::uint64_t now);
+    const std::vector<Event> &popBatch(std::uint64_t now);
 
     bool empty() const { return byCycle.empty(); }
     std::size_t pendingEvents() const;
 
   private:
     std::map<std::uint64_t, std::vector<Event>> byCycle;
+    std::vector<Event> batchScratch;
 };
 
 } // namespace vsim::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Word-level operations over the SpecMask bitset storage. The
+ * speculation sweeps (§3.1/§3.2) and the subscriber bookkeeping spend
+ * their time asking three questions — "is bit p set (and clear it)",
+ * "do these masks intersect", "which bits are set" — and the idiomatic
+ * std::bitset spellings hide the word-parallel answers behind
+ * per-call-site test/reset pairs and full-mask temporaries. This
+ * header names the patterns once so the hot paths read as intent and
+ * compile to the underlying word scans.
+ *
+ * libstdc++ exposes its word-parallel first-set scan as
+ * _Find_first/_Find_next (a ctz per 64-bit word); other standard
+ * libraries fall back to a portable per-word shift loop over
+ * to_ullong-sized chunks.
+ */
+
+#ifndef VSIM_CORE_MASK_OPS_HH
+#define VSIM_CORE_MASK_OPS_HH
+
+#include <cstddef>
+
+#include "window_types.hh"
+
+namespace vsim::core::mask
+{
+
+/** @return whether @p bit was set; the bit is clear afterwards. */
+inline bool
+testAndClear(SpecMask &m, std::size_t bit)
+{
+    if (!m.test(bit))
+        return false;
+    m.reset(bit);
+    return true;
+}
+
+/** Any bit set in both masks? (One word-parallel AND, no branch per bit.) */
+inline bool
+anyIntersect(const SpecMask &a, const SpecMask &b)
+{
+    return (a & b).any();
+}
+
+/**
+ * Call @p fn(int bit) for every set bit of @p m, ascending. Word
+ * parallel: the scan skips zero words instead of testing every bit.
+ */
+template <typename Fn>
+inline void
+forEachSetBit(const SpecMask &m, Fn &&fn)
+{
+#if defined(__GLIBCXX__)
+    for (std::size_t b = m._Find_first(); b < m.size();
+         b = m._Find_next(b)) {
+        fn(static_cast<int>(b));
+    }
+#else
+    constexpr std::size_t kWord = 64;
+    for (std::size_t base = 0; base < m.size(); base += kWord) {
+        unsigned long long w =
+            ((m >> base) & SpecMask(~0ull)).to_ullong();
+        while (w) {
+            const int bit = __builtin_ctzll(w);
+            fn(static_cast<int>(base) + bit);
+            w &= w - 1;
+        }
+    }
+#endif
+}
+
+/** First set bit of @p m, or -1 when empty. */
+inline int
+findFirst(const SpecMask &m)
+{
+#if defined(__GLIBCXX__)
+    const std::size_t b = m._Find_first();
+    return b < m.size() ? static_cast<int>(b) : -1;
+#else
+    int found = -1;
+    forEachSetBit(m, [&](int b) {
+        if (found < 0)
+            found = b;
+    });
+    return found;
+#endif
+}
+
+} // namespace vsim::core::mask
+
+#endif // VSIM_CORE_MASK_OPS_HH

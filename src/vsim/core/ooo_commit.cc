@@ -58,6 +58,8 @@ OooCore::broadcast(RsEntry &producer)
                         o.state = OperandState::Speculative;
                     }
                 }
+                // Result-bus mask-gaining site (legacy sweep path).
+                subsIndex.note(f.slot, o.deps);
             }
         }
         return;
@@ -101,6 +103,8 @@ OooCore::broadcast(RsEntry &producer)
                 o.state = OperandState::Speculative;
             }
         }
+        // Result-bus mask-gaining site (waiter-list path).
+        subsIndex.note(f.slot, o.deps);
         sched.touch(slot);
     }
 }
@@ -129,12 +133,17 @@ OooCore::applyCompletions()
             // may have cleared bits while the access was in flight;
             // the fold uses the maintained mask, not the snapshot.
             e.outDeps |= e.memDeps;
+            // The fold introduces no bits the operand-capture and
+            // memDeps sites did not already subscribe, but keeping the
+            // call here makes the invariant independent of that
+            // reasoning.
+            subsIndex.note(e.slot, e.outDeps);
             e.verifiedAt = std::max(e.verifiedAt, cycle);
             if (e.inst.isStore()) {
                 e.addrReady = true;
                 e.addrReadyAt = cycle;
             }
-            if (cfg.tracePipeline)
+            if (tracingEnabled)
                 tracer_.note(e.seq, cycle, "W");
 
             if (e.outDeps.none())
@@ -265,17 +274,24 @@ OooCore::retireOne()
                          : policies.verify->residueGuardAtRetire();
         if (guard) {
             const std::size_t pbit = static_cast<std::size_t>(e.slot);
-            for (int other : windowOrder) {
-                const RsEntry &f = entry(other);
-                if (f.slot == e.slot)
-                    continue;
-                if (f.executed && f.outDeps.test(pbit))
+            if (sparseSweeps()) {
+                if (subsIndex.anyOtherCarrier(static_cast<int>(pbit),
+                                              window, e.slot)) {
                     return false;
-                if (f.memDeps.test(pbit))
-                    return false;
-                for (const Operand &o : f.src) {
-                    if (o.used() && o.deps.test(pbit))
+                }
+            } else {
+                for (int other : windowOrder) {
+                    const RsEntry &f = entry(other);
+                    if (f.slot == e.slot)
+                        continue;
+                    if (f.executed && f.outDeps.test(pbit))
                         return false;
+                    if (f.memDeps.test(pbit))
+                        return false;
+                    for (const Operand &o : f.src) {
+                        if (o.used() && o.deps.test(pbit))
+                            return false;
+                    }
                 }
             }
         }
@@ -356,7 +372,7 @@ OooCore::retireOne()
     if (e.predicted && policies.verify->sweepsAtRetire())
         policies.verify->applyRetire(windowRef(), e, cycle, *this);
 
-    if (cfg.tracePipeline)
+    if (tracingEnabled)
         tracer_.note(e.seq, cycle, "RT");
 
     if (e.inst.isMem()) {

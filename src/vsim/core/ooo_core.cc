@@ -50,8 +50,17 @@ OooCore::OooCore(const assembler::Program &prog, const CoreConfig &config)
     vpTrained.assign(trace.entries.size(), false);
     bpTrained.assign(trace.entries.size(), false);
 
+    windowOrder.reset(cfg.windowSize);
+    lsq.reset(cfg.windowSize);
+    subsIndex.reset(cfg.windowSize);
+
     sched.reset(cfg.windowSize);
     waiters.assign(static_cast<std::size_t>(cfg.windowSize), {});
+
+    verifyLatencyHist = &stats_.verifyLatency;
+    invalToReissueHist = &stats_.invalToReissue;
+    specInFlightHist = &stats_.specInFlight;
+    tracingEnabled = cfg.tracePipeline;
 
     tracer_.setCapacity(cfg.traceRetain);
     intervals_.period = cfg.metricsInterval;
@@ -127,12 +136,10 @@ OooCore::squashAfter(std::uint64_t seq, std::uint64_t new_fetch_pc,
         freeSlot(slot);
         windowOrder.pop_back();
     }
-    std::deque<int> new_lsq;
-    for (int slot : lsq) {
-        if (entry(slot).busy && entry(slot).seq <= seq)
-            new_lsq.push_back(slot);
-    }
-    lsq = std::move(new_lsq);
+    // The LSQ is in program order, so the squashed (freed-above)
+    // entries are exactly its youngest suffix.
+    while (!lsq.empty() && entry(lsq.back()).seq > seq)
+        lsq.pop_back();
     fetchQueue.clear();
     rebuildRegTags();
 
@@ -170,7 +177,7 @@ OooCore::nullify(RsEntry &e)
                               model.invalidateToReissue);
     e.nullifiedAt = cycle;
     ++stats_.nullifications;
-    if (cfg.tracePipeline)
+    if (tracingEnabled)
         tracer_.note(e.seq, cycle, "I");
     touchWakeup(e.slot);
 }
@@ -198,9 +205,9 @@ OooCore::resolvePrediction(RsEntry &p, bool verified)
     ++(verified ? stats_.verifyEvents : stats_.invalidateEvents);
     p.predResolved = true;
     p.verifiedAt = std::max(p.verifiedAt, cycle);
-    stats_.verifyLatency.sample(cycle - p.dispatchAt);
+    verifyLatencyHist->sample(cycle - p.dispatchAt);
     --specLive;
-    if (cfg.tracePipeline)
+    if (tracingEnabled)
         tracer_.note(p.seq, cycle, verified ? "V" : "EQ!");
 }
 
@@ -234,6 +241,10 @@ OooCore::completeSquash(RsEntry &p)
 void
 OooCore::wakeupChanged(RsEntry &e)
 {
+    // A policy sweep may have rewritten the entry's operand masks
+    // (the hierarchical invalidation wave re-captures a corrected
+    // producer output wholesale) — keep the subscriber lists current.
+    subsIndex.noteEntry(e);
     touchWakeup(e.slot);
 }
 
@@ -309,7 +320,7 @@ OooCore::sampleObservability()
     // Always-on distributions: collected on every run so a memoized
     // result is identical no matter which flags requested it.
     if (cfg.useValuePrediction)
-        stats_.specInFlight.sample(static_cast<std::uint64_t>(specLive));
+        specInFlightHist->sample(static_cast<std::uint64_t>(specLive));
 
     if (cfg.metricsInterval == 0)
         return;

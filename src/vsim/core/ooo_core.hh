@@ -60,6 +60,7 @@
 #include "pipeline_trace.hh"
 #include "policy/policies.hh"
 #include "spec_model.hh"
+#include "subscriber_index.hh"
 #include "window_types.hh"
 #include "vsim/obs/interval.hh"
 #include "vsim/arch/functional_core.hh"
@@ -126,6 +127,17 @@ class OooCore : private SpecHooks
     /** Dynamic instruction count of the program (pre-execution). */
     std::uint64_t programLength() const { return trace.entries.size(); }
 
+    /**
+     * Test hook: verify the subscriber-index invariants (every set
+     * dependence bit subscribed and every subscription unique) against
+     * the current window. @return false with an explanation in @p why.
+     */
+    bool
+    checkSweepInvariants(std::string *why = nullptr) const
+    {
+        return subsIndex.checkInvariants(window, why);
+    }
+
   private:
     // ---- pipeline stages (called in reverse order each cycle) ----------
     void applyCompletions(); // ooo_commit.cc
@@ -145,7 +157,16 @@ class OooCore : private SpecHooks
     {
         return window[static_cast<std::size_t>(slot)];
     }
-    WindowRef windowRef() { return {window, windowOrder}; }
+    WindowRef
+    windowRef()
+    {
+        return {window, windowOrder,
+                sparseSweeps() ? &subsIndex : nullptr};
+    }
+    bool sparseSweeps() const
+    {
+        return cfg.sweepKind == SweepKind::Sparse;
+    }
     void squashAfter(std::uint64_t seq, std::uint64_t new_fetch_pc,
                      std::int64_t resume_trace_idx);
     void rebuildRegTags();
@@ -221,13 +242,22 @@ class OooCore : private SpecHooks
 
     std::vector<RsEntry> window; //!< physical slots
     std::vector<int> freeSlots;
-    std::deque<int> windowOrder; //!< slots in program (seq) order
+    SlotRing windowOrder; //!< slots in program (seq) order
     int liveEntries = 0;
+
+    /**
+     * Per-prediction-bit subscriber lists feeding the sparse policy
+     * sweeps. Maintained under both sweep kinds (note() calls at every
+     * mask-gaining site are cheap and keep the invariant checker
+     * meaningful in differential runs); consulted only when
+     * cfg.sweepKind == SweepKind::Sparse.
+     */
+    SubscriberIndex subsIndex;
 
     std::array<int, isa::kNumRegs> regTag; //!< youngest producer slot
 
     /** LSQ: slots of in-flight memory instructions in program order. */
-    std::deque<int> lsq;
+    SlotRing lsq;
 
     // fetch
     struct FetchedInst
@@ -277,6 +307,17 @@ class OooCore : private SpecHooks
     CoreStats stats_;
     PipelineTracer tracer_;
     PerPcVp perPcVp;
+
+    /**
+     * Hot-path observability handles, bound once at construction: the
+     * histograms live inside stats_, and tracing on/off is a config
+     * bit — sampling sites go through these members instead of
+     * re-deriving either per event.
+     */
+    obs::Histogram *verifyLatencyHist = nullptr;
+    obs::Histogram *invalToReissueHist = nullptr;
+    obs::Histogram *specInFlightHist = nullptr;
+    bool tracingEnabled = false;
 
     // ---- observability state ---------------------------------------------
     int specLive = 0; //!< unresolved confident predictions in flight

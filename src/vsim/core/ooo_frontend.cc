@@ -280,6 +280,9 @@ OooCore::dispatchStage()
 
         captureOperand(e, 0, e.inst.srcReg1());
         captureOperand(e, 1, e.inst.srcReg2());
+        // The captures above are the dispatch-time mask-gaining site:
+        // subscribe the entry to every prediction bit it picked up.
+        subsIndex.noteEntry(e);
         predictValueAt(e);
         if (e.predicted)
             ++specLive;
@@ -291,7 +294,7 @@ OooCore::dispatchStage()
         windowOrder.push_back(slot);
         touchWakeup(slot);
 
-        if (cfg.tracePipeline) {
+        if (tracingEnabled) {
             tracer_.label(e.seq, isa::disassemble(e.inst));
             tracer_.note(e.seq, cycle, "D");
         }

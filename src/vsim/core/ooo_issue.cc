@@ -290,8 +290,12 @@ OooCore::issueEntry(RsEntry &e)
       case isa::ExecClass::Load: {
         e.memAddr = out.memAddr;
         e.memDeps.reset();
-        if (specMemResolution())
+        if (specMemResolution()) {
             e.memDeps = memCarriedDeps(e);
+            // Memory-carried mask-gaining site: the invalidation sweep
+            // must find this load through the subscriber lists.
+            subsIndex.note(e.slot, e.memDeps);
+        }
         bool forwarded = false;
         std::uint64_t value = 0;
         loadValue(e, value, forwarded);
@@ -312,7 +316,7 @@ OooCore::issueEntry(RsEntry &e)
     ++e.execCount;
     if (e.execCount > 1) {
         ++stats_.reissues;
-        stats_.invalToReissue.sample(cycle - e.nullifiedAt);
+        invalToReissueHist->sample(cycle - e.nullifiedAt);
     }
     c.nonce = e.nonce;
     completions[cycle + static_cast<std::uint64_t>(lat)].push_back(c);
@@ -321,7 +325,7 @@ OooCore::issueEntry(RsEntry &e)
     if (readyListScheduler())
         sched.remove(e.slot);
 
-    if (cfg.tracePipeline) {
+    if (tracingEnabled) {
         for (int k = 0; k < lat; ++k)
             tracer_.note(e.seq, cycle + static_cast<unsigned>(k), "EX");
     }

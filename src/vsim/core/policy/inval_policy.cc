@@ -1,6 +1,7 @@
 #include "inval_policy.hh"
 
 #include "vsim/base/logging.hh"
+#include "../subscriber_index.hh"
 
 namespace vsim::core
 {
@@ -13,25 +14,48 @@ InvalidatePolicy::apply(const WindowRef &w, RsEntry &p,
     const bool hier = hierarchical();
     bool any_left = false;
 
+    // Sparse sweeps visit only the live carriers of bit p, in seq
+    // order. Order matters more here than in verification: the wave
+    // branches below read *live* producer state (an earlier iteration
+    // may have nullified or left a producer alone), so the carriers
+    // must be visited in the same program order the dense scan used.
+    const std::vector<int> *sparse =
+        w.subs ? &w.subs->collect(static_cast<int>(pbit), w.window)
+               : nullptr;
+
     // Snapshot pre-step producer state for the hierarchical wave (see
     // VerifyPolicy::apply: in-place nullification must not let the
     // wave jump levels within one event).
     SpecMask was_executed, out_had_bit;
     if (hier) {
-        for (int slot : w.order) {
-            const RsEntry &f = w.at(slot);
+        const auto snap = [&](const RsEntry &f) {
             if (f.executed) {
-                was_executed.set(static_cast<std::size_t>(slot));
+                was_executed.set(static_cast<std::size_t>(f.slot));
                 if (f.outDeps.test(pbit))
-                    out_had_bit.set(static_cast<std::size_t>(slot));
+                    out_had_bit.set(static_cast<std::size_t>(f.slot));
             }
-        }
+        };
+        forEachSweepSlot(w, sparse, [&](int slot) {
+            const RsEntry &f = w.at(slot);
+            snap(f);
+            if (!sparse)
+                return;
+            // The dense scan snapshotted every slot; the sparse
+            // domain holds only carriers of bit p, but a carrying
+            // operand's producer need not itself carry the bit (it
+            // may have re-executed with corrected inputs before this
+            // step) — snapshot those producers explicitly.
+            for (const Operand &o : f.src) {
+                if (o.used() && o.deps.test(pbit) && o.tag >= 0)
+                    snap(w.at(o.tag));
+            }
+        });
     }
 
-    for (int slot : w.order) {
+    forEachSweepSlot(w, sparse, [&](int slot) {
         RsEntry &f = w.at(slot);
         if (f.slot == p.slot)
-            continue;
+            return;
         bool affected = false;
         for (int idx = 0; idx < 2; ++idx) {
             Operand &o = f.src[idx];
@@ -109,7 +133,7 @@ InvalidatePolicy::apply(const WindowRef &w, RsEntry &p,
         }
         if (affected && (f.issued || f.executed))
             hooks.nullifyEntry(f);
-    }
+    });
     return hier && any_left;
 }
 

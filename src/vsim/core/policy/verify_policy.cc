@@ -1,6 +1,8 @@
 #include "verify_policy.hh"
 
 #include "vsim/base/logging.hh"
+#include "../mask_ops.hh"
+#include "../subscriber_index.hh"
 
 namespace vsim::core
 {
@@ -12,16 +14,25 @@ VerifyPolicy::apply(const WindowRef &w, RsEntry &p, std::uint64_t cycle,
     const std::size_t pbit = static_cast<std::size_t>(p.slot);
     const bool hier = hierarchical();
 
+    // Sparse sweeps visit only the live carriers of bit p, in seq
+    // order — the same relative order the dense program-order scan
+    // visits them in, with the non-carriers (for which every action
+    // below is a no-op) skipped.
+    const std::vector<int> *sparse =
+        w.subs ? &w.subs->collect(static_cast<int>(pbit), w.window)
+               : nullptr;
+
     // Hierarchical semantics advance one dependence level per event.
     // All "was X cleansed?" tests must observe the state *before* the
     // event started, otherwise an in-order sweep cleanses producers
     // in-place and collapses the wave into the flattened behaviour —
     // so snapshot which outputs and which entries' inputs carried the
-    // bit at the start of the step.
+    // bit at the start of the step. Sparse domains lose nothing here:
+    // both masks are only ever consulted for slots that carry bit p.
     SpecMask out_had_bit;  //!< slots whose output carried bit p
     SpecMask in_had_bit;   //!< slots with an input carrying bit p
     if (hier) {
-        for (int slot : w.order) {
+        forEachSweepSlot(w, sparse, [&](int slot) {
             const RsEntry &f = w.at(slot);
             if (f.executed && f.outDeps.test(pbit))
                 out_had_bit.set(static_cast<std::size_t>(slot));
@@ -29,14 +40,14 @@ VerifyPolicy::apply(const WindowRef &w, RsEntry &p, std::uint64_t cycle,
                 if (o.used() && o.deps.test(pbit))
                     in_had_bit.set(static_cast<std::size_t>(slot));
             }
-        }
+        });
     }
 
     bool any_left = false;
-    for (int slot : w.order) {
+    forEachSweepSlot(w, sparse, [&](int slot) {
         RsEntry &f = w.at(slot);
         if (f.slot == p.slot)
-            continue;
+            return;
         for (Operand &o : f.src) {
             if (!o.used() || !o.deps.test(pbit))
                 continue;
@@ -83,7 +94,7 @@ VerifyPolicy::apply(const WindowRef &w, RsEntry &p, std::uint64_t cycle,
                 any_left = true;
             }
         }
-    }
+    });
     return hier && any_left;
 }
 
@@ -92,14 +103,16 @@ VerifyPolicy::applyRetire(const WindowRef &w, RsEntry &p,
                           std::uint64_t cycle, SpecHooks &hooks) const
 {
     const std::size_t pbit = static_cast<std::size_t>(p.slot);
-    for (int slot : w.order) {
+    const std::vector<int> *sparse =
+        w.subs ? &w.subs->collect(static_cast<int>(pbit), w.window)
+               : nullptr;
+    forEachSweepSlot(w, sparse, [&](int slot) {
         RsEntry &f = w.at(slot);
         if (f.slot == p.slot)
-            continue;
+            return;
         for (Operand &o : f.src) {
-            if (!o.used() || !o.deps.test(pbit))
+            if (!o.used() || !mask::testAndClear(o.deps, pbit))
                 continue;
-            o.deps.reset(pbit);
             if (o.deps.none() && o.state != OperandState::Invalid
                 && o.state != OperandState::Valid) {
                 o.state = OperandState::Valid;
@@ -110,12 +123,11 @@ VerifyPolicy::applyRetire(const WindowRef &w, RsEntry &p,
             }
         }
         f.memDeps.reset(pbit);
-        if (f.executed && f.outDeps.test(pbit)) {
-            f.outDeps.reset(pbit);
+        if (f.executed && mask::testAndClear(f.outDeps, pbit)) {
             if (f.outDeps.none())
                 hooks.outputBecameValid(f);
         }
-    }
+    });
 }
 
 namespace

@@ -15,9 +15,9 @@
 
 #include <bitset>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "slot_ring.hh"
 #include "vsim/isa/isa.hh"
 
 namespace vsim::core
@@ -128,15 +128,21 @@ struct Completion
     std::uint64_t nextPc;  //!< branch target / next pc
 };
 
+class SubscriberIndex;
+
 /**
  * Borrowed view of the window a policy object sweeps over: the
  * physical slots plus their program (seq) order. The policies never
  * allocate or free entries; they only rewrite operand/output state.
+ * A non-null subscriber index narrows the sweeps to the resolving
+ * bit's subscribers (SweepKind::Sparse); null keeps the legacy dense
+ * scan over the full order.
  */
 struct WindowRef
 {
     std::vector<RsEntry> &window;
-    const std::deque<int> &order;
+    const SlotRing &order;
+    SubscriberIndex *subs = nullptr;
 
     RsEntry &at(int slot) const
     {

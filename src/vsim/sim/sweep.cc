@@ -61,6 +61,9 @@ jobKey(const SweepJob &job)
     // Observability settings that shape the RunResult (the interval
     // series is part of the memoized value). traceRetain and
     // tracePipeline stay out: they never reach a cached result.
+    // sweepKind (like scheduler) stays out too: sparse and dense
+    // sweeps produce bit-identical stats, so either may serve a
+    // cached result for the other.
     os << c.metricsInterval;
     return os.str();
 }

@@ -75,6 +75,25 @@ regoldMode()
     return r;
 }
 
+/**
+ * Sweep-kind override: with VSIM_XPROD_SWEEP=dense, every combo runs
+ * on the legacy dense window scans instead of the default sparse
+ * subscriber-list sweeps — against the *same* golden digests, since
+ * the two sweep kinds are bit-identical by construction. check.sh
+ * runs the suite both ways.
+ */
+core::SweepKind
+sweepKindUnderTest()
+{
+    static const core::SweepKind k = [] {
+        const char *env = std::getenv("VSIM_XPROD_SWEEP");
+        return env && std::string(env) == "dense"
+                   ? core::SweepKind::Dense
+                   : core::SweepKind::Sparse;
+    }();
+    return k;
+}
+
 /** label -> digest from tests/golden/xprod_seed.txt. */
 const std::map<std::string, std::string> &
 goldenDigests()
@@ -134,7 +153,9 @@ checkCombo(const std::string &label, const assembler::Program &prog,
            const core::CoreConfig &cfg, const arch::ExecTrace &ref)
 {
     SCOPED_TRACE(label);
-    core::OooCore c(prog, cfg);
+    core::CoreConfig run_cfg = cfg;
+    run_cfg.sweepKind = sweepKindUnderTest();
+    core::OooCore c(prog, run_cfg);
     const core::SimOutcome out = c.run();
 
     EXPECT_TRUE(out.halted) << "did not terminate";
@@ -253,6 +274,60 @@ TEST(CoreXprod, SpecMemNamedModelsAcrossWorkloads)
                 core::UpdateTiming::Delayed);
             checkCombo(std::string(wl) + " model=" + mn + " mem=spec",
                        prog, cfg, reference(wl));
+        }
+    }
+}
+
+/**
+ * The sparse subscriber-list sweeps (SweepKind::Sparse, the default)
+ * must reproduce the legacy dense window scans bit for bit on a real
+ * workload across the verification x invalidation cross-product. The
+ * golden digests above were captured from the dense core, so the
+ * regular tests already pin sparse == golden; this pins sparse ==
+ * dense directly (including on a mem=spec configuration, where loads
+ * carry memDeps through the LSQ) and exercises the subscriber-index
+ * invariant checker mid-run on full-size windows.
+ */
+TEST(CoreXprod, SparseDenseIdentityAcrossSchemes)
+{
+    const auto &ref = reference("queens");
+    for (int v = 0; v < 4; ++v) {
+        for (int in = 0; in < 3; ++in) {
+            core::SpecModel model = core::SpecModel::greatModel();
+            model.verifyScheme = static_cast<core::VerifyScheme>(v);
+            model.invalScheme = static_cast<core::InvalScheme>(in);
+            // Alternate memory resolution across combos to cover the
+            // memDeps subscription path without doubling the matrix.
+            model.memNeedsValidOps = (v + in) % 2 == 0;
+            core::CoreConfig cfg = sim::vpConfig(
+                {8, 48}, model, core::ConfidenceKind::Real,
+                core::UpdateTiming::Delayed);
+            SCOPED_TRACE("verify " + std::string(kVerifyNames[v])
+                         + " inval " + kInvalNames[in] + " mem="
+                         + (model.memNeedsValidOps ? "valid" : "spec"));
+
+            cfg.sweepKind = core::SweepKind::Dense;
+            core::OooCore dense(queensProgram(), cfg);
+            const core::SimOutcome dense_out = dense.run();
+            ASSERT_TRUE(dense_out.halted);
+
+            cfg.sweepKind = core::SweepKind::Sparse;
+            core::OooCore sparse(queensProgram(), cfg);
+            std::string why;
+            while (sparse.tick()) {
+                if ((sparse.now() & 1023) == 0) {
+                    ASSERT_TRUE(sparse.checkSweepInvariants(&why))
+                        << "cycle " << sparse.now() << ": " << why;
+                }
+            }
+            const core::SimOutcome sparse_out = sparse.run();
+
+            EXPECT_EQ(sparse_out.exitCode, ref.exitCode);
+            EXPECT_EQ(
+                digest(dense_out.stats, dense_out.exitCode,
+                       dense_out.output),
+                digest(sparse_out.stats, sparse_out.exitCode,
+                       sparse_out.output));
         }
     }
 }

@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
-#include <deque>
 #include <vector>
 
+#include "vsim/core/mask_ops.hh"
 #include "vsim/core/policy/policies.hh"
+#include "vsim/core/slot_ring.hh"
+#include "vsim/core/subscriber_index.hh"
 
 namespace
 {
@@ -124,13 +126,26 @@ struct RecordingHooks final : SpecHooks
  */
 struct ChainFixture
 {
+    /**
+     * Physical window capacity: larger than the three live entries so
+     * tests can park unrelated prediction bits (e.g. bit 5) without
+     * stepping outside the subscriber index, as a real core's unused
+     * slots do.
+     */
+    static constexpr int kSlots = 8;
+
     std::vector<RsEntry> window;
-    std::deque<int> order{0, 1, 2};
+    SlotRing order;
+    SubscriberIndex subs;
     RecordingHooks hooks;
 
     ChainFixture()
     {
-        window.resize(3);
+        order.reset(kSlots);
+        for (int s = 0; s < 3; ++s)
+            order.push_back(s);
+        subs.reset(kSlots);
+        window.resize(kSlots);
         for (int s = 0; s < 3; ++s) {
             RsEntry &e = window[static_cast<std::size_t>(s)];
             e.busy = true;
@@ -159,6 +174,15 @@ struct ChainFixture
     }
 
     WindowRef ref() { return {window, order}; }
+
+    /** Sparse view: subscribe every entry's current masks first. */
+    WindowRef
+    sparseRef()
+    {
+        for (const RsEntry &e : window)
+            subs.noteEntry(e);
+        return {window, order, &subs};
+    }
 };
 
 // =====================================================================
@@ -374,6 +398,352 @@ TEST(InvalPolicyTest, CompleteRaisesSquashOnly)
     EXPECT_TRUE(f.hooks.nullified.empty());
     EXPECT_TRUE(f.hooks.wakeups.empty());
     EXPECT_TRUE(f.hooks.invalidated.empty());
+}
+
+// =====================================================================
+// word-parallel mask operations
+// =====================================================================
+
+TEST(MaskOpsTest, TestAndClear)
+{
+    SpecMask m;
+    m.set(3);
+    m.set(200);
+    EXPECT_TRUE(mask::testAndClear(m, 3));
+    EXPECT_FALSE(m.test(3));
+    EXPECT_FALSE(mask::testAndClear(m, 3));
+    EXPECT_TRUE(m.test(200)); // untouched
+    EXPECT_FALSE(mask::testAndClear(m, 0));
+}
+
+TEST(MaskOpsTest, AnyIntersect)
+{
+    SpecMask a, b;
+    a.set(7);
+    a.set(130);
+    b.set(8);
+    EXPECT_FALSE(mask::anyIntersect(a, b));
+    b.set(130);
+    EXPECT_TRUE(mask::anyIntersect(a, b));
+    EXPECT_FALSE(mask::anyIntersect(a, SpecMask{}));
+}
+
+TEST(MaskOpsTest, ForEachSetBitAscendingAcrossWords)
+{
+    SpecMask m;
+    // Bits in four different 64-bit words, including both ends.
+    for (int b : {0, 5, 63, 64, 127, 128, 255})
+        m.set(static_cast<std::size_t>(b));
+    std::vector<int> seen;
+    mask::forEachSetBit(m, [&](int b) { seen.push_back(b); });
+    EXPECT_EQ(seen, (std::vector<int>{0, 5, 63, 64, 127, 128, 255}));
+
+    seen.clear();
+    mask::forEachSetBit(SpecMask{}, [&](int b) { seen.push_back(b); });
+    EXPECT_TRUE(seen.empty());
+}
+
+TEST(MaskOpsTest, FindFirst)
+{
+    EXPECT_EQ(mask::findFirst(SpecMask{}), -1);
+    SpecMask m;
+    m.set(255);
+    EXPECT_EQ(mask::findFirst(m), 255);
+    m.set(64);
+    EXPECT_EQ(mask::findFirst(m), 64);
+    m.set(0);
+    EXPECT_EQ(mask::findFirst(m), 0);
+}
+
+// =====================================================================
+// SlotRing (contiguous circular window/lsq order)
+// =====================================================================
+
+TEST(SlotRingTest, FifoOrder)
+{
+    SlotRing r;
+    r.reset(4);
+    EXPECT_TRUE(r.empty());
+    for (int v : {10, 11, 12})
+        r.push_back(v);
+    EXPECT_EQ(r.size(), 3u);
+    EXPECT_EQ(r.front(), 10);
+    EXPECT_EQ(r.back(), 12);
+    EXPECT_EQ(r[1], 11);
+    r.pop_front();
+    EXPECT_EQ(r.front(), 11);
+    EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(SlotRingTest, WrapAroundKeepsIndexingConsistent)
+{
+    SlotRing r;
+    r.reset(4); // power of two: storage wraps at 4
+    for (int v = 0; v < 4; ++v)
+        r.push_back(v);
+    // Slide the ring far past its capacity; logical order must hold.
+    for (int v = 4; v < 40; ++v) {
+        r.pop_front();
+        r.push_back(v);
+        ASSERT_EQ(r.size(), 4u);
+        for (std::size_t i = 0; i < 4; ++i)
+            ASSERT_EQ(r[i], v - 3 + static_cast<int>(i))
+                << "after pushing " << v;
+    }
+}
+
+TEST(SlotRingTest, PopBackDropsYoungestSuffix)
+{
+    // The squash path pops the youngest entries one by one.
+    SlotRing r;
+    r.reset(8);
+    for (int v = 0; v < 6; ++v)
+        r.push_back(v);
+    r.pop_back();
+    r.pop_back();
+    EXPECT_EQ(r.size(), 4u);
+    EXPECT_EQ(r.back(), 3);
+    r.push_back(99); // reuse the vacated storage
+    EXPECT_EQ(r.back(), 99);
+    EXPECT_EQ(r.front(), 0);
+}
+
+TEST(SlotRingTest, IterationMatchesIndexing)
+{
+    SlotRing r;
+    r.reset(4);
+    for (int v = 0; v < 4; ++v)
+        r.push_back(v);
+    r.pop_front();
+    r.pop_front();
+    r.push_back(4);
+    r.push_back(5); // head is now wrapped
+    std::vector<int> via_iter(r.begin(), r.end());
+    std::vector<int> via_index;
+    for (std::size_t i = 0; i < r.size(); ++i)
+        via_index.push_back(r[i]);
+    EXPECT_EQ(via_iter, (std::vector<int>{2, 3, 4, 5}));
+    EXPECT_EQ(via_iter, via_index);
+}
+
+TEST(SlotRingTest, CapacityRoundsUpToPowerOfTwo)
+{
+    SlotRing r;
+    r.reset(3); // rounds to 4
+    for (int v = 0; v < 3; ++v)
+        r.push_back(v);
+    EXPECT_EQ(r.size(), 3u);
+    EXPECT_EQ(r.front(), 0);
+    EXPECT_EQ(r.back(), 2);
+}
+
+// =====================================================================
+// subscriber lists
+// =====================================================================
+
+TEST(SubscriberIndexTest, CollectReturnsSeqSortedCarriers)
+{
+    ChainFixture f;
+    // Subscribe in reverse program order; collect must sort by seq.
+    for (int s = 2; s >= 0; --s)
+        f.subs.noteEntry(f.window[static_cast<std::size_t>(s)]);
+    const std::vector<int> &domain = f.subs.collect(0, f.window);
+    EXPECT_EQ(domain, (std::vector<int>{0, 1, 2}));
+    EXPECT_TRUE(f.subs.checkInvariants(f.window));
+}
+
+TEST(SubscriberIndexTest, DuplicateNotesSubscribeOnce)
+{
+    ChainFixture f;
+    for (int round = 0; round < 3; ++round)
+        for (const RsEntry &e : f.window)
+            f.subs.noteEntry(e);
+    EXPECT_EQ(f.subs.collect(0, f.window).size(), 3u);
+    EXPECT_TRUE(f.subs.checkInvariants(f.window));
+}
+
+TEST(SubscriberIndexTest, CollectPrunesStaleSubscriptions)
+{
+    ChainFixture f;
+    for (const RsEntry &e : f.window)
+        f.subs.noteEntry(e);
+    // The indirect consumer loses the bit (as a verify sweep would
+    // clear it) and the producer's slot is freed.
+    f.window[2].src[0].deps.reset(0);
+    f.window[2].outDeps.reset(0);
+    f.window[0].busy = false;
+    const std::vector<int> &domain = f.subs.collect(0, f.window);
+    EXPECT_EQ(domain, (std::vector<int>{1}));
+    // Pruning unsubscribed the dropped slots, keeping the bijection.
+    EXPECT_FALSE(f.subs.isSubscribed(2, 0));
+    EXPECT_FALSE(f.subs.isSubscribed(0, 0));
+    EXPECT_TRUE(f.subs.isSubscribed(1, 0));
+    EXPECT_TRUE(f.subs.checkInvariants(f.window));
+}
+
+TEST(SubscriberIndexTest, AnyOtherCarrierExcludesSelf)
+{
+    ChainFixture f;
+    for (const RsEntry &e : f.window)
+        f.subs.noteEntry(e);
+    EXPECT_TRUE(f.subs.anyOtherCarrier(0, f.window, 0));
+    // Only the producer itself still carries the bit: no residue.
+    f.window[1].src[0].deps.reset(0);
+    f.window[1].outDeps.reset(0);
+    f.window[2].src[0].deps.reset(0);
+    f.window[2].outDeps.reset(0);
+    EXPECT_FALSE(f.subs.anyOtherCarrier(0, f.window, 0));
+    EXPECT_TRUE(f.subs.checkInvariants(f.window));
+}
+
+TEST(SubscriberIndexTest, CarriesTestsAllFourMasks)
+{
+    RsEntry e;
+    e.slot = 0;
+    EXPECT_FALSE(SubscriberIndex::carries(e, 7));
+    e.src[0].deps.set(7);
+    EXPECT_TRUE(SubscriberIndex::carries(e, 7));
+    e.src[0].deps.reset(7);
+    e.src[1].deps.set(7);
+    EXPECT_TRUE(SubscriberIndex::carries(e, 7));
+    e.src[1].deps.reset(7);
+    e.outDeps.set(7);
+    EXPECT_TRUE(SubscriberIndex::carries(e, 7));
+    e.outDeps.reset(7);
+    e.memDeps.set(7);
+    EXPECT_TRUE(SubscriberIndex::carries(e, 7));
+}
+
+TEST(SubscriberIndexTest, InvariantCheckerCatchesMissedNote)
+{
+    ChainFixture f;
+    // Busy entries carry bit 0 but nothing was noted: invariant (B).
+    std::string why;
+    EXPECT_FALSE(f.subs.checkInvariants(f.window, &why));
+    EXPECT_NE(why.find("without a subscription"), std::string::npos);
+    for (const RsEntry &e : f.window)
+        f.subs.noteEntry(e);
+    EXPECT_TRUE(f.subs.checkInvariants(f.window, &why)) << why;
+}
+
+// =====================================================================
+// sparse sweeps reproduce the dense sweeps exactly
+// =====================================================================
+
+/** Window state + hook trace must match field for field. */
+void
+expectSameOutcome(const ChainFixture &dense, const ChainFixture &sparse)
+{
+    for (std::size_t s = 0; s < dense.window.size(); ++s) {
+        SCOPED_TRACE("slot " + std::to_string(s));
+        const RsEntry &d = dense.window[s];
+        const RsEntry &sp = sparse.window[s];
+        EXPECT_EQ(d.executed, sp.executed);
+        EXPECT_EQ(d.issued, sp.issued);
+        EXPECT_EQ(d.outDeps, sp.outDeps);
+        EXPECT_EQ(d.memDeps, sp.memDeps);
+        EXPECT_EQ(d.verifiedAt, sp.verifiedAt);
+        for (int i = 0; i < 2; ++i) {
+            SCOPED_TRACE("operand " + std::to_string(i));
+            EXPECT_EQ(d.src[i].state, sp.src[i].state);
+            EXPECT_EQ(d.src[i].deps, sp.src[i].deps);
+            EXPECT_EQ(d.src[i].value, sp.src[i].value);
+            EXPECT_EQ(d.src[i].readyAt, sp.src[i].readyAt);
+            EXPECT_EQ(d.src[i].validAt, sp.src[i].validAt);
+            EXPECT_EQ(d.src[i].validViaEvent, sp.src[i].validViaEvent);
+        }
+    }
+    EXPECT_EQ(dense.hooks.outputValid, sparse.hooks.outputValid);
+    EXPECT_EQ(dense.hooks.nullified, sparse.hooks.nullified);
+    EXPECT_EQ(dense.hooks.squashed, sparse.hooks.squashed);
+    EXPECT_EQ(dense.hooks.wakeups, sparse.hooks.wakeups);
+    EXPECT_EQ(dense.hooks.invalidated, sparse.hooks.invalidated);
+}
+
+TEST(SparseSweepTest, VerifySchemesMatchDense)
+{
+    for (int v = 0; v < 4; ++v) {
+        SCOPED_TRACE("verify scheme " + std::to_string(v));
+        const auto policy =
+            makeVerifyPolicy(static_cast<VerifyScheme>(v));
+        ChainFixture dense, sparse;
+        // Extra cross-bit dependence to exercise partial clears.
+        dense.window[2].src[0].deps.set(5);
+        dense.window[2].outDeps.set(5);
+        sparse.window[2].src[0].deps.set(5);
+        sparse.window[2].outDeps.set(5);
+
+        std::uint64_t cycle = 10;
+        bool more_d = true, more_s = true;
+        while (more_d || more_s) {
+            more_d = policy->apply(dense.ref(), dense.window[0], cycle,
+                                   dense.hooks);
+            more_s = policy->apply(sparse.sparseRef(), sparse.window[0],
+                                   cycle, sparse.hooks);
+            ASSERT_EQ(more_d, more_s);
+            ++cycle;
+        }
+        if (policy->sweepsAtRetire()) {
+            policy->applyRetire(dense.ref(), dense.window[0], cycle,
+                                dense.hooks);
+            policy->applyRetire(sparse.sparseRef(), sparse.window[0],
+                                cycle, sparse.hooks);
+        }
+        expectSameOutcome(dense, sparse);
+        EXPECT_TRUE(sparse.subs.checkInvariants(sparse.window));
+    }
+}
+
+TEST(SparseSweepTest, InvalSchemesMatchDense)
+{
+    for (int in = 0; in < 3; ++in) {
+        SCOPED_TRACE("inval scheme " + std::to_string(in));
+        const auto policy = makeInvalPolicy(static_cast<InvalScheme>(in));
+        ChainFixture dense, sparse;
+
+        std::uint64_t cycle = 10;
+        bool more_d = true, more_s = true;
+        while (more_d || more_s) {
+            more_d = policy->apply(dense.ref(), dense.window[0], cycle,
+                                   dense.hooks);
+            more_s = policy->apply(sparse.sparseRef(), sparse.window[0],
+                                   cycle, sparse.hooks);
+            ASSERT_EQ(more_d, more_s);
+            // Mirror the core's nullification side effects on both
+            // fixtures between wave steps, as the hierarchical dense
+            // test does.
+            for (ChainFixture *f : {&dense, &sparse}) {
+                for (int slot : f->hooks.nullified) {
+                    RsEntry &e = f->window[static_cast<std::size_t>(slot)];
+                    e.executed = false;
+                    e.issued = false;
+                    e.outDeps.reset();
+                }
+            }
+            ++cycle;
+        }
+        expectSameOutcome(dense, sparse);
+        EXPECT_TRUE(sparse.subs.checkInvariants(sparse.window));
+    }
+}
+
+TEST(SparseSweepTest, MemDepsClearedForSubscribedLoads)
+{
+    // A load that carries the prediction only through the LSQ
+    // (memDeps) must still be visited by the sparse verify sweep.
+    ChainFixture dense, sparse;
+    for (ChainFixture *f : {&dense, &sparse}) {
+        f->window[2].src[0].state = OperandState::Valid;
+        f->window[2].src[0].deps.reset();
+        f->window[2].outDeps.reset();
+        f->window[2].memDeps.set(0);
+    }
+    const auto policy = makeVerifyPolicy(VerifyScheme::Flattened);
+    policy->apply(dense.ref(), dense.window[0], 10, dense.hooks);
+    policy->apply(sparse.sparseRef(), sparse.window[0], 10,
+                  sparse.hooks);
+    EXPECT_TRUE(sparse.window[2].memDeps.none());
+    expectSameOutcome(dense, sparse);
 }
 
 // =====================================================================

@@ -65,6 +65,9 @@ usage(const char *argv0)
         "                    (default, paper §3.2); spec: loads may\n"
         "                    issue with speculative addresses and\n"
         "                    forward speculative store data\n"
+        "  --sweep-kind K    dense|sparse verification/invalidation\n"
+        "                    sweep domain (identical results; sparse\n"
+        "                    is the default, dense the legacy scan)\n"
         "  --conf C          real|oracle|always (default real)\n"
         "  --conf-table-bits N\n"
         "                    log2 confidence-table entries (1..24,\n"
@@ -197,6 +200,19 @@ main(int argc, char **argv)
                              "--mem-resolution expects valid|spec, "
                              "got '%s'\n",
                              r.c_str());
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--sweep-kind")) {
+            const std::string k = need_value("--sweep-kind");
+            if (k == "sparse")
+                cfg.sweepKind = core::SweepKind::Sparse;
+            else if (k == "dense")
+                cfg.sweepKind = core::SweepKind::Dense;
+            else {
+                std::fprintf(stderr,
+                             "--sweep-kind expects dense|sparse, "
+                             "got '%s'\n",
+                             k.c_str());
                 return 2;
             }
         } else if (!std::strcmp(argv[i], "--conf-table-bits")) {

@@ -65,6 +65,10 @@ usage(const char *argv0)
                  "valid) | spec (speculative\n"
                  "                        addresses + forwarding "
                  "allowed)\n"
+                 "  --sweep-kind K        dense|sparse verification/"
+                 "invalidation sweep domain\n"
+                 "                        for every run (identical "
+                 "results; default sparse)\n"
                  "named sweeps:\n",
                  argv0, static_cast<int>(std::strlen(argv0) + 7), "",
                  argv0);
@@ -107,6 +111,7 @@ main(int argc, char **argv)
     std::optional<core::InvalScheme> inval_override;
     std::optional<core::SelectPolicy> select_override;
     std::optional<bool> mem_valid_override;
+    std::optional<core::SweepKind> sweep_kind_override;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> const char * {
@@ -186,6 +191,19 @@ main(int argc, char **argv)
                              r.c_str());
                 return 2;
             }
+        } else if (!std::strcmp(argv[i], "--sweep-kind")) {
+            const std::string k = need_value("--sweep-kind");
+            if (k == "sparse")
+                sweep_kind_override = core::SweepKind::Sparse;
+            else if (k == "dense")
+                sweep_kind_override = core::SweepKind::Dense;
+            else {
+                std::fprintf(stderr,
+                             "--sweep-kind expects dense|sparse, "
+                             "got '%s'\n",
+                             k.c_str());
+                return 2;
+            }
         } else if (argv[i][0] != '-' && name.empty()) {
             name = argv[i];
         } else {
@@ -208,6 +226,11 @@ main(int argc, char **argv)
         std::vector<sim::SweepJob> sweep_jobs = spec.build(opt);
         for (sim::SweepJob &job : sweep_jobs) {
             job.cfg.metricsInterval = metrics_interval;
+            // Sweep kind applies to every run: results are identical
+            // by construction, so it is not part of the jobKey and a
+            // dense pass can reuse a sparse pass's cached results.
+            if (sweep_kind_override)
+                job.cfg.sweepKind = *sweep_kind_override;
             if (!job.cfg.useValuePrediction)
                 continue;
             // Each override replaces only its own aspect of the job's
