@@ -48,6 +48,13 @@ cmake --build build-asan -j --target \
 # checker (stale-entry pruning touches freed slots) on full windows.
 ./build-asan/tests/test_core_xprod --gtest_filter=\
 'CoreXprod.MixedHierVerifyFlatInvalRegression:CoreXprod.SpecMemResolutionAcrossSchemes:CoreXprod.SparseDenseIdentityAcrossSchemes'
+# The trace frontend moves raw bytes through fixed-layout structs and
+# hand-rolled buffers — exactly ASan/UBSan territory. Run the strict-
+# reader rejection cases and one full record/replay round trip (queens
+# covers both window sizes and both sweep kinds).
+cmake --build build-asan -j --target test_trace
+./build-asan/tests/test_trace --gtest_filter=\
+'TraceReject.*:TraceRoundTrip.Queens:TraceWorkload.*'
 
 echo "== tier-1: golden byte-identity (vspec_run / vspec_sweep) =="
 # Every user-facing table and run output must match the pre-refactor
@@ -95,6 +102,26 @@ trap 'rm -rf "$obs_dir"' EXIT
 python3 -m json.tool "$obs_dir/pipeline.json" >/dev/null
 python3 -m json.tool "$obs_dir/sweep.json" >/dev/null
 echo "trace JSON OK"
+
+echo "== tier-1: trace record/replay identity =="
+# A recorded .vst trace replayed through the timing core must be
+# byte-identical to direct simulation of the same kernel — the whole
+# point of the decode-free frontend. Gate it end to end through the
+# CLI at the paper's machine and at the CVP-scale window.
+./build/tools/vspec_tracegen --workload queens --scale 1 \
+    -o "$obs_dir/queens.vst" >/dev/null
+./build/tools/vspec_run --workload queens --scale 1 --model great \
+    > "$obs_dir/direct_48.txt"
+./build/tools/vspec_run --trace "$obs_dir/queens.vst" --model great \
+    | sed "s|trace:$obs_dir/queens.vst|queens|" \
+    | diff - "$obs_dir/direct_48.txt"
+./build/tools/vspec_run --workload queens --scale 1 --model great \
+    --window 512 --fetch-width 16 > "$obs_dir/direct_512.txt"
+./build/tools/vspec_run --trace "$obs_dir/queens.vst" --model great \
+    --window 512 --fetch-width 16 \
+    | sed "s|trace:$obs_dir/queens.vst|queens|" \
+    | diff - "$obs_dir/direct_512.txt"
+echo "trace replay identical to direct simulation (window 48 and 512)"
 
 echo "== tier-1: scheduler perf gate (window 256) =="
 # The ready-list scheduler must simulate >= 1.3x the cycles/second of

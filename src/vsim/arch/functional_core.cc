@@ -64,6 +64,7 @@ FunctionalCore::step(TraceEntry *entry_out)
         entry_out->pc = st.pc;
         entry_out->value = out.value;
         entry_out->nextPc = st.halted ? st.pc : out.nextPc;
+        entry_out->memAddr = inst.isMem() ? out.memAddr : 0;
         entry_out->inst = inst;
     }
 

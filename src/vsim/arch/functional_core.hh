@@ -58,6 +58,7 @@ struct TraceEntry
     std::uint64_t pc = 0;
     std::uint64_t value = 0;   //!< destination-register result (if any)
     std::uint64_t nextPc = 0;
+    std::uint64_t memAddr = 0; //!< effective address; 0 for non-memory
     isa::Inst inst;
 };
 

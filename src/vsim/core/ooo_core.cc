@@ -19,9 +19,14 @@ namespace vsim::core
 {
 
 OooCore::OooCore(const assembler::Program &prog, const CoreConfig &config)
+    : OooCore(prog, arch::preExecute(prog), config)
+{}
+
+OooCore::OooCore(const assembler::Program &prog, arch::ExecTrace recorded,
+                 const CoreConfig &config)
     : cfg(config), model(config.model),
       policies(makePolicies(config.model)),
-      trace(arch::preExecute(prog)),
+      trace(std::move(recorded)),
       bpred_(bpred::makeBranchPredictor(config.branchPredictor)),
       vpred_(vpred::makeValuePredictor(config.valuePredictor)),
       conf_(std::make_unique<vpred::ResettingConfidence>(

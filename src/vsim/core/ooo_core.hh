@@ -101,6 +101,17 @@ class OooCore : private SpecHooks
      * pre-execution to obtain the oracle trace.
      */
     OooCore(const assembler::Program &prog, const CoreConfig &config);
+
+    /**
+     * Replay constructor: build a core for @p prog with an already
+     * recorded dynamic trace (e.g. loaded from a .vst file) instead of
+     * re-running the functional pre-execution. The correct path is
+     * decode-free — it comes straight from @p recorded — while
+     * wrong-path fetch still decodes from @p prog's image, so replay
+     * is digest-identical to direct simulation of the same program.
+     */
+    OooCore(const assembler::Program &prog, arch::ExecTrace recorded,
+            const CoreConfig &config);
     ~OooCore() override;
 
     OooCore(const OooCore &) = delete;

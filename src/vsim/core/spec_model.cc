@@ -1,6 +1,8 @@
 #include "spec_model.hh"
 
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 
 #include "vsim/base/logging.hh"
 
@@ -27,8 +29,12 @@ parseLatencyTuple(const std::string &spec)
     const char *p = spec.c_str();
     for (int i = 0; i < 7; ++i) {
         char *end = nullptr;
+        errno = 0;
         const long v = std::strtol(p, &end, 10);
-        if (end == p || v < 0 || v > 1'000'000) {
+        // errno/ERANGE and the explicit int bound reject out-of-range
+        // values strtol would otherwise clamp (silent truncation).
+        if (end == p || errno == ERANGE || v < 0
+            || v > std::numeric_limits<int>::max() || v > 1'000'000) {
             VSIM_FATAL("bad latency tuple '", spec, "': field ", i + 1,
                        " is not a non-negative integer (expected seven "
                        "comma-separated values E,EI,EV,VF,IR,VB,VA)");

@@ -23,8 +23,14 @@
 namespace vsim::core
 {
 
-/** Upper bound on the instruction window (sized for --window 256). */
-constexpr int kMaxWindow = 256;
+/**
+ * Upper bound on the instruction window. Sized for the CVP-style
+ * trace-replay configuration (512-entry window); everything that
+ * scales with it — SpecMask, mask_ops, SlotRing, SubscriberIndex —
+ * is sized off CoreConfig::windowSize or the bitset width, so runs
+ * with smaller windows are unaffected by the headroom.
+ */
+constexpr int kMaxWindow = 512;
 
 /** Set of unresolved predictions a value transitively depends on. */
 using SpecMask = std::bitset<kMaxWindow>;

@@ -78,6 +78,13 @@ std::string
 TraceWriter::toJson() const
 {
     std::ostringstream os;
+    writeTo(os);
+    return os.str();
+}
+
+void
+TraceWriter::writeTo(std::ostream &os) const
+{
     os << "{\"traceEvents\": [";
     for (std::size_t i = 0; i < events.size(); ++i) {
         const Event &e = events[i];
@@ -105,7 +112,6 @@ TraceWriter::toJson() const
         os << "}";
     }
     os << "],\n \"displayTimeUnit\": \"ms\"}";
-    return os.str();
 }
 
 } // namespace vsim::obs

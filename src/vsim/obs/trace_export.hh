@@ -17,6 +17,7 @@
 #define VSIM_OBS_TRACE_EXPORT_HH
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -65,6 +66,14 @@ class TraceWriter
 
     /** The full trace as one JSON object. */
     std::string toJson() const;
+
+    /**
+     * Stream the trace as one JSON object to @p os without building
+     * it in memory first. The caller owns error handling: check the
+     * stream state (or use sim::writeFile) — a silently failed write
+     * must not pass as a produced file.
+     */
+    void writeTo(std::ostream &os) const;
 
   private:
     struct Event

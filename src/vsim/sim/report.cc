@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "vsim/base/logging.hh"
+#include "vsim/obs/registry.hh"
 #include "vsim/obs/trace_export.hh"
 
 namespace vsim::sim
@@ -12,6 +13,27 @@ namespace vsim::sim
 
 namespace
 {
+
+/**
+ * RFC-4180 CSV field: values containing the delimiter, a double
+ * quote or a line break are wrapped in double quotes with embedded
+ * quotes doubled. Plain values pass through unquoted, keeping the
+ * common output byte-identical to the historical format.
+ */
+std::string
+csvField(const std::string &value)
+{
+    if (value.find_first_of(",\"\n\r") == std::string::npos)
+        return value;
+    std::string quoted = "\"";
+    for (char c : value) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
 
 void
 field(std::ostringstream &os, const char *name, std::uint64_t value,
@@ -58,7 +80,7 @@ toJson(const RunResult &r)
 {
     std::ostringstream os;
     os << "{";
-    os << "\"workload\": \"" << r.workload << "\", ";
+    os << "\"workload\": \"" << obs::jsonEscape(r.workload) << "\", ";
     statsFields(os, r);
     os << "}";
     return os.str();
@@ -83,12 +105,13 @@ toJson(const SweepJob &job, const RunResult &r)
 {
     std::ostringstream os;
     os << "{";
-    os << "\"label\": \"" << job.label << "\", ";
-    os << "\"workload\": \"" << r.workload << "\", ";
+    os << "\"label\": \"" << obs::jsonEscape(job.label) << "\", ";
+    os << "\"workload\": \"" << obs::jsonEscape(r.workload) << "\", ";
     os << "\"scale\": " << job.scale << ", ";
     os << "\"machine\": \"" << job.cfg.issueWidth << "/"
        << job.cfg.windowSize << "\", ";
-    os << "\"config\": \"" << configLabel(job.cfg) << "\", ";
+    os << "\"config\": \"" << obs::jsonEscape(configLabel(job.cfg))
+       << "\", ";
     statsFields(os, r);
     os << "}";
     return os.str();
@@ -125,9 +148,11 @@ toCsv(const std::vector<SweepJob> &jobs,
         const SweepJob &j = jobs[i];
         const RunResult &r = results[i];
         const core::CoreStats &s = r.stats;
-        os << j.label << ',' << r.workload << ',' << j.scale << ','
+        os << csvField(j.label) << ',' << csvField(r.workload) << ','
+           << j.scale << ','
            << j.cfg.issueWidth << '/' << j.cfg.windowSize << ','
-           << configLabel(j.cfg) << ',' << s.cycles << ',' << s.retired
+           << csvField(configLabel(j.cfg)) << ',' << s.cycles << ','
+           << s.retired
            << ',' << r.ipc << ',' << r.exitCode << ',' << s.squashes
            << ',' << s.vpEligible << ',' << s.vpCH << ',' << s.vpCL
            << ',' << s.vpIH << ',' << s.vpIL << ',' << s.verifyEvents
@@ -157,8 +182,8 @@ metricsToCsv(const std::vector<SweepJob> &jobs,
         const obs::IntervalSeries &series = results[i].intervals;
         if (series.empty())
             continue;
-        series.appendCsv(os, jobs[i].label + ","
-                                 + results[i].workload + ",");
+        series.appendCsv(os, csvField(jobs[i].label) + ","
+                                 + csvField(results[i].workload) + ",");
     }
     return os.str();
 }
@@ -212,6 +237,14 @@ writeFile(const std::string &path, const std::string &content)
     out << content;
     if (!out)
         VSIM_FATAL("write to ", path, " failed");
+    // Buffered bytes can still fail at flush/close (full disk,
+    // vanished directory) — a partial file must not pass as success.
+    out.flush();
+    if (!out)
+        VSIM_FATAL("flush of ", path, " failed");
+    out.close();
+    if (out.fail())
+        VSIM_FATAL("close of ", path, " failed");
 }
 
 } // namespace vsim::sim

@@ -2,6 +2,7 @@
 
 #include "vsim/base/logging.hh"
 #include "vsim/core/ooo_core.hh"
+#include "vsim/trace/trace_io.hh"
 #include "vsim/workloads/workloads.hh"
 
 namespace vsim::sim
@@ -48,14 +49,52 @@ timingConfLabel(core::UpdateTiming timing, core::ConfidenceKind confidence)
     return label;
 }
 
+bool
+isTraceWorkload(const std::string &name)
+{
+    return name.rfind(kTraceWorkloadPrefix, 0) == 0;
+}
+
+std::string
+traceWorkloadName(const std::string &path)
+{
+    return kTraceWorkloadPrefix + path;
+}
+
+std::string
+traceWorkloadPath(const std::string &name)
+{
+    VSIM_ASSERT(isTraceWorkload(name), "not a trace workload: ", name);
+    return name.substr(sizeof(kTraceWorkloadPrefix) - 1);
+}
+
+namespace
+{
+
+core::SimOutcome
+simulate(const std::string &name, int scale,
+         const core::CoreConfig &cfg)
+{
+    if (isTraceWorkload(name)) {
+        trace::LoadedTrace loaded =
+            trace::loadTrace(traceWorkloadPath(name));
+        core::OooCore core(loaded.program, std::move(loaded.trace),
+                           cfg);
+        return core.run();
+    }
+    const workloads::Workload &w = workloads::byName(name);
+    const assembler::Program prog = workloads::buildProgram(w, scale);
+    core::OooCore core(prog, cfg);
+    return core.run();
+}
+
+} // namespace
+
 RunResult
 runWorkload(const std::string &name, int scale,
             const core::CoreConfig &cfg)
 {
-    const workloads::Workload &w = workloads::byName(name);
-    const assembler::Program prog = workloads::buildProgram(w, scale);
-    core::OooCore core(prog, cfg);
-    const core::SimOutcome out = core.run();
+    const core::SimOutcome out = simulate(name, scale, cfg);
     VSIM_ASSERT(out.halted, "workload ", name,
                 " did not finish within the cycle limit");
 

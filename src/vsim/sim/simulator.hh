@@ -69,9 +69,27 @@ struct RunResult
 };
 
 /**
+ * Workload names with this prefix are trace replays: the rest of the
+ * name is a .vst file path (see vsim/trace). Such runs skip the
+ * assembler and the functional pre-execution entirely; scale is
+ * ignored (the trace fixes the dynamic instruction stream).
+ */
+constexpr const char kTraceWorkloadPrefix[] = "trace:";
+
+/** True when @p name names a recorded trace, not a built-in kernel. */
+bool isTraceWorkload(const std::string &name);
+
+/** "trace:<path>" for @p path (the workload name of a trace replay). */
+std::string traceWorkloadName(const std::string &path);
+
+/** The .vst path behind a trace workload name. */
+std::string traceWorkloadPath(const std::string &name);
+
+/**
  * Build workload @p name at @p scale (-1 = default) and run it under
  * @p cfg. Correctness against the functional model is enforced inside
- * the core.
+ * the core. A "trace:<path>" name replays the recorded trace instead
+ * of building a kernel.
  */
 RunResult runWorkload(const std::string &name, int scale,
                       const core::CoreConfig &cfg);

@@ -7,6 +7,7 @@
 
 #include "vsim/base/logging.hh"
 #include "vsim/base/thread_pool.hh"
+#include "vsim/trace/trace_io.hh"
 #include "vsim/workloads/workloads.hh"
 
 namespace vsim::sim
@@ -29,8 +30,17 @@ jobKey(const SweepJob &job)
     const core::CoreConfig &c = job.cfg;
     const core::SpecModel &m = c.model;
     std::ostringstream os;
-    // Workload identity.
-    os << job.workload << '@' << job.scale << ';';
+    // Workload identity. A trace workload's identity is its content,
+    // not its path: the same path can hold a different recording
+    // across tool invocations, so the key carries the file's hash
+    // (memoised per path — stable for the life of the process).
+    os << job.workload << '@' << job.scale;
+    if (isTraceWorkload(job.workload)) {
+        os << '#' << std::hex
+           << trace::traceFileHash(traceWorkloadPath(job.workload))
+           << std::dec;
+    }
+    os << ';';
     // Machine.
     os << c.issueWidth << '/' << c.windowSize << '/' << c.fetchWidth
        << '/' << c.retireWidth << '/' << c.dcachePorts << ';';
@@ -270,6 +280,14 @@ sweepWorkloads(bool quick)
     return names;
 }
 
+std::vector<std::string>
+sweepWorkloads(const SweepOptions &opt)
+{
+    if (!opt.workloads.empty())
+        return opt.workloads;
+    return sweepWorkloads(opt.quick);
+}
+
 std::vector<MachineConfig>
 sweepMachines(bool quick)
 {
@@ -313,7 +331,7 @@ buildBase(const SweepOptions &opt)
 {
     std::vector<SweepJob> jobs;
     for (const auto &m : sweepMachines(opt.quick))
-        for (const auto &w : sweepWorkloads(opt.quick))
+        for (const auto &w : sweepWorkloads(opt))
             jobs.push_back(makeJob(m, w, opt.scale, baseConfig(m)));
     return jobs;
 }
@@ -334,7 +352,7 @@ buildFig3(const SweepOptions &opt)
     for (const auto &m : sweepMachines(opt.quick))
         for (const SpecModel &model : models)
             for (const auto &[timing, conf] : combos)
-                for (const auto &w : sweepWorkloads(opt.quick))
+                for (const auto &w : sweepWorkloads(opt))
                     jobs.push_back(makeJob(
                         m, w, opt.scale,
                         vpConfig(m, model, conf, timing)));
@@ -348,7 +366,7 @@ buildFig4(const SweepOptions &opt)
     for (const auto &m : sweepMachines(opt.quick))
         for (UpdateTiming timing :
              {UpdateTiming::Delayed, UpdateTiming::Immediate})
-            for (const auto &w : sweepWorkloads(opt.quick))
+            for (const auto &w : sweepWorkloads(opt))
                 jobs.push_back(makeJob(
                     m, w, opt.scale,
                     vpConfig(m, SpecModel::greatModel(),
@@ -377,10 +395,10 @@ buildConfidence(const SweepOptions &opt)
         {"oracle", ConfidenceKind::Oracle, 3, -1},
     };
     std::vector<SweepJob> jobs;
-    for (const auto &w : sweepWorkloads(opt.quick))
+    for (const auto &w : sweepWorkloads(opt))
         jobs.push_back(makeJob(m, w, opt.scale, baseConfig(m)));
     for (const Variant &v : variants) {
-        for (const auto &w : sweepWorkloads(opt.quick)) {
+        for (const auto &w : sweepWorkloads(opt)) {
             core::CoreConfig cfg =
                 vpConfig(m, SpecModel::greatModel(), v.kind,
                          UpdateTiming::Delayed);
@@ -398,10 +416,10 @@ buildPredictors(const SweepOptions &opt)
 {
     const MachineConfig m{8, 48};
     std::vector<SweepJob> jobs;
-    for (const auto &w : sweepWorkloads(opt.quick))
+    for (const auto &w : sweepWorkloads(opt))
         jobs.push_back(makeJob(m, w, opt.scale, baseConfig(m)));
     for (const char *pred : {"fcm", "last-value", "stride", "hybrid"}) {
-        for (const auto &w : sweepWorkloads(opt.quick)) {
+        for (const auto &w : sweepWorkloads(opt)) {
             core::CoreConfig cfg =
                 vpConfig(m, SpecModel::greatModel(),
                          ConfidenceKind::Oracle, UpdateTiming::Immediate);
@@ -419,10 +437,10 @@ buildVerifLatency(const SweepOptions &opt)
 {
     const MachineConfig m{8, 48};
     std::vector<SweepJob> jobs;
-    for (const auto &w : sweepWorkloads(opt.quick))
+    for (const auto &w : sweepWorkloads(opt))
         jobs.push_back(makeJob(m, w, opt.scale, baseConfig(m)));
     for (int lat = 0; lat <= 3; ++lat) {
-        for (const auto &w : sweepWorkloads(opt.quick)) {
+        for (const auto &w : sweepWorkloads(opt)) {
             SpecModel model = SpecModel::greatModel();
             model.execToEquality = lat;
             jobs.push_back(makeJob(
@@ -440,12 +458,12 @@ buildReissueLatency(const SweepOptions &opt)
 {
     const MachineConfig m{8, 48};
     std::vector<SweepJob> jobs;
-    for (const auto &w : sweepWorkloads(opt.quick))
+    for (const auto &w : sweepWorkloads(opt))
         jobs.push_back(makeJob(m, w, opt.scale, baseConfig(m)));
     for (ConfidenceKind conf :
          {ConfidenceKind::Always, ConfidenceKind::Real}) {
         for (int lat : {0, 1, 2, 4}) {
-            for (const auto &w : sweepWorkloads(opt.quick)) {
+            for (const auto &w : sweepWorkloads(opt)) {
                 SpecModel model = SpecModel::greatModel();
                 model.invalidateToReissue = lat;
                 jobs.push_back(makeJob(

@@ -159,6 +159,15 @@ class SweepRunner
 /** The suite (8 workloads), or the 3-workload smoke set if @p quick. */
 std::vector<std::string> sweepWorkloads(bool quick);
 
+struct SweepOptions; // below
+
+/**
+ * The workload list a named sweep should iterate: the explicit
+ * override list (e.g. "trace:<path>" entries from --trace) when
+ * non-empty, else the built-in suite per @p opt.quick.
+ */
+std::vector<std::string> sweepWorkloads(const SweepOptions &opt);
+
 /** The paper's machine grid, or just the 8/48 machine if @p quick. */
 std::vector<MachineConfig> sweepMachines(bool quick);
 
@@ -171,6 +180,12 @@ struct SweepOptions
 {
     bool quick = false;
     int scale = -1;
+    /**
+     * When non-empty, replaces the built-in workload suite in every
+     * named sweep — the vehicle for sweeping recorded traces
+     * ("trace:<path>" names) through any figure's configuration grid.
+     */
+    std::vector<std::string> workloads;
 };
 
 /** A named, reusable job-list builder (one per figure/ablation). */

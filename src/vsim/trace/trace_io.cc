@@ -1,0 +1,427 @@
+#include "trace_io.hh"
+
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "vsim/base/logging.hh"
+
+namespace vsim::trace
+{
+
+namespace
+{
+
+/** Records buffered per write/read burst (192 KiB of 48-byte records). */
+constexpr std::size_t kBurstRecords = 4096;
+
+/** Chunk size for whole-file hashing and image reads. */
+constexpr std::size_t kChunkBytes = 256 * 1024;
+
+} // namespace
+
+TraceRecord
+makeRecord(const arch::TraceEntry &entry)
+{
+    TraceRecord rec;
+    rec.pc = entry.pc;
+    rec.value = entry.value;
+    rec.target = entry.nextPc;
+    rec.memAddr = entry.memAddr;
+    rec.imm = entry.inst.imm;
+    rec.op = static_cast<std::uint8_t>(entry.inst.op);
+    rec.ra = entry.inst.ra;
+    rec.rb = entry.inst.rb;
+    rec.rc = entry.inst.rc;
+    rec.memSize = static_cast<std::uint8_t>(entry.inst.memSize());
+    rec.taken = entry.nextPc != entry.pc + 4 ? 1 : 0;
+    return rec;
+}
+
+arch::TraceEntry
+makeEntry(const TraceRecord &rec)
+{
+    arch::TraceEntry entry;
+    entry.pc = rec.pc;
+    entry.value = rec.value;
+    entry.nextPc = rec.target;
+    entry.memAddr = rec.memAddr;
+    entry.inst.op = static_cast<isa::Op>(rec.op);
+    entry.inst.ra = rec.ra;
+    entry.inst.rb = rec.rb;
+    entry.inst.rc = rec.rc;
+    entry.inst.imm = rec.imm;
+    return entry;
+}
+
+// --------------------------------------------------------------------
+// TraceWriter
+
+TraceWriter::TraceWriter(const std::string &path_,
+                         const assembler::Program &prog)
+    : path(path_), out(path_, std::ios::binary | std::ios::trunc)
+{
+    if (!out)
+        VSIM_FATAL("cannot open trace file for writing: ", path);
+    if (prog.text.empty())
+        VSIM_FATAL("refusing to trace a program with no text: ", path);
+
+    hdr.textBase = prog.textBase;
+    hdr.dataBase = prog.dataBase;
+    hdr.stackTop = prog.stackTop;
+    hdr.entry = prog.entry;
+    hdr.textWords = static_cast<std::uint32_t>(prog.text.size());
+    hdr.dataBytes = static_cast<std::uint32_t>(prog.data.size());
+
+    // Header first (recordCount = kUnfinalized until finalize()),
+    // then the static image; the payload digest starts at the image.
+    put(&hdr, sizeof(hdr));
+    if (!prog.text.empty()) {
+        const std::uint64_t bytes = 4ull * prog.text.size();
+        put(prog.text.data(), bytes);
+        digest = fnv1a(prog.text.data(), bytes, digest);
+    }
+    if (!prog.data.empty()) {
+        put(prog.data.data(), prog.data.size());
+        digest = fnv1a(prog.data.data(), prog.data.size(), digest);
+    }
+    buffer.reserve(kBurstRecords);
+}
+
+TraceWriter::~TraceWriter()
+{
+    // Without finalize() the header still says kUnfinalized records,
+    // so a half-written file is rejected on load rather than replayed.
+}
+
+void
+TraceWriter::put(const void *bytes, std::uint64_t len)
+{
+    out.write(static_cast<const char *>(bytes),
+              static_cast<std::streamsize>(len));
+    if (!out)
+        VSIM_FATAL("write failed on trace file: ", path);
+}
+
+void
+TraceWriter::flushBuffer()
+{
+    if (buffer.empty())
+        return;
+    const std::uint64_t bytes = buffer.size() * sizeof(TraceRecord);
+    put(buffer.data(), bytes);
+    digest = fnv1a(buffer.data(), bytes, digest);
+    buffer.clear();
+}
+
+void
+TraceWriter::append(const TraceRecord &rec)
+{
+    VSIM_ASSERT(!finalized, "append after finalize");
+    buffer.push_back(rec);
+    ++count;
+    if (buffer.size() >= kBurstRecords)
+        flushBuffer();
+}
+
+void
+TraceWriter::finalize(const std::string &output, std::uint64_t exit_code)
+{
+    VSIM_ASSERT(!finalized, "trace finalized twice");
+    flushBuffer();
+
+    if (!output.empty()) {
+        put(output.data(), output.size());
+        digest = fnv1a(output.data(), output.size(), digest);
+    }
+
+    TraceFooter footer;
+    footer.digest = digest;
+    put(&footer, sizeof(footer));
+
+    hdr.outputBytes = static_cast<std::uint32_t>(output.size());
+    hdr.exitCode = exit_code;
+    hdr.recordCount = count;
+    out.seekp(0);
+    put(&hdr, sizeof(hdr));
+
+    out.flush();
+    if (!out)
+        VSIM_FATAL("flush failed on trace file: ", path);
+    out.close();
+    if (out.fail())
+        VSIM_FATAL("close failed on trace file: ", path);
+    finalized = true;
+}
+
+// --------------------------------------------------------------------
+// TraceReader
+
+namespace
+{
+
+/**
+ * Validate one record's static fields: a record must describe an
+ * instruction the decoder could have produced, lie inside the text
+ * image, and carry internally consistent memory/control metadata.
+ */
+void
+validateRecord(const TraceRecord &rec, std::uint64_t index,
+               const TraceHeader &hdr, const std::string &path)
+{
+    auto bad = [&](const char *what) {
+        VSIM_FATAL("corrupt trace record #", index, " in ", path, ": ",
+                   what);
+    };
+
+    if (rec.op >= static_cast<std::uint8_t>(isa::kNumOps))
+        bad("opcode out of range");
+    if (rec.ra >= isa::kNumRegs || rec.rb >= isa::kNumRegs
+        || rec.rc >= isa::kNumRegs)
+        bad("register field out of range");
+
+    const isa::Inst inst{static_cast<isa::Op>(rec.op), rec.ra, rec.rb,
+                         rec.rc, rec.imm};
+    switch (inst.info().fmt) {
+      case isa::Format::F_RRR:
+        if (rec.imm != 0)
+            bad("nonzero immediate on an R-type record");
+        break;
+      case isa::Format::F_RRI:
+        if (rec.rc != 0)
+            bad("nonzero rc on an I-type record");
+        if (rec.imm < -(1 << 14) || rec.imm >= (1 << 14))
+            bad("imm15 out of range");
+        break;
+      case isa::Format::F_RI20:
+        if (rec.rb != 0 || rec.rc != 0)
+            bad("nonzero rb/rc on a RI20-type record");
+        if (rec.imm < -(1 << 19) || rec.imm >= (1 << 19))
+            bad("imm20 out of range");
+        break;
+    }
+
+    const std::uint64_t text_end = hdr.textBase + 4ull * hdr.textWords;
+    if (rec.pc < hdr.textBase || rec.pc >= text_end || rec.pc % 4 != 0)
+        bad("pc outside the text image");
+    if (rec.memSize != static_cast<std::uint8_t>(inst.memSize()))
+        bad("memSize does not match the opcode");
+    if (!inst.isMem() && rec.memAddr != 0)
+        bad("memory address on a non-memory record");
+    if (rec.taken != (rec.target != rec.pc + 4 ? 1 : 0))
+        bad("taken flag contradicts the target");
+    for (std::uint8_t p : rec.pad) {
+        if (p != 0)
+            bad("nonzero pad bytes");
+    }
+}
+
+} // namespace
+
+TraceReader::TraceReader(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        VSIM_FATAL("cannot open trace file: ", path);
+
+    in.seekg(0, std::ios::end);
+    const std::uint64_t file_size =
+        static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0);
+
+    auto get = [&](void *bytes, std::uint64_t len) {
+        in.read(static_cast<char *>(bytes),
+                static_cast<std::streamsize>(len));
+        if (!in || static_cast<std::uint64_t>(in.gcount()) != len)
+            VSIM_FATAL("truncated trace file: ", path);
+    };
+
+    if (file_size < sizeof(TraceHeader) + sizeof(TraceFooter))
+        VSIM_FATAL("trace file too small to be valid: ", path);
+    get(&hdr, sizeof(hdr));
+
+    if (hdr.magic != kTraceMagic)
+        VSIM_FATAL("not a VSIM trace (bad magic): ", path);
+    if (hdr.version != kTraceVersion) {
+        VSIM_FATAL("unsupported trace version ", hdr.version,
+                   " (expected ", kTraceVersion, "): ", path);
+    }
+    if (hdr.headerBytes != sizeof(TraceHeader)
+        || hdr.recordBytes != sizeof(TraceRecord))
+        VSIM_FATAL("trace structure sizes do not match v1: ", path);
+    if (hdr.recordCount == kUnfinalized) {
+        VSIM_FATAL("unfinalized trace (writer did not finish): ",
+                   path);
+    }
+    if (hdr.textWords == 0)
+        VSIM_FATAL("trace has an empty text image: ", path);
+    if (hdr.recordCount == 0)
+        VSIM_FATAL("trace has no dynamic records: ", path);
+    if (hdr.entry < hdr.textBase
+        || hdr.entry >= hdr.textBase + 4ull * hdr.textWords
+        || hdr.entry % 4 != 0)
+        VSIM_FATAL("trace entry point outside the text image: ", path);
+
+    // Exact length check: catches truncation and trailing garbage
+    // before we commit to reading the sections.
+    const std::uint64_t payload = file_size - sizeof(TraceHeader)
+                                  - sizeof(TraceFooter);
+    if (hdr.recordCount > payload / sizeof(TraceRecord))
+        VSIM_FATAL("truncated trace file: ", path);
+    const std::uint64_t expected =
+        sizeof(TraceHeader) + 4ull * hdr.textWords + hdr.dataBytes
+        + hdr.recordCount * sizeof(TraceRecord) + hdr.outputBytes
+        + sizeof(TraceFooter);
+    if (file_size != expected) {
+        VSIM_FATAL("trace file length ", file_size, " != expected ",
+                   expected, " (truncated or corrupt): ", path);
+    }
+
+    std::uint64_t digest = kFnvOffset;
+
+    prog.textBase = hdr.textBase;
+    prog.dataBase = hdr.dataBase;
+    prog.stackTop = hdr.stackTop;
+    prog.entry = hdr.entry;
+    prog.text.resize(hdr.textWords);
+    get(prog.text.data(), 4ull * hdr.textWords);
+    digest = fnv1a(prog.text.data(), 4ull * hdr.textWords, digest);
+    if (hdr.dataBytes) {
+        prog.data.resize(hdr.dataBytes);
+        get(prog.data.data(), hdr.dataBytes);
+        digest = fnv1a(prog.data.data(), hdr.dataBytes, digest);
+    }
+
+    records.resize(hdr.recordCount);
+    for (std::uint64_t done = 0; done < hdr.recordCount;) {
+        const std::uint64_t burst =
+            std::min<std::uint64_t>(kBurstRecords, hdr.recordCount - done);
+        get(&records[done], burst * sizeof(TraceRecord));
+        digest = fnv1a(&records[done], burst * sizeof(TraceRecord),
+                       digest);
+        done += burst;
+    }
+
+    if (hdr.outputBytes) {
+        output.resize(hdr.outputBytes);
+        get(output.data(), hdr.outputBytes);
+        digest = fnv1a(output.data(), hdr.outputBytes, digest);
+    }
+
+    TraceFooter footer;
+    get(&footer, sizeof(footer));
+    if (footer.endMagic != kTraceEndMagic)
+        VSIM_FATAL("trace footer marker missing: ", path);
+    if (footer.digest != digest) {
+        VSIM_FATAL("trace payload digest mismatch (corrupt file): ",
+                   path);
+    }
+
+    // Per-record and whole-trace structural checks: each record must
+    // be a decodable instruction, the correct path must chain
+    // (record i's target is record i+1's pc), and the trace must end
+    // with exactly one HALT.
+    for (std::uint64_t i = 0; i < records.size(); ++i) {
+        validateRecord(records[i], i, hdr, path);
+        const bool last = i + 1 == records.size();
+        const bool halt =
+            records[i].op == static_cast<std::uint8_t>(isa::Op::HALT);
+        if (halt != last) {
+            VSIM_FATAL("corrupt trace record #", i, " in ", path,
+                       last ? ": trace does not end in HALT"
+                            : ": HALT before the end of the trace");
+        }
+        if (!last && records[i].target != records[i + 1].pc) {
+            VSIM_FATAL("corrupt trace record #", i, " in ", path,
+                       ": correct path does not chain to the next "
+                       "record");
+        }
+    }
+    if (records[0].pc != hdr.entry)
+        VSIM_FATAL("first trace record is not at the entry point: ",
+                   path);
+    if (records.back().target != records.back().pc)
+        VSIM_FATAL("HALT record target is not its own pc: ", path);
+}
+
+bool
+TraceReader::next(TraceRecord &out)
+{
+    if (cursor >= records.size())
+        return false;
+    out = records[cursor++];
+    return true;
+}
+
+arch::ExecTrace
+TraceReader::execTrace() const
+{
+    arch::ExecTrace trace;
+    trace.entries.reserve(records.size());
+    for (const TraceRecord &rec : records)
+        trace.entries.push_back(makeEntry(rec));
+    trace.output = output;
+    trace.exitCode = hdr.exitCode;
+    return trace;
+}
+
+// --------------------------------------------------------------------
+// Convenience entry points
+
+LoadedTrace
+loadTrace(const std::string &path)
+{
+    TraceReader reader(path);
+    return {reader.program(), reader.execTrace()};
+}
+
+std::uint64_t
+recordTrace(const assembler::Program &prog, const std::string &path,
+            std::uint64_t max_insts)
+{
+    TraceWriter writer(path, prog);
+    arch::FunctionalCore core(prog);
+    arch::TraceEntry entry;
+    while (!core.state().halted) {
+        if (core.instCount() >= max_insts) {
+            VSIM_FATAL("traced program did not halt within ", max_insts,
+                       " instructions");
+        }
+        core.step(&entry);
+        writer.append(makeRecord(entry));
+    }
+    writer.finalize(core.state().output, core.state().exitCode);
+    return writer.recordCount();
+}
+
+std::uint64_t
+traceFileHash(const std::string &path)
+{
+    static std::mutex mutex;
+    static std::map<std::string, std::uint64_t> cache;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (auto it = cache.find(path); it != cache.end())
+            return it->second;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        VSIM_FATAL("cannot open trace file: ", path);
+    std::vector<char> chunk(kChunkBytes);
+    std::uint64_t hash = kFnvOffset;
+    while (in) {
+        in.read(chunk.data(),
+                static_cast<std::streamsize>(chunk.size()));
+        hash = fnv1a(chunk.data(),
+                     static_cast<std::uint64_t>(in.gcount()), hash);
+    }
+    if (!in.eof())
+        VSIM_FATAL("read failed hashing trace file: ", path);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    cache.emplace(path, hash);
+    return hash;
+}
+
+} // namespace vsim::trace

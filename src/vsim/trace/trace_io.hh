@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Reading and writing ".vst" dynamic instruction traces (see
+ * trace_format.hh for the on-disk layout). The writer streams records
+ * with buffered I/O and patches the header on finalize(); the reader
+ * validates the whole file strictly — magic, version, structure
+ * sizes, exact file length (truncation / trailing garbage), record
+ * sanity and the footer digest — before handing anything to the
+ * timing core. Every I/O or validation failure raises
+ * vsim::FatalError so tools exit nonzero instead of replaying junk.
+ */
+
+#ifndef VSIM_TRACE_TRACE_IO_HH
+#define VSIM_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace_format.hh"
+#include "vsim/arch/functional_core.hh"
+#include "vsim/assembler/program.hh"
+
+namespace vsim::trace
+{
+
+/** Convert one recorded functional-trace entry to a file record. */
+TraceRecord makeRecord(const arch::TraceEntry &entry);
+
+/** Convert one validated file record back to a functional entry. */
+arch::TraceEntry makeEntry(const TraceRecord &rec);
+
+/**
+ * Streaming trace generator. Construct with the program's static
+ * image, append() each dynamic record as the functional core retires
+ * it, then finalize() with the program's output and exit code. A
+ * writer that is destroyed without finalize() leaves recordCount as
+ * kUnfinalized on disk, which the reader rejects.
+ */
+class TraceWriter
+{
+  public:
+    TraceWriter(const std::string &path, const assembler::Program &prog);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void append(const TraceRecord &rec);
+
+    /** Flush records, write output + footer, patch the header. */
+    void finalize(const std::string &output, std::uint64_t exit_code);
+
+    std::uint64_t recordCount() const { return count; }
+
+  private:
+    void put(const void *bytes, std::uint64_t len);
+    void flushBuffer();
+
+    std::string path;
+    std::ofstream out;
+    TraceHeader hdr;
+    std::vector<TraceRecord> buffer; //!< pending records (buffered I/O)
+    std::uint64_t count = 0;
+    std::uint64_t digest = kFnvOffset; //!< running payload FNV-1a
+    bool finalized = false;
+};
+
+/**
+ * Validating trace loader. The constructor reads the entire file in
+ * buffered chunks, verifying structure and the footer digest, and
+ * rejecting malformed, truncated or unfinalized files with
+ * vsim::FatalError. Afterwards program() and execTrace() expose the
+ * reconstructed static image and dynamic trace, and next() iterates
+ * the validated records in order.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+
+    const TraceHeader &header() const { return hdr; }
+    const assembler::Program &program() const { return prog; }
+    std::uint64_t recordCount() const { return records.size(); }
+
+    /** Iterate validated records; returns false when exhausted. */
+    bool next(TraceRecord &out);
+
+    /** Rebuild the functional-core trace (records + output + exit). */
+    arch::ExecTrace execTrace() const;
+
+  private:
+    TraceHeader hdr;
+    assembler::Program prog;
+    std::vector<TraceRecord> records;
+    std::string output;
+    std::uint64_t cursor = 0;
+};
+
+/** A trace materialised for replay through the timing core. */
+struct LoadedTrace
+{
+    assembler::Program program;
+    arch::ExecTrace trace;
+};
+
+/** Load and validate @p path (throws vsim::FatalError on any defect). */
+LoadedTrace loadTrace(const std::string &path);
+
+/**
+ * Record a complete run of @p prog on the functional core to @p path.
+ * @return the number of dynamic records written
+ * @throws vsim::FatalError on I/O failure or a non-halting program
+ */
+std::uint64_t recordTrace(const assembler::Program &prog,
+                          const std::string &path,
+                          std::uint64_t max_insts = 500'000'000);
+
+/**
+ * FNV-1a content hash of the raw file bytes at @p path, memoised per
+ * path (thread-safe). Used by the SweepRunner jobKey so the RunCache
+ * distinguishes different trace files that share a path across runs.
+ */
+std::uint64_t traceFileHash(const std::string &path);
+
+} // namespace vsim::trace
+
+#endif // VSIM_TRACE_TRACE_IO_HH

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * The trace frontend's golden/differential harness. Three pillars:
+ *
+ *  1. Round-trip identity: for every built-in kernel, record a .vst
+ *     trace from the functional core, replay it through the timing
+ *     core, and require the stats digest to be byte-identical to a
+ *     direct (assemble + pre-execute) simulation — at window 256 AND
+ *     512, under both sweep kinds (sparse subscriber lists and the
+ *     legacy dense scans).
+ *
+ *  2. Strict-reader rejection: truncated, corrupted, unfinalized or
+ *     garbage-extended trace files must raise vsim::FatalError, never
+ *     replay junk.
+ *
+ *  3. Report-writer regressions riding in the same PR: RFC-4180 CSV
+ *     quoting, JSON string escaping, and writeFile failure paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "vsim/arch/functional_core.hh"
+#include "vsim/base/logging.hh"
+#include "vsim/core/ooo_core.hh"
+#include "vsim/sim/report.hh"
+#include "vsim/sim/simulator.hh"
+#include "vsim/sim/sweep.hh"
+#include "vsim/trace/trace_io.hh"
+#include "vsim/workloads/workloads.hh"
+
+namespace
+{
+
+using namespace vsim;
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "vsim_" + name + ".vst";
+}
+
+/** Full stats digest: any drift between two runs must show up here. */
+std::string
+digest(const core::SimOutcome &out)
+{
+    const core::CoreStats &s = out.stats;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "cycles=%llu retired=%llu fetched=%llu dispatched=%llu "
+        "issued=%llu squashes=%llu nullif=%llu reissues=%llu "
+        "verify=%llu inval=%llu vp=%llu/%llu/%llu/%llu "
+        "mispred=%llu fwd=%llu ic=%llu dc=%llu exit=%llu outlen=%zu",
+        (unsigned long long)s.cycles, (unsigned long long)s.retired,
+        (unsigned long long)s.fetched, (unsigned long long)s.dispatched,
+        (unsigned long long)s.issued, (unsigned long long)s.squashes,
+        (unsigned long long)s.nullifications,
+        (unsigned long long)s.reissues,
+        (unsigned long long)s.verifyEvents,
+        (unsigned long long)s.invalidateEvents,
+        (unsigned long long)s.vpCH, (unsigned long long)s.vpCL,
+        (unsigned long long)s.vpIH, (unsigned long long)s.vpIL,
+        (unsigned long long)s.condMispredicts,
+        (unsigned long long)s.loadsForwarded,
+        (unsigned long long)s.icacheMisses,
+        (unsigned long long)s.dcacheMisses,
+        (unsigned long long)out.exitCode, out.output.size());
+    return buf;
+}
+
+/**
+ * Record kernel @p name at scale 1, then require replay == direct at
+ * the given window under both sweep kinds. The direct run uses the
+ * default (sparse) kind; comparing the dense replay against it also
+ * pins the sparse/dense identity on the replay path.
+ */
+void
+roundTrip(const std::string &name, int window, int fetch_width)
+{
+    SCOPED_TRACE(name + " window=" + std::to_string(window));
+    const auto prog =
+        workloads::buildProgram(workloads::byName(name), 1);
+    const std::string path =
+        tmpPath(name + "_w" + std::to_string(window));
+    const std::uint64_t written = trace::recordTrace(prog, path);
+    ASSERT_GT(written, 0u);
+
+    const trace::LoadedTrace loaded = trace::loadTrace(path);
+    ASSERT_EQ(loaded.trace.entries.size(), written);
+
+    core::CoreConfig cfg =
+        sim::vpConfig({8, window}, core::SpecModel::greatModel(),
+                      core::ConfidenceKind::Real,
+                      core::UpdateTiming::Delayed);
+    cfg.fetchWidth = fetch_width;
+
+    core::OooCore direct(prog, cfg);
+    const core::SimOutcome want = direct.run();
+    ASSERT_TRUE(want.halted);
+
+    for (const core::SweepKind kind :
+         {core::SweepKind::Sparse, core::SweepKind::Dense}) {
+        SCOPED_TRACE(kind == core::SweepKind::Sparse ? "sparse"
+                                                     : "dense");
+        core::CoreConfig replay_cfg = cfg;
+        replay_cfg.sweepKind = kind;
+        // Alternate the issue scheduler across the sweep kinds so the
+        // replay identity also holds over SchedulerKind (both are
+        // bit-identical to the direct run's default ready lists).
+        replay_cfg.scheduler = kind == core::SweepKind::Dense
+                                   ? core::SchedulerKind::Scan
+                                   : core::SchedulerKind::ReadyList;
+        core::OooCore replay(loaded.program, loaded.trace, replay_cfg);
+        const core::SimOutcome got = replay.run();
+        EXPECT_TRUE(got.halted);
+        EXPECT_EQ(digest(got), digest(want));
+        EXPECT_EQ(got.output, want.output);
+    }
+    std::remove(path.c_str());
+}
+
+void
+roundTripBothWindows(const std::string &name)
+{
+    roundTrip(name, 256, 8);
+    // The CVP-style point: a 512-entry window with a wide front end.
+    roundTrip(name, 512, 16);
+}
+
+TEST(TraceRoundTrip, Compress) { roundTripBothWindows("compress"); }
+TEST(TraceRoundTrip, Cc) { roundTripBothWindows("cc"); }
+TEST(TraceRoundTrip, Go) { roundTripBothWindows("go"); }
+TEST(TraceRoundTrip, Jpeg) { roundTripBothWindows("jpeg"); }
+TEST(TraceRoundTrip, M88k) { roundTripBothWindows("m88k"); }
+TEST(TraceRoundTrip, Perl) { roundTripBothWindows("perl"); }
+TEST(TraceRoundTrip, Vortex) { roundTripBothWindows("vortex"); }
+TEST(TraceRoundTrip, Queens) { roundTripBothWindows("queens"); }
+
+/**
+ * The "trace:<path>" workload-name plumbing: runWorkload on a trace
+ * name must reproduce the direct run of the kernel it was recorded
+ * from, and the name helpers must round-trip paths.
+ */
+TEST(TraceWorkload, RunWorkloadReplayMatchesDirect)
+{
+    EXPECT_FALSE(sim::isTraceWorkload("queens"));
+    EXPECT_TRUE(sim::isTraceWorkload("trace:/tmp/x.vst"));
+    EXPECT_EQ(sim::traceWorkloadName("/tmp/x.vst"), "trace:/tmp/x.vst");
+    EXPECT_EQ(sim::traceWorkloadPath("trace:/tmp/x.vst"), "/tmp/x.vst");
+
+    const auto prog =
+        workloads::buildProgram(workloads::byName("queens"), 1);
+    const std::string path = tmpPath("runworkload");
+    trace::recordTrace(prog, path);
+
+    const core::CoreConfig cfg =
+        sim::vpConfig({8, 48}, core::SpecModel::greatModel(),
+                      core::ConfidenceKind::Real,
+                      core::UpdateTiming::Delayed);
+    const sim::RunResult direct = sim::runWorkload("queens", 1, cfg);
+    const sim::RunResult replay =
+        sim::runWorkload(sim::traceWorkloadName(path), -1, cfg);
+
+    EXPECT_EQ(replay.workload, sim::traceWorkloadName(path));
+    EXPECT_EQ(replay.stats.cycles, direct.stats.cycles);
+    EXPECT_EQ(replay.stats.retired, direct.stats.retired);
+    EXPECT_EQ(replay.exitCode, direct.exitCode);
+    EXPECT_EQ(replay.output, direct.output);
+    std::remove(path.c_str());
+}
+
+/**
+ * The RunCache jobKey must incorporate the trace file's *content*
+ * hash: two different traces behind otherwise-identical jobs must not
+ * alias, and the same file must key identically across job objects.
+ */
+TEST(TraceWorkload, JobKeyHashesTraceContent)
+{
+    const std::string path_a = tmpPath("jobkey_a");
+    const std::string path_b = tmpPath("jobkey_b");
+    trace::recordTrace(
+        workloads::buildProgram(workloads::byName("queens"), 1), path_a);
+    trace::recordTrace(
+        workloads::buildProgram(workloads::byName("compress"), 1),
+        path_b);
+
+    sim::SweepJob a;
+    a.workload = sim::traceWorkloadName(path_a);
+    a.cfg = sim::baseConfig({8, 48});
+    sim::SweepJob b = a;
+    b.workload = sim::traceWorkloadName(path_b);
+    sim::SweepJob a2 = a;
+
+    EXPECT_NE(sim::jobKey(a), sim::jobKey(b));
+    EXPECT_EQ(sim::jobKey(a), sim::jobKey(a2));
+    EXPECT_EQ(trace::traceFileHash(path_a),
+              trace::traceFileHash(path_a));
+    EXPECT_NE(trace::traceFileHash(path_a),
+              trace::traceFileHash(path_b));
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Strict-reader rejection.
+// ---------------------------------------------------------------------
+
+class TraceReject : public ::testing::Test
+{
+  protected:
+    /** One valid queens trace shared by all rejection cases. */
+    static const std::string &
+    validTrace()
+    {
+        static const std::string path = [] {
+            const std::string p = tmpPath("reject_seed");
+            trace::recordTrace(
+                workloads::buildProgram(workloads::byName("queens"), 1),
+                p);
+            return p;
+        }();
+        return path;
+    }
+
+    static std::vector<char>
+    readAll(const std::string &path)
+    {
+        std::ifstream in(path, std::ios::binary);
+        EXPECT_TRUE(in);
+        return std::vector<char>(std::istreambuf_iterator<char>(in),
+                                 std::istreambuf_iterator<char>());
+    }
+
+    static std::string
+    writeVariant(const std::string &name, const std::vector<char> &bytes)
+    {
+        const std::string path = tmpPath("reject_" + name);
+        std::ofstream out(path, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        EXPECT_TRUE(out);
+        return path;
+    }
+
+    static void
+    expectRejected(const std::string &name, std::vector<char> bytes)
+    {
+        SCOPED_TRACE(name);
+        const std::string path = writeVariant(name, std::move(bytes));
+        EXPECT_THROW(trace::TraceReader r(path), FatalError);
+        std::remove(path.c_str());
+    }
+};
+
+TEST_F(TraceReject, ValidFileLoads)
+{
+    trace::TraceReader r(validTrace());
+    EXPECT_GT(r.recordCount(), 0u);
+    trace::TraceRecord rec;
+    std::uint64_t n = 0;
+    while (r.next(rec))
+        ++n;
+    EXPECT_EQ(n, r.recordCount());
+}
+
+TEST_F(TraceReject, MissingFile)
+{
+    EXPECT_THROW(trace::TraceReader r(tmpPath("no_such")), FatalError);
+}
+
+TEST_F(TraceReject, EmptyFile)
+{
+    expectRejected("empty", {});
+}
+
+TEST_F(TraceReject, BadMagic)
+{
+    auto bytes = readAll(validTrace());
+    bytes[0] ^= 0x5a;
+    expectRejected("magic", std::move(bytes));
+}
+
+TEST_F(TraceReject, BadVersion)
+{
+    auto bytes = readAll(validTrace());
+    bytes[4] = 99; // TraceHeader::version
+    expectRejected("version", std::move(bytes));
+}
+
+TEST_F(TraceReject, UnfinalizedRecordCount)
+{
+    auto bytes = readAll(validTrace());
+    for (std::uint64_t i = 0; i < 8; ++i)
+        bytes[trace::kRecordCountOffset + i] = '\xff';
+    expectRejected("unfinalized", std::move(bytes));
+}
+
+TEST_F(TraceReject, TruncatedFooter)
+{
+    auto bytes = readAll(validTrace());
+    bytes.resize(bytes.size() - sizeof(trace::TraceFooter));
+    expectRejected("trunc_footer", std::move(bytes));
+}
+
+TEST_F(TraceReject, TruncatedMidRecords)
+{
+    auto bytes = readAll(validTrace());
+    bytes.resize(bytes.size() / 2);
+    expectRejected("trunc_half", std::move(bytes));
+}
+
+TEST_F(TraceReject, TrailingGarbage)
+{
+    auto bytes = readAll(validTrace());
+    bytes.push_back('x');
+    expectRejected("trailing", std::move(bytes));
+}
+
+TEST_F(TraceReject, CorruptRecordPayload)
+{
+    // Flip one byte in the value field of the first record: the
+    // payload digest in the footer must catch it.
+    auto bytes = readAll(validTrace());
+    trace::TraceHeader hdr;
+    std::memcpy(&hdr, bytes.data(), sizeof hdr);
+    const std::uint64_t rec0 = sizeof(trace::TraceHeader)
+                               + std::uint64_t(hdr.textWords) * 4
+                               + hdr.dataBytes;
+    bytes[rec0 + 8] ^= 0x01; // TraceRecord::value
+    expectRejected("payload", std::move(bytes));
+}
+
+TEST_F(TraceReject, CorruptFooterDigest)
+{
+    auto bytes = readAll(validTrace());
+    bytes[bytes.size() - 1] ^= 0x01;
+    expectRejected("digest", std::move(bytes));
+}
+
+TEST_F(TraceReject, WriterRefusesUnwritablePath)
+{
+    const auto prog =
+        workloads::buildProgram(workloads::byName("queens"), 1);
+    EXPECT_THROW(
+        trace::recordTrace(prog, "/nonexistent-dir/queens.vst"),
+        FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Report-writer regressions.
+// ---------------------------------------------------------------------
+
+/**
+ * RFC-4180: labels/workloads containing the delimiter, quotes or line
+ * breaks must be quoted (embedded quotes doubled); plain fields stay
+ * unquoted so existing consumers see byte-identical output.
+ */
+TEST(Report, CsvQuoting)
+{
+    sim::SweepJob job;
+    job.label = "great, window=48 \"tuned\"";
+    job.workload = "line\nbreak";
+    job.scale = 1;
+    job.cfg = sim::baseConfig({8, 48});
+    sim::RunResult r;
+    r.workload = job.workload;
+
+    const std::string csv = sim::toCsv({job}, {r});
+    EXPECT_NE(csv.find("\"great, window=48 \"\"tuned\"\"\","),
+              std::string::npos)
+        << csv;
+    EXPECT_NE(csv.find("\"line\nbreak\","), std::string::npos) << csv;
+
+    // Plain fields keep the historical unquoted form.
+    job.label = "plain";
+    job.workload = "queens";
+    r.workload = "queens";
+    const std::string plain = sim::toCsv({job}, {r});
+    EXPECT_NE(plain.find("\nplain,queens,1,8/48,"), std::string::npos)
+        << plain;
+    EXPECT_EQ(plain.find('"'), std::string::npos) << plain;
+}
+
+TEST(Report, JsonEscaping)
+{
+    sim::SweepJob job;
+    job.label = "say \"hi\"\\";
+    job.workload = "queens";
+    job.cfg = sim::baseConfig({8, 48});
+    sim::RunResult r;
+    r.workload = "tab\there";
+
+    const std::string json = sim::toJson(job, r);
+    EXPECT_NE(json.find("\"label\": \"say \\\"hi\\\"\\\\\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"workload\": \"tab\\there\""),
+              std::string::npos)
+        << json;
+}
+
+TEST(Report, WriteFileFailsLoudly)
+{
+    EXPECT_THROW(sim::writeFile("/nonexistent-dir/out.json", "x"),
+                 FatalError);
+}
+
+} // namespace

@@ -9,7 +9,8 @@
  *
  *   vspec-run --workload m88k --model great --conf real --timing D
  *   vspec-run --asm prog.s --width 16 --window 96 --model super
- *   vspec-run --workload queens --base --trace    # pipeline diagram
+ *   vspec-run --trace queens.vst --window 512     # replay a recording
+ *   vspec-run --workload queens --base --pipeline # pipeline diagram
  *   vspec-run --workload queens --json run.json   # or --json to stdout
  */
 
@@ -19,6 +20,7 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -30,6 +32,7 @@
 #include "vsim/sim/report.hh"
 #include "vsim/sim/simulator.hh"
 #include "vsim/sim/sweep.hh"
+#include "vsim/trace/trace_io.hh"
 #include "vsim/workloads/workloads.hh"
 
 namespace
@@ -40,7 +43,8 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s (--workload NAME | --asm FILE) [options]\n"
+        "usage: %s (--workload NAME | --asm FILE | --trace FILE) "
+        "[options]\n"
         "  --workload NAME   one of:",
         argv0);
     for (const auto &w : vsim::workloads::all())
@@ -49,9 +53,13 @@ usage(const char *argv0)
         stderr,
         "\n"
         "  --asm FILE        assemble and run a VRISC .s file\n"
+        "  --trace FILE      replay a recorded .vst instruction trace\n"
+        "                    (see vspec-tracegen); decode-free and\n"
+        "                    digest-identical to direct simulation\n"
         "  --scale N         workload work factor (default: built-in)\n"
         "  --width N         issue width (default 8)\n"
-        "  --window N        window size (default 48)\n"
+        "  --window N        window size (default 48, max 512)\n"
+        "  --fetch-width N   fetch width (default: issue width)\n"
         "  --base            disable value prediction (default)\n"
         "  --model M         super|great|good, or a custom latency\n"
         "                    tuple E,EI,EV,VF,IR,VB,VA such as\n"
@@ -74,7 +82,7 @@ usage(const char *argv0)
         "                    default 16)\n"
         "  --timing T        D|I  delayed/immediate update (default D)\n"
         "  --predictor P     fcm|last-value|stride|hybrid (default fcm)\n"
-        "  --trace [A:B]     print the pipeline diagram for cycles\n"
+        "  --pipeline [A:B]  print the pipeline diagram for cycles\n"
         "                    A..B (default 0:200)\n"
         "  --trace-retain N  keep only the youngest N instructions in\n"
         "                    the pipeline trace (bounds memory)\n"
@@ -114,13 +122,13 @@ main(int argc, char **argv)
 {
     using namespace vsim;
 
-    std::string workload, asm_file, json_path;
+    std::string workload, asm_file, trace_file, json_path;
     std::string metrics_path, counters_path, trace_json_path;
     int scale = -1;
-    bool trace = false;
+    bool pipeline = false;
     bool json = false;
     bool progress = false;
-    std::uint64_t trace_from = 0, trace_to = 200;
+    std::uint64_t pipeline_from = 0, pipeline_to = 200;
     core::CoreConfig cfg;
     cfg.issueWidth = 8;
     cfg.windowSize = 48;
@@ -137,6 +145,8 @@ main(int argc, char **argv)
             workload = need_value("--workload");
         } else if (!std::strcmp(argv[i], "--asm")) {
             asm_file = need_value("--asm");
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            trace_file = need_value("--trace");
         } else if (!std::strcmp(argv[i], "--scale")) {
             scale = parsePositiveInt(argv[0], "--scale",
                                      need_value("--scale"));
@@ -146,6 +156,16 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--window")) {
             cfg.windowSize = parsePositiveInt(argv[0], "--window",
                                               need_value("--window"));
+            if (cfg.windowSize > core::kMaxWindow) {
+                std::fprintf(stderr,
+                             "--window %d exceeds the supported "
+                             "maximum of %d\n",
+                             cfg.windowSize, core::kMaxWindow);
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--fetch-width")) {
+            cfg.fetchWidth = parsePositiveInt(
+                argv[0], "--fetch-width", need_value("--fetch-width"));
         } else if (!std::strcmp(argv[i], "--base")) {
             cfg.useValuePrediction = false;
         } else if (!std::strcmp(argv[i], "--model")) {
@@ -250,8 +270,8 @@ main(int argc, char **argv)
             }
         } else if (!std::strcmp(argv[i], "--predictor")) {
             cfg.valuePredictor = need_value("--predictor");
-        } else if (!std::strcmp(argv[i], "--trace")) {
-            trace = true;
+        } else if (!std::strcmp(argv[i], "--pipeline")) {
+            pipeline = true;
             // Optional A:B cycle-window operand.
             if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
                 const char *w = argv[++i];
@@ -259,9 +279,9 @@ main(int argc, char **argv)
                 errno = 0;
                 const unsigned long long a = std::strtoull(w, &end, 10);
                 if (errno == ERANGE || end == w || *end != ':') {
-                    std::fprintf(stderr,
-                                 "--trace window must be A:B, got '%s'\n",
-                                 w);
+                    std::fprintf(
+                        stderr,
+                        "--pipeline window must be A:B, got '%s'\n", w);
                     return 2;
                 }
                 const char *btext = end + 1;
@@ -270,13 +290,13 @@ main(int argc, char **argv)
                     std::strtoull(btext, &end, 10);
                 if (errno == ERANGE || end == btext || *end != '\0'
                     || b < a) {
-                    std::fprintf(stderr,
-                                 "--trace window must be A:B, got '%s'\n",
-                                 w);
+                    std::fprintf(
+                        stderr,
+                        "--pipeline window must be A:B, got '%s'\n", w);
                     return 2;
                 }
-                trace_from = a;
-                trace_to = b;
+                pipeline_from = a;
+                pipeline_to = b;
             }
         } else if (!std::strcmp(argv[i], "--trace-retain")) {
             cfg.traceRetain = static_cast<std::size_t>(
@@ -304,7 +324,10 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (workload.empty() == asm_file.empty()) {
+    const int sources = (workload.empty() ? 0 : 1)
+                        + (asm_file.empty() ? 0 : 1)
+                        + (trace_file.empty() ? 0 : 1);
+    if (sources != 1) {
         usage(argv[0]);
         return 2;
     }
@@ -314,54 +337,68 @@ main(int argc, char **argv)
         return 2;
     }
     const bool trace_json = !trace_json_path.empty();
-    cfg.tracePipeline = trace || trace_json;
+    cfg.tracePipeline = pipeline || trace_json;
 
     try {
         sim::RunResult r;
-        std::string trace_text;
+        std::string pipeline_text;
         obs::TraceWriter trace_writer;
 
-        if (!workload.empty() && !cfg.tracePipeline) {
-            // Workload runs go through the sweep engine's run cache,
-            // driven by a single-job SweepRunner so --progress shares
-            // the sweep machinery (results are identical either way).
+        if (asm_file.empty() && !cfg.tracePipeline) {
+            // Workload and trace-replay runs go through the sweep
+            // engine's run cache, driven by a single-job SweepRunner
+            // so --progress shares the sweep machinery (results are
+            // identical either way).
             sim::SweepJob job;
             job.label = sim::configLabel(cfg);
-            job.workload = workload;
+            job.workload = trace_file.empty()
+                               ? workload
+                               : sim::traceWorkloadName(trace_file);
             job.scale = scale;
             job.cfg = cfg;
             sim::SweepRunner runner(1, &sim::RunCache::process());
             runner.setProgress(progress);
             r = runner.run({job}).front();
         } else {
-            assembler::Program prog;
-            if (!workload.empty()) {
-                prog = workloads::buildProgram(
-                    workloads::byName(workload), scale);
+            std::unique_ptr<core::OooCore> core;
+            if (!trace_file.empty()) {
+                trace::LoadedTrace loaded =
+                    trace::loadTrace(trace_file);
+                core = std::make_unique<core::OooCore>(
+                    loaded.program, std::move(loaded.trace), cfg);
+                r.workload = sim::traceWorkloadName(trace_file);
             } else {
-                std::ifstream in(asm_file);
-                if (!in) {
-                    std::fprintf(stderr, "cannot open %s\n",
-                                 asm_file.c_str());
-                    return 1;
+                assembler::Program prog;
+                if (!workload.empty()) {
+                    prog = workloads::buildProgram(
+                        workloads::byName(workload), scale);
+                } else {
+                    std::ifstream in(asm_file);
+                    if (!in) {
+                        std::fprintf(stderr, "cannot open %s\n",
+                                     asm_file.c_str());
+                        return 1;
+                    }
+                    std::ostringstream ss;
+                    ss << in.rdbuf();
+                    prog = assembler::assemble(ss.str(), asm_file);
                 }
-                std::ostringstream ss;
-                ss << in.rdbuf();
-                prog = assembler::assemble(ss.str(), asm_file);
+                core = std::make_unique<core::OooCore>(prog, cfg);
+                r.workload = workload.empty() ? asm_file : workload;
             }
-            core::OooCore core(prog, cfg);
-            const core::SimOutcome out = core.run();
-            r.workload = workload.empty() ? asm_file : workload;
+            const core::SimOutcome out = core->run();
             r.stats = out.stats;
             r.instructions = out.stats.retired;
             r.ipc = out.stats.ipc();
             r.exitCode = out.exitCode;
             r.output = out.output;
             r.intervals = out.intervals;
-            if (trace)
-                trace_text = core.tracer().render(trace_from, trace_to);
+            if (pipeline) {
+                pipeline_text =
+                    core->tracer().render(pipeline_from, pipeline_to);
+            }
             if (trace_json)
-                core.tracer().exportTo(trace_writer);
+                core->tracer().exportTo(trace_writer);
             if (progress)
                 logLine("[1/1] " + sim::configLabel(cfg) + " ("
                         + r.workload + ")");
@@ -437,8 +474,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(s.nullifications),
                 static_cast<unsigned long long>(s.reissues));
         }
-        if (trace)
-            std::printf("\n%s", trace_text.c_str());
+        if (pipeline)
+            std::printf("\n%s", pipeline_text.c_str());
         return 0;
     } catch (const FatalError &err) {
         std::fprintf(stderr, "error: %s\n", err.what());

@@ -25,6 +25,7 @@
 #include "vsim/base/logging.hh"
 #include "vsim/base/stats.hh"
 #include "vsim/core/spec_model.hh"
+#include "vsim/core/window_types.hh"
 #include "vsim/sim/report.hh"
 #include "vsim/sim/sweep.hh"
 
@@ -69,6 +70,14 @@ usage(const char *argv0)
                  "invalidation sweep domain\n"
                  "                        for every run (identical "
                  "results; default sparse)\n"
+                 "  --trace FILE          replace the built-in workload "
+                 "suite with a recorded\n"
+                 "                        .vst trace (repeatable; see "
+                 "vspec-tracegen)\n"
+                 "  --window N            override the window size of "
+                 "every run (max 512)\n"
+                 "  --fetch-width N       override the fetch width of "
+                 "every run\n"
                  "named sweeps:\n",
                  argv0, static_cast<int>(std::strlen(argv0) + 7), "",
                  argv0);
@@ -112,6 +121,8 @@ main(int argc, char **argv)
     std::optional<core::SelectPolicy> select_override;
     std::optional<bool> mem_valid_override;
     std::optional<core::SweepKind> sweep_kind_override;
+    std::optional<int> window_override;
+    std::optional<int> fetch_width_override;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> const char * {
@@ -191,6 +202,22 @@ main(int argc, char **argv)
                              r.c_str());
                 return 2;
             }
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            opt.workloads.push_back(
+                sim::traceWorkloadName(need_value("--trace")));
+        } else if (!std::strcmp(argv[i], "--window")) {
+            window_override = parsePositiveInt(argv[0], "--window",
+                                               need_value("--window"));
+            if (*window_override > core::kMaxWindow) {
+                std::fprintf(stderr,
+                             "--window %d exceeds the supported "
+                             "maximum of %d\n",
+                             *window_override, core::kMaxWindow);
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--fetch-width")) {
+            fetch_width_override = parsePositiveInt(
+                argv[0], "--fetch-width", need_value("--fetch-width"));
         } else if (!std::strcmp(argv[i], "--sweep-kind")) {
             const std::string k = need_value("--sweep-kind");
             if (k == "sparse")
@@ -226,6 +253,18 @@ main(int argc, char **argv)
         std::vector<sim::SweepJob> sweep_jobs = spec.build(opt);
         for (sim::SweepJob &job : sweep_jobs) {
             job.cfg.metricsInterval = metrics_interval;
+            // Machine-axis overrides change what the builder's label
+            // describes, so they leave a visible mark on it.
+            if (window_override) {
+                job.cfg.windowSize = *window_override;
+                job.label += " window=" + std::to_string(
+                                              *window_override);
+            }
+            if (fetch_width_override) {
+                job.cfg.fetchWidth = *fetch_width_override;
+                job.label += " fetch=" + std::to_string(
+                                             *fetch_width_override);
+            }
             // Sweep kind applies to every run: results are identical
             // by construction, so it is not part of the jobKey and a
             // dense pass can reuse a sparse pass's cached results.
