@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Capture the simulator microbenchmark rates as a committed snapshot
-# (BENCH_PR5.json at the repo root): benchmark name (with its label,
+# (BENCH_PR7.json at the repo root): benchmark name (with its label,
 # when one distinguishes repetitions) -> inst/s, falling back to
-# simcycles/s for benchmarks that only report a cycle rate. Run from
-# the repo root after a RelWithDebInfo build:
+# simcycles/s for benchmarks that only report a cycle rate. When the
+# previous snapshot (BENCH_PR5.json, captured before the CPI-stack
+# attribution landed) is present, a "vs_pr5" section records the
+# attribution-off overhead per shared benchmark (new rate / old rate).
+# Run from the repo root after a RelWithDebInfo build:
 #
 #   scripts/bench_snapshot.sh
 set -euo pipefail
@@ -18,8 +21,8 @@ out=build/bench/bench_snapshot.json
     --benchmark_out="$out" \
     --benchmark_out_format=json >/dev/null 2>&1
 
-python3 - "$out" <<'EOF' > BENCH_PR5.json
-import json, sys
+python3 - "$out" BENCH_PR5.json <<'EOF' > BENCH_PR7.json
+import json, os, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
 rates = {}
@@ -30,8 +33,17 @@ for b in report["benchmarks"]:
     rate = b.get("inst/s", b.get("simcycles/s"))
     if rate is not None:
         rates[name] = round(rate)
-print(json.dumps(rates, indent=2, sort_keys=True))
+snapshot = dict(sorted(rates.items()))
+if os.path.exists(sys.argv[2]):
+    with open(sys.argv[2]) as f:
+        prev = json.load(f)
+    snapshot["vs_pr5"] = {
+        name: round(rates[name] / prev[name], 3)
+        for name in sorted(rates)
+        if name in prev and prev[name]
+    }
+print(json.dumps(snapshot, indent=2))
 EOF
 
-echo "wrote BENCH_PR5.json:"
-cat BENCH_PR5.json
+echo "wrote BENCH_PR7.json:"
+cat BENCH_PR7.json

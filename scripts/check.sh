@@ -19,11 +19,14 @@ cmake --build build -j
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j)
 
-echo "== tier-1: ThreadSanitizer (test_sweep, test_obs, test_sweepdiff) =="
+echo "== tier-1: ThreadSanitizer (test_sweep, test_obs, test_cpi, test_sweepdiff) =="
 cmake -B build-tsan -S . -DVSIM_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target test_sweep test_obs test_sweepdiff
+cmake --build build-tsan -j --target test_sweep test_obs test_cpi \
+    test_sweepdiff
 ./build-tsan/tests/test_sweep
 ./build-tsan/tests/test_obs
+# CPI-stack / ledger identity across worker counts runs a real pool.
+./build-tsan/tests/test_cpi
 # The randomized sparse-vs-dense sweep differential also runs here:
 # its programs are sized for sanitizer throughput.
 ./build-tsan/tests/test_sweepdiff
@@ -32,10 +35,13 @@ echo "== tier-1: Address+UB Sanitizer (core, policy, scheduler) =="
 cmake -B build-asan -S . -DVSIM_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j --target \
     test_core_base test_core_vspec test_core_misc test_core_xprod \
-    test_policy test_event_queue test_scheduler test_sweepdiff
+    test_policy test_event_queue test_scheduler test_sweepdiff test_cpi
 ./build-asan/tests/test_core_base
 ./build-asan/tests/test_core_vspec
 ./build-asan/tests/test_core_misc
+# The ledger's slot-indexed record table is allocation-lifetime
+# territory; run the attribution/ledger suite under ASan too.
+./build-asan/tests/test_cpi
 ./build-asan/tests/test_policy
 ./build-asan/tests/test_event_queue
 ./build-asan/tests/test_scheduler
@@ -103,6 +109,24 @@ python3 -m json.tool "$obs_dir/pipeline.json" >/dev/null
 python3 -m json.tool "$obs_dir/sweep.json" >/dev/null
 echo "trace JSON OK"
 
+echo "== tier-1: CPI stack / ledger JSON validity =="
+./build/tools/vspec_run --workload queens --scale 1 --model great \
+    --stacks "$obs_dir/run_stacks.json" \
+    --ledger "$obs_dir/run_ledger.json" --ledger-limit 50 >/dev/null
+./build/tools/vspec_sweep base --quick --scale 1 --jobs 2 \
+    --json "$obs_dir/sweep_cells.json" \
+    --stacks "$obs_dir/sweep_stacks.json" \
+    --ledger "$obs_dir/sweep_ledger.json" >/dev/null
+python3 -m json.tool "$obs_dir/run_stacks.json" >/dev/null
+python3 -m json.tool "$obs_dir/run_ledger.json" >/dev/null
+python3 -m json.tool "$obs_dir/sweep_cells.json" >/dev/null
+python3 -m json.tool "$obs_dir/sweep_stacks.json" >/dev/null
+python3 -m json.tool "$obs_dir/sweep_ledger.json" >/dev/null
+# The diff tool must parse its own drivers' outputs.
+./build/tools/vspec_stacks "$obs_dir/run_stacks.json" \
+    "$obs_dir/run_stacks.json" >/dev/null
+echo "CPI stack / ledger JSON OK"
+
 echo "== tier-1: trace record/replay identity =="
 # A recorded .vst trace replayed through the timing core must be
 # byte-identical to direct simulation of the same kernel — the whole
@@ -164,6 +188,34 @@ ratio = rates["w256-sparse"] / rates["w256-dense"]
 print(f"dense {rates['w256-dense']:.0f} cyc/s, sparse "
       f"{rates['w256-sparse']:.0f} cyc/s -> {ratio:.2f}x")
 sys.exit(0 if ratio >= 1.3 else 1)
+EOF
+
+echo "== tier-1: attribution overhead gate (window 256) =="
+# Cycle attribution and the ledger lifecycle counters are always on;
+# with the flags off (no detailed records) the w256-sparse simulation
+# rate must stay within 3% of the committed pre-attribution baseline
+# (BENCH_PR5.json, which records inst/s). Measured fresh with three
+# repetitions — the median rides out scheduler noise that a single
+# one-second sample does not.
+./build/bench/perf_simulator \
+    --benchmark_filter='BM_OooValueSpeculation/256' \
+    --benchmark_min_time=1 --benchmark_repetitions=3 \
+    --benchmark_out=build/bench/perf_attrib256.json \
+    --benchmark_out_format=json >/dev/null 2>&1
+python3 - build/bench/perf_attrib256.json BENCH_PR5.json <<'EOF'
+import json, statistics, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+reps = [b["inst/s"] for b in report["benchmarks"]
+        if b["label"] == "w256-sparse"
+        and b.get("run_type") == "iteration"]
+now = statistics.median(reps)
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)["BM_OooValueSpeculation/w256-sparse"]
+ratio = now / baseline
+print(f"baseline {baseline:.0f} inst/s, with attribution "
+      f"{now:.0f} inst/s (median of {len(reps)}) -> {ratio:.3f}x")
+sys.exit(0 if ratio >= 0.97 else 1)
 EOF
 
 echo "== tier-1: OK =="

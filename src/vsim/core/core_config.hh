@@ -115,6 +115,15 @@ struct CoreConfig
      * memory on long runs; no effect on stats or timing.
      */
     std::size_t traceRetain = 0;
+    /**
+     * Collect the detailed per-prediction speculation ledger
+     * (obs::SpecLedger records in SimOutcome/RunResult). Part of the
+     * run's identity (jobKey): the records ride in the RunResult. The
+     * aggregate conservation counters in CoreStats are always
+     * collected; this only gates the per-prediction records. No
+     * effect on timing or any other statistic.
+     */
+    bool specLedger = false;
 
     int effFetchWidth() const { return fetchWidth < 0 ? issueWidth : fetchWidth; }
     int effRetireWidth() const { return retireWidth < 0 ? issueWidth : retireWidth; }

@@ -61,6 +61,24 @@ registerStats(obs::Registry &reg, const CoreStats &s)
     set("dcache_misses", "data-cache misses", "events",
         s.dcacheMisses);
 
+    for (std::size_t i = 0; i < obs::kCpiCatCount; ++i) {
+        const auto c = static_cast<obs::CpiCat>(i);
+        const std::string name = std::string("cpi_") + obs::cpiCatName(c);
+        reg.counter(name, obs::cpiCatDesc(c), "cycles")
+            .set(s.cpi.cycles[i]);
+    }
+
+    set("pred_made", "value predictions dispatched into the window",
+        "insts", s.predMade);
+    set("pred_squashed", "predictions squashed before resolution",
+        "insts", s.predSquashed);
+    set("pred_consumed", "operand captures of predicted values",
+        "events", s.predConsumed);
+    set("verify_touches", "entries cleansed by verification sweeps",
+        "events", s.verifyTouches);
+    set("inval_touches", "entries nullified by invalidation sweeps",
+        "events", s.invalTouches);
+
     reg.histogram(s.verifyLatency);
     reg.histogram(s.invalToReissue);
     reg.histogram(s.specInFlight);

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "vsim/obs/cpi.hh"
 #include "vsim/obs/registry.hh"
 
 namespace vsim::core
@@ -60,6 +61,25 @@ struct CoreStats
     std::uint64_t loadsForwarded = 0;
     std::uint64_t icacheMisses = 0;
     std::uint64_t dcacheMisses = 0;
+
+    // ---- cycle attribution (observability layer) -------------------------
+    /**
+     * CPI stack: every cycle charged to exactly one category, so
+     * cpi.total() == cycles at the end of a run. Collected
+     * unconditionally — memoized results are flag-independent.
+     */
+    obs::CpiStack cpi;
+
+    // ---- speculation ledger (conservation counters, always on) -----------
+    /** Predictions dispatched into the window (any path). Conserved:
+     *  predMade == verifyEvents + invalidateEvents + predSquashed. */
+    std::uint64_t predMade = 0;
+    std::uint64_t predSquashed = 0; //!< squashed before resolution
+    std::uint64_t predConsumed = 0; //!< operand captures of predictions
+    /** Entries cleansed by verification sweeps (per-entry touches). */
+    std::uint64_t verifyTouches = 0;
+    /** Entries nullified by invalidation sweeps (per-entry touches). */
+    std::uint64_t invalTouches = 0;
 
     // ---- distributions (observability layer) -----------------------------
     /** Dispatch-to-resolution latency of confident predictions. */

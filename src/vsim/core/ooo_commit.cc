@@ -45,6 +45,7 @@ OooCore::broadcast(RsEntry &producer)
                     o.deps.set(
                         static_cast<std::size_t>(producer.slot));
                     o.readyAt = cycle;
+                    notePredConsumed(producer);
                 } else {
                     o.value = producer.outValue;
                     o.deps = producer.outDeps;
@@ -90,6 +91,7 @@ OooCore::broadcast(RsEntry &producer)
             o.deps.reset();
             o.deps.set(static_cast<std::size_t>(producer.slot));
             o.readyAt = cycle;
+            notePredConsumed(producer);
         } else {
             o.value = producer.outValue;
             o.deps = producer.outDeps;
@@ -157,6 +159,7 @@ OooCore::applyCompletions()
                 // architecturally right (it can be wrong when branches
                 // are allowed to resolve with speculative operands).
                 ++stats_.squashes;
+                lastRedirect = RedirectCause::Branch;
                 const bool on_path =
                     e.traceIndex >= 0
                     && c.nextPc
@@ -357,8 +360,18 @@ OooCore::retireOne()
             ++(e.predConfident ? stats_.vpCH : stats_.vpCL);
         else
             ++(e.predConfident ? stats_.vpIH : stats_.vpIL);
-        if (e.predicted)
+        if (e.predicted) {
             ++stats_.vpSpeculated;
+            // Ledger: the prediction's producer reached architectural
+            // state (freeSlot below clears the slot's record index).
+            if (cfg.specLedger) {
+                const std::int64_t li =
+                    ledgerIdx[static_cast<std::size_t>(slot)];
+                if (li >= 0)
+                    ledger_.records[static_cast<std::size_t>(li)]
+                        .committed = true;
+            }
+        }
         if (!predOverride && cfg.updateTiming == UpdateTiming::Delayed) {
             vpred_->updateTable(e.pc, e.predToken, e.outValue);
             vpred_->commitHistory(e.pc, e.outValue, correct);

@@ -69,6 +69,10 @@ OooCore::OooCore(const assembler::Program &prog, arch::ExecTrace recorded,
 
     tracer_.setCapacity(cfg.traceRetain);
     intervals_.period = cfg.metricsInterval;
+
+    ledger_.enabled = cfg.specLedger;
+    if (cfg.specLedger)
+        ledgerIdx.assign(static_cast<std::size_t>(cfg.windowSize), -1);
 }
 
 OooCore::~OooCore() = default;
@@ -110,6 +114,8 @@ OooCore::freeSlot(int slot)
     --liveEntries;
     if (readyListScheduler())
         sched.remove(slot);
+    if (cfg.specLedger)
+        ledgerIdx[static_cast<std::size_t>(slot)] = -1;
 }
 
 void
@@ -136,8 +142,11 @@ OooCore::squashAfter(std::uint64_t seq, std::uint64_t new_fetch_pc,
         RsEntry &e = entry(slot);
         if (e.seq <= seq)
             break;
-        if (e.predicted && !e.predResolved)
+        if (e.predicted && !e.predResolved) {
             --specLive; // squashed prediction never resolves
+            ++stats_.predSquashed;
+            ledgerResolved(e, obs::LedgerOutcome::Squashed);
+        }
         freeSlot(slot);
         windowOrder.pop_back();
     }
@@ -151,6 +160,7 @@ OooCore::squashAfter(std::uint64_t seq, std::uint64_t new_fetch_pc,
     fetchPc = new_fetch_pc;
     fetchResumeAt = cycle + 1;
     fetchSawHalt = false;
+    fetchStallIcache = false; // the redirect supersedes any I$ stall
     if (resume_trace_idx >= 0) {
         fetchOnCorrectPath = true;
         fetchTraceIdx = resume_trace_idx;
@@ -212,6 +222,8 @@ OooCore::resolvePrediction(RsEntry &p, bool verified)
     p.verifiedAt = std::max(p.verifiedAt, cycle);
     verifyLatencyHist->sample(cycle - p.dispatchAt);
     --specLive;
+    ledgerResolved(p, verified ? obs::LedgerOutcome::Verified
+                               : obs::LedgerOutcome::Invalidated);
     if (tracingEnabled)
         tracer_.note(p.seq, cycle, verified ? "V" : "EQ!");
 }
@@ -239,6 +251,7 @@ OooCore::completeSquash(RsEntry &p)
     // like a branch misprediction — squash everything younger than
     // p and refetch. p itself keeps its (correct) computed result.
     ++stats_.squashes;
+    lastRedirect = RedirectCause::VMisp;
     squashAfter(p.seq, p.pc + 4,
                 p.traceIndex >= 0 ? p.traceIndex + 1 : -1);
 }
@@ -263,6 +276,69 @@ OooCore::operandInvalidated(RsEntry &e, int idx)
     sched.touch(e.slot);
 }
 
+void
+OooCore::attributeSweep(const RsEntry &p, const RsEntry &consumer,
+                        bool invalidation)
+{
+    (void)consumer;
+    if (invalidation) {
+        ++stats_.invalTouches;
+        // The invalidation of p's prediction killed this consumer:
+        // extend p's reissue chain in the ledger.
+        if (cfg.specLedger) {
+            const std::int64_t i =
+                ledgerIdx[static_cast<std::size_t>(p.slot)];
+            if (i >= 0)
+                ++ledger_.records[static_cast<std::size_t>(i)].reissues;
+        }
+    } else {
+        ++stats_.verifyTouches;
+    }
+}
+
+// =====================================================================
+// speculation-ledger bookkeeping
+// =====================================================================
+
+void
+OooCore::notePredConsumed(const RsEntry &producer)
+{
+    ++stats_.predConsumed;
+    if (!cfg.specLedger)
+        return;
+    const std::int64_t i =
+        ledgerIdx[static_cast<std::size_t>(producer.slot)];
+    if (i >= 0)
+        ++ledger_.records[static_cast<std::size_t>(i)].consumers;
+}
+
+void
+OooCore::ledgerPredictionMade(const RsEntry &e)
+{
+    if (!cfg.specLedger)
+        return;
+    obs::LedgerRecord r;
+    r.seq = e.seq;
+    r.pc = e.pc;
+    r.madeAt = cycle;
+    ledgerIdx[static_cast<std::size_t>(e.slot)] =
+        static_cast<std::int64_t>(ledger_.records.size());
+    ledger_.records.push_back(r);
+}
+
+void
+OooCore::ledgerResolved(const RsEntry &p, obs::LedgerOutcome outcome)
+{
+    if (!cfg.specLedger)
+        return;
+    const std::int64_t i = ledgerIdx[static_cast<std::size_t>(p.slot)];
+    if (i < 0)
+        return;
+    obs::LedgerRecord &r = ledger_.records[static_cast<std::size_t>(i)];
+    r.outcome = outcome;
+    r.resolvedAt = cycle;
+}
+
 // =====================================================================
 // wakeup-scheduler bookkeeping
 // =====================================================================
@@ -285,6 +361,133 @@ OooCore::registerWaiter(int consumer_slot, int idx, int tag)
 // observability sampling
 // =====================================================================
 
+obs::CpiCat
+OooCore::classifyCycle(std::uint64_t retired_delta) const
+{
+    using obs::CpiCat;
+    if (retired_delta > 0)
+        return CpiCat::Base;
+
+    if (windowOrder.empty()) {
+        // Frontend-bound: the backend has nothing at all to work on.
+        if (fetchStallIcache)
+            return CpiCat::IcacheStall;
+        switch (lastRedirect) {
+          case RedirectCause::VMisp:
+            return CpiCat::VmispSquash;
+          case RedirectCause::Branch:
+            return CpiCat::BranchRecovery;
+          case RedirectCause::None:
+            break; // startup ramp
+        }
+        return CpiCat::FetchRedirect;
+    }
+
+    // Commit-centric attribution: nothing retired this cycle, so
+    // charge whatever holds the window head (the oldest instruction).
+    const RsEntry &e = entry(windowOrder.front());
+
+    if (e.executed) {
+        // An executed head failed one of retireOne()'s §3 release
+        // conditions; walk them in the same order.
+        if (!e.outDeps.none())
+            return CpiCat::Verify;
+        if (e.predicted && !e.predResolved)
+            return CpiCat::Verify;
+        for (const Operand &o : e.src) {
+            if (o.used() && o.state != OperandState::Valid)
+                return CpiCat::Verify;
+        }
+        if (cycle < e.verifiedAt + static_cast<std::uint64_t>(
+                                       model.verifyToFreeResource)) {
+            // The release delay is verification cost only when the
+            // head's validity actually came through the network;
+            // otherwise it is the machine's plain commit latency.
+            if (e.predicted || e.outValidViaEvent)
+                return CpiCat::Verify;
+            for (const Operand &o : e.src) {
+                if (o.used() && o.validViaEvent)
+                    return CpiCat::Verify;
+            }
+            return CpiCat::Base;
+        }
+        if (e.inst.isStore())
+            return CpiCat::Memory; // store retire needs a dcache port
+        return CpiCat::Verify;     // residue guard on a predicted head
+    }
+
+    if (e.issued) {
+        // In-flight execution: memory-system latency for memory ops,
+        // plain functional-unit latency otherwise.
+        return e.inst.isMem() ? CpiCat::Memory : CpiCat::Base;
+    }
+
+    // Head not yet issued: find the first failing wakeup condition,
+    // mirroring canIssue()'s order.
+    if (cycle < e.reissueAt)
+        return CpiCat::Reissue;
+    for (const Operand &o : e.src) {
+        if (!o.used())
+            continue;
+        if (!o.hasValue()) {
+            // An Invalid operand of an already-executed-once head
+            // means it was nullified and waits on its producer's
+            // re-broadcast: that is the reissue chain, not a plain
+            // operand wait.
+            return e.execCount > 0 ? CpiCat::Reissue
+                                   : CpiCat::OperandWait;
+        }
+        if (o.readyAt > cycle)
+            return CpiCat::OperandWait;
+    }
+    const bool needs_valid =
+        e.inst.isBranch() || e.inst.isSystem()
+            ? model.branchNeedsValidOps || !cfg.useValuePrediction
+            : false;
+    if (needs_valid) {
+        for (const Operand &o : e.src) {
+            if (!o.used())
+                continue;
+            if (o.state != OperandState::Valid)
+                return CpiCat::Verify;
+            if (o.validViaEvent
+                && cycle < o.validAt + static_cast<std::uint64_t>(
+                               model.verifyToBranch)) {
+                return CpiCat::Verify;
+            }
+        }
+    }
+    if (e.inst.isMem()
+        && (model.memNeedsValidOps || !cfg.useValuePrediction)) {
+        const Operand &base = e.inst.isLoad() ? e.src[0] : e.src[1];
+        if (base.used()) {
+            if (base.state != OperandState::Valid)
+                return CpiCat::Verify;
+            if (base.validViaEvent
+                && cycle < base.validAt + static_cast<std::uint64_t>(
+                               model.verifyAddrToMem)) {
+                return CpiCat::Verify;
+            }
+        }
+    }
+    if (e.inst.isLoad()) {
+        const std::uint64_t addr =
+            e.src[0].value
+            + static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(e.inst.imm));
+        if (!loadOrderingSatisfiedAt(e, addr))
+            return CpiCat::Memory; // blocked behind older stores
+        if (dcachePortsUsed >= cfg.effDcachePorts())
+            return CpiCat::Memory; // data-cache ports exhausted
+    }
+    // The head is issueable but was not selected (dispatched this very
+    // cycle, or lost the width race): window pressure when the window
+    // is full, plain pipeline latency otherwise.
+    if (liveEntries >= cfg.windowSize)
+        return CpiCat::WindowFull;
+    return CpiCat::Base;
+}
+
 void
 OooCore::flushInterval(std::uint64_t cycles)
 {
@@ -304,6 +507,8 @@ OooCore::flushInterval(std::uint64_t cycles)
         stats_.invalidateEvents - ivCursor.invalidateEvents;
     s.nullifications =
         stats_.nullifications - ivCursor.nullifications;
+    for (std::size_t i = 0; i < obs::kCpiCatCount; ++i)
+        s.cpi.cycles[i] = stats_.cpi.cycles[i] - ivCursor.cpi.cycles[i];
     intervals_.samples.push_back(s);
 
     ivCursor.cycleStart += cycles;
@@ -317,11 +522,18 @@ OooCore::flushInterval(std::uint64_t cycles)
     ivCursor.verifyEvents = stats_.verifyEvents;
     ivCursor.invalidateEvents = stats_.invalidateEvents;
     ivCursor.nullifications = stats_.nullifications;
+    ivCursor.cpi = stats_.cpi;
 }
 
 void
 OooCore::sampleObservability()
 {
+    // Always-on cycle attribution: exactly one category per tick, so
+    // the stack sums to total cycles by construction. Like the
+    // histograms, collected on every run so memoized results are
+    // flag-independent.
+    stats_.cpi[classifyCycle(stats_.retired - retiredAtTickStart)] += 1;
+
     // Always-on distributions: collected on every run so a memoized
     // result is identical no matter which flags requested it.
     if (cfg.useValuePrediction)
@@ -345,6 +557,7 @@ OooCore::tick()
     if (halted)
         return false;
     dcachePortsUsed = 0;
+    retiredAtTickStart = stats_.retired;
     applyCompletions();
     processEvents();
     retireStage();
@@ -372,6 +585,8 @@ OooCore::run()
     stats_.cycles = cycle;
     stats_.icacheMisses = icacheH.l1().stats().misses();
     stats_.dcacheMisses = dcacheH.l1().stats().misses();
+    VSIM_ASSERT(stats_.cpi.total() == stats_.cycles,
+                "CPI stack does not sum to total cycles");
 
     // Close the trailing (short) interval so its events are not lost.
     if (cfg.metricsInterval != 0 && cycle > ivCursor.cycleStart)
@@ -383,6 +598,7 @@ OooCore::run()
     outcome.output = output;
     outcome.halted = halted;
     outcome.intervals = intervals_;
+    outcome.ledger = ledger_;
     return outcome;
 }
 

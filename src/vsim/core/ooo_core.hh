@@ -63,6 +63,7 @@
 #include "subscriber_index.hh"
 #include "window_types.hh"
 #include "vsim/obs/interval.hh"
+#include "vsim/obs/ledger.hh"
 #include "vsim/arch/functional_core.hh"
 #include "vsim/assembler/program.hh"
 #include "vsim/bpred/bpred.hh"
@@ -82,6 +83,8 @@ struct SimOutcome
     bool halted = false; //!< false if maxCycles was hit
     /** Per-interval time series (empty unless cfg.metricsInterval). */
     obs::IntervalSeries intervals;
+    /** Per-prediction records (empty unless cfg.specLedger). */
+    obs::SpecLedger ledger;
 };
 
 /**
@@ -193,6 +196,8 @@ class OooCore : private SpecHooks
     bool canIssue(const RsEntry &e) const;
     WakeClass classifyWakeup(int slot) const;
     bool loadOrderingSatisfied(const RsEntry &e) const;
+    bool loadOrderingSatisfiedAt(const RsEntry &e,
+                                 std::uint64_t addr) const;
     bool loadValue(const RsEntry &e, std::uint64_t &value,
                    bool &forwarded) const;
     SpecMask memCarriedDeps(const RsEntry &e) const;
@@ -212,6 +217,8 @@ class OooCore : private SpecHooks
     void completeSquash(RsEntry &p) override;
     void wakeupChanged(RsEntry &e) override;
     void operandInvalidated(RsEntry &e, int idx) override;
+    void attributeSweep(const RsEntry &p, const RsEntry &consumer,
+                        bool invalidation) override;
 
     // ---- wakeup-scheduler bookkeeping ------------------------------------
     bool readyListScheduler() const
@@ -226,6 +233,22 @@ class OooCore : private SpecHooks
     void sampleObservability();
     /** Close the open interval covering @p cycles cycles. */
     void flushInterval(std::uint64_t cycles);
+    /**
+     * CPI-stack attribution: charge the cycle that just executed to
+     * exactly one category, from end-of-cycle machine state.
+     * @p retired_delta is the number of instructions retired this
+     * cycle. Reads only deterministic simulation state, so stacks are
+     * bit-identical across jobs, sweep kinds, schedulers and replay.
+     */
+    obs::CpiCat classifyCycle(std::uint64_t retired_delta) const;
+
+    // ---- speculation-ledger bookkeeping ----------------------------------
+    /** A consumer captured @p producer's still-unresolved prediction. */
+    void notePredConsumed(const RsEntry &producer);
+    /** Record the prediction dispatched on @p e (cfg.specLedger only). */
+    void ledgerPredictionMade(const RsEntry &e);
+    /** Terminal state for the prediction on slot @p p. */
+    void ledgerResolved(const RsEntry &p, obs::LedgerOutcome outcome);
 
     // ---- configuration / substrate --------------------------------------
     CoreConfig cfg;
@@ -333,6 +356,22 @@ class OooCore : private SpecHooks
     // ---- observability state ---------------------------------------------
     int specLive = 0; //!< unresolved confident predictions in flight
 
+    /** Why fetch was last redirected (classifies empty-window cycles). */
+    enum class RedirectCause : std::uint8_t
+    {
+        None,   //!< startup ramp, no squash yet
+        Branch, //!< branch misprediction squash
+        VMisp,  //!< complete-invalidation (value misprediction) squash
+    };
+    RedirectCause lastRedirect = RedirectCause::None;
+    bool fetchStallIcache = false; //!< frontend stalled on an I$ miss
+    std::uint64_t retiredAtTickStart = 0;
+
+    /** Detailed per-prediction records (cfg.specLedger only). */
+    obs::SpecLedger ledger_;
+    /** Live ledger-record index per slot; -1 = none. */
+    std::vector<std::int64_t> ledgerIdx;
+
     /** Absolute counter values at the start of the open interval. */
     struct IntervalCursor
     {
@@ -347,6 +386,7 @@ class OooCore : private SpecHooks
         std::uint64_t verifyEvents = 0;
         std::uint64_t invalidateEvents = 0;
         std::uint64_t nullifications = 0;
+        obs::CpiStack cpi;
     };
     IntervalCursor ivCursor;
     obs::IntervalSeries intervals_;

@@ -36,6 +36,7 @@ OooCore::fetchStage()
 {
     if (halted || fetchSawHalt || cycle < fetchResumeAt)
         return;
+    fetchStallIcache = false; // any pending I$ stall has elapsed
 
     const int width = cfg.effFetchWidth();
     const std::size_t buf_cap = static_cast<std::size_t>(2 * width);
@@ -63,6 +64,7 @@ OooCore::fetchStage()
         if (ilat > cfg.icacheHitLat) {
             fetchResumeAt =
                 cycle + static_cast<std::uint64_t>(ilat - cfg.icacheHitLat);
+            fetchStallIcache = true;
             return;
         }
 
@@ -179,6 +181,7 @@ OooCore::captureOperand(RsEntry &e, int idx, int reg)
         o.state = OperandState::Predicted;
         o.deps.set(static_cast<std::size_t>(t));
         o.readyAt = cycle;
+        notePredConsumed(p);
     } else if (p.executed) {
         o.value = p.outValue;
         o.deps = p.outDeps;
@@ -284,8 +287,11 @@ OooCore::dispatchStage()
         // subscribe the entry to every prediction bit it picked up.
         subsIndex.noteEntry(e);
         predictValueAt(e);
-        if (e.predicted)
+        if (e.predicted) {
             ++specLive;
+            ++stats_.predMade;
+            ledgerPredictionMade(e);
+        }
 
         if (int dest = e.inst.destReg(); dest >= 0)
             regTag[static_cast<std::size_t>(dest)] = slot;

@@ -30,13 +30,22 @@ namespace vsim::core
 bool
 OooCore::loadOrderingSatisfied(const RsEntry &e) const
 {
+    return loadOrderingSatisfiedAt(e, e.memAddr);
+}
+
+bool
+OooCore::loadOrderingSatisfiedAt(const RsEntry &e,
+                                 std::uint64_t addr) const
+{
     // Loads execute only once every preceding store address is known
     // (§2.1); bytes covered by an older store additionally need the
     // store's data to be present. Under valid-ops memory resolution
     // the covering store's data must also be *valid*; with speculative
     // resolution (memNeedsValidOps=false) a predicted or speculative
     // value forwards as-is and the load carries the store's dependence
-    // bits in memDeps instead.
+    // bits in memDeps instead. The address is passed explicitly so the
+    // CPI classifier can evaluate the check without refreshing
+    // e.memAddr (the selection loop passes e.memAddr).
     for (int slot : lsq) {
         const RsEntry &s = window[static_cast<std::size_t>(slot)];
         if (s.seq >= e.seq)
@@ -46,12 +55,12 @@ OooCore::loadOrderingSatisfied(const RsEntry &e) const
         if (!s.addrReady || s.addrReadyAt > cycle)
             return false;
 
-        const std::uint64_t lo = std::max(s.memAddr, e.memAddr);
+        const std::uint64_t lo = std::max(s.memAddr, addr);
         const std::uint64_t hi =
             std::min(s.memAddr + static_cast<std::uint64_t>(
                                      s.inst.memSize()),
-                     e.memAddr + static_cast<std::uint64_t>(
-                                     e.inst.memSize()));
+                     addr + static_cast<std::uint64_t>(
+                                e.inst.memSize()));
         if (lo < hi) {
             const Operand &data = s.src[0];
             if (data.readyAt > cycle)

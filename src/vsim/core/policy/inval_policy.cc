@@ -131,8 +131,13 @@ InvalidatePolicy::apply(const WindowRef &w, RsEntry &p,
             // sweep, this reacts in one step under every scheme.
             affected = true;
         }
-        if (affected && (f.issued || f.executed))
+        if (affected && (f.issued || f.executed)) {
+            // Attribution before the kill: raised only for entries the
+            // sweep actually nullifies, so dense and sparse domains
+            // report identical touch counts.
+            hooks.attributeSweep(p, f, true);
             hooks.nullifyEntry(f);
+        }
     });
     return hier && any_left;
 }

@@ -48,6 +48,7 @@ VerifyPolicy::apply(const WindowRef &w, RsEntry &p, std::uint64_t cycle,
         RsEntry &f = w.at(slot);
         if (f.slot == p.slot)
             return;
+        bool touched = false; //!< any dependence bit actually cleansed
         for (Operand &o : f.src) {
             if (!o.used() || !o.deps.test(pbit))
                 continue;
@@ -66,6 +67,7 @@ VerifyPolicy::apply(const WindowRef &w, RsEntry &p, std::uint64_t cycle,
                 continue;
             }
             o.deps.reset(pbit);
+            touched = true;
             if (o.deps.none() && o.state != OperandState::Invalid
                 && o.state != OperandState::Valid) {
                 o.state = OperandState::Valid;
@@ -79,7 +81,10 @@ VerifyPolicy::apply(const WindowRef &w, RsEntry &p, std::uint64_t cycle,
         // scheme: the LSQ disambiguation port is a flattened structure
         // (it re-checked against the store's slot directly, not
         // through the tag-broadcast tree), so there is no wave to run.
-        f.memDeps.reset(pbit);
+        if (f.memDeps.test(pbit)) {
+            f.memDeps.reset(pbit);
+            touched = true;
+        }
         if (f.executed && f.outDeps.test(pbit)) {
             // The output cleanses one wave step after its inputs did
             // (flattened: immediately).
@@ -88,12 +93,18 @@ VerifyPolicy::apply(const WindowRef &w, RsEntry &p, std::uint64_t cycle,
                 || !in_had_bit.test(static_cast<std::size_t>(slot));
             if (inputs_were_clean) {
                 f.outDeps.reset(pbit);
+                touched = true;
                 if (f.outDeps.none())
                     hooks.outputBecameValid(f);
             } else {
                 any_left = true;
             }
         }
+        // Attribution: raised only for entries the sweep acted on, so
+        // dense scans (which also visit non-carriers) report the same
+        // touch counts as sparse subscriber-list sweeps.
+        if (touched)
+            hooks.attributeSweep(p, f, false);
     });
     return hier && any_left;
 }
@@ -110,9 +121,11 @@ VerifyPolicy::applyRetire(const WindowRef &w, RsEntry &p,
         RsEntry &f = w.at(slot);
         if (f.slot == p.slot)
             return;
+        bool touched = false;
         for (Operand &o : f.src) {
             if (!o.used() || !mask::testAndClear(o.deps, pbit))
                 continue;
+            touched = true;
             if (o.deps.none() && o.state != OperandState::Invalid
                 && o.state != OperandState::Valid) {
                 o.state = OperandState::Valid;
@@ -122,11 +135,15 @@ VerifyPolicy::applyRetire(const WindowRef &w, RsEntry &p,
                 hooks.wakeupChanged(f);
             }
         }
-        f.memDeps.reset(pbit);
+        if (mask::testAndClear(f.memDeps, pbit))
+            touched = true;
         if (f.executed && mask::testAndClear(f.outDeps, pbit)) {
+            touched = true;
             if (f.outDeps.none())
                 hooks.outputBecameValid(f);
         }
+        if (touched)
+            hooks.attributeSweep(p, f, false);
     });
 }
 

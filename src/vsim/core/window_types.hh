@@ -190,6 +190,23 @@ class SpecHooks
      * waiter lists on top of wakeupChanged).
      */
     virtual void operandInvalidated(RsEntry &e, int idx) = 0;
+
+    /**
+     * Cycle attribution: the sweep resolving prediction @p p acted on
+     * @p consumer — a verification sweep (@p invalidation false)
+     * cleansed at least one of its dependence bits, or an
+     * invalidation sweep (@p invalidation true) nullified it. Raised
+     * only for entries actually acted upon, never for entries a dense
+     * scan merely visited, so sparse and dense sweeps attribute
+     * identically. Default no-op keeps policy unit-test fakes simple.
+     */
+    virtual void attributeSweep(const RsEntry &p, const RsEntry &consumer,
+                                bool invalidation)
+    {
+        (void)p;
+        (void)consumer;
+        (void)invalidation;
+    }
 };
 
 } // namespace vsim::core

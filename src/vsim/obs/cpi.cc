@@ -1,0 +1,102 @@
+#include "cpi.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vsim::obs
+{
+
+namespace
+{
+
+struct CatInfo
+{
+    const char *name;
+    const char *desc;
+};
+
+constexpr CatInfo kCats[kCpiCatCount] = {
+    {"base", "useful work: retirement or plain execution latency"},
+    {"icache_stall", "frontend waiting on an instruction-cache miss"},
+    {"fetch_redirect", "frontend refill after a squash or at startup"},
+    {"window_full", "instruction window has no free slot"},
+    {"operand_wait", "window head waits for an operand in flight"},
+    {"verify", "verification gates (EV, VF, VB, VA)"},
+    {"inval_reissue", "invalidate propagation and reissue delay (EI, IR)"},
+    {"memory", "dcache misses, load ordering, dcache ports"},
+    {"branch_recovery", "empty window after a branch misprediction"},
+    {"vmisp_squash", "empty window after a value-misprediction squash"},
+};
+
+} // namespace
+
+const char *
+cpiCatName(CpiCat c)
+{
+    return kCats[static_cast<std::size_t>(c)].name;
+}
+
+const char *
+cpiCatDesc(CpiCat c)
+{
+    return kCats[static_cast<std::size_t>(c)].desc;
+}
+
+std::uint64_t
+CpiStack::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : cycles)
+        sum += v;
+    return sum;
+}
+
+std::string
+CpiStack::jsonFields() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < kCpiCatCount; ++i) {
+        if (i)
+            os << ", ";
+        os << "\"cpi_" << kCats[i].name << "\": " << cycles[i];
+    }
+    return os.str();
+}
+
+std::string
+CpiStack::renderText(std::uint64_t total_cycles,
+                     std::uint64_t instructions) const
+{
+    std::ostringstream os;
+    os << "CPI stack (every cycle charged to one category):\n";
+    for (std::size_t i = 0; i < kCpiCatCount; ++i) {
+        const double pct =
+            total_cycles == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(cycles[i])
+                      / static_cast<double>(total_cycles);
+        char line[128];
+        if (instructions > 0) {
+            const double cpi = static_cast<double>(cycles[i])
+                               / static_cast<double>(instructions);
+            std::snprintf(line, sizeof(line),
+                          "  %-16s %12llu  %6.2f%%  cpi %.4f\n",
+                          kCats[i].name,
+                          static_cast<unsigned long long>(cycles[i]),
+                          pct, cpi);
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "  %-16s %12llu  %6.2f%%\n", kCats[i].name,
+                          static_cast<unsigned long long>(cycles[i]),
+                          pct);
+        }
+        os << line;
+    }
+    char tot[128];
+    std::snprintf(tot, sizeof(tot), "  %-16s %12llu\n", "total",
+                  static_cast<unsigned long long>(total()));
+    os << tot;
+    return os.str();
+}
+
+} // namespace vsim::obs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * CPI-stack cycle accounting — the attribution pillar of the
+ * observability layer. Every simulated cycle is charged to exactly
+ * one category of a fixed taxonomy, so per-category sums always equal
+ * total cycles and two runs can be compared category by category
+ * ("the hierarchical scheme wins because it spends 40% fewer cycles
+ * in invalidate→reissue, not because its base CPI differs").
+ *
+ * The taxonomy mirrors the paper's §3 latency variables: the verify
+ * category absorbs EV/VF/VB/VA gates, invalidate→reissue absorbs
+ * EI/IR, branch recovery and value-misprediction squash separate the
+ * two redirect causes, and base compute is everything the machine
+ * would spend with perfect speculation.
+ *
+ * Like IntervalSample, a CpiStack holds raw integer cycle counts and
+ * never derived floats, so stacks are bit-identical across worker
+ * counts, sweep domains (dense/sparse) and trace replay.
+ */
+
+#ifndef VSIM_OBS_CPI_HH
+#define VSIM_OBS_CPI_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vsim::obs
+{
+
+/** Where a cycle went. Exactly one category is charged per cycle. */
+enum class CpiCat : int
+{
+    Base = 0,       //!< useful work: retirement or execution latency
+    IcacheStall,    //!< frontend waiting on an instruction-cache miss
+    FetchRedirect,  //!< frontend refill after a squash (startup ramp too)
+    WindowFull,     //!< instruction window / RS has no free slot
+    OperandWait,    //!< head waits for an operand value in flight
+    Verify,         //!< verification gates: EV, VF, VB, VA residue
+    Reissue,        //!< invalidate→reissue chains: EI propagation, IR
+    Memory,         //!< dcache misses, load ordering, dcache ports
+    BranchRecovery, //!< empty window after a branch misprediction
+    VmispSquash,    //!< empty window after a value-misprediction squash
+};
+
+inline constexpr std::size_t kCpiCatCount = 10;
+
+/** Short machine-readable name, e.g. "base", "vmisp_squash". */
+const char *cpiCatName(CpiCat c);
+
+/** One-line human description of the category. */
+const char *cpiCatDesc(CpiCat c);
+
+/**
+ * Integer cycle counts per category. Collected unconditionally on
+ * every run (like the core histograms), so a memoized RunResult is
+ * identical no matter which CLI flags asked for it.
+ */
+struct CpiStack
+{
+    std::array<std::uint64_t, kCpiCatCount> cycles{};
+
+    std::uint64_t &operator[](CpiCat c)
+    {
+        return cycles[static_cast<std::size_t>(c)];
+    }
+    std::uint64_t operator[](CpiCat c) const
+    {
+        return cycles[static_cast<std::size_t>(c)];
+    }
+
+    /** Sum over all categories; equals the run's total cycles. */
+    std::uint64_t total() const;
+
+    bool operator==(const CpiStack &) const = default;
+
+    /**
+     * Flat JSON fields "cpi_<name>": N, comma-separated, no braces —
+     * meant for embedding into a larger per-run object.
+     */
+    std::string jsonFields() const;
+
+    /**
+     * Human-readable table: one line per category with cycles,
+     * percentage of @p total_cycles and CPI contribution over
+     * @p instructions (0 instructions suppresses the CPI column).
+     */
+    std::string renderText(std::uint64_t total_cycles,
+                           std::uint64_t instructions) const;
+};
+
+} // namespace vsim::obs
+
+#endif // VSIM_OBS_CPI_HH

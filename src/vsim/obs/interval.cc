@@ -9,11 +9,17 @@ namespace vsim::obs
 std::string
 IntervalSeries::csvHeader(const std::string &prefix)
 {
-    return prefix
-           + "cycle_start,cycles,retired,ipc,issued,dispatched,"
-             "occupancy_avg,cond_branches,cond_mispredicts,"
-             "mispredict_rate,squashes,verify_events,"
-             "invalidate_events,nullifications\n";
+    std::string h = prefix
+                    + "cycle_start,cycles,retired,ipc,issued,dispatched,"
+                      "occupancy_avg,cond_branches,cond_mispredicts,"
+                      "mispredict_rate,squashes,verify_events,"
+                      "invalidate_events,nullifications";
+    for (std::size_t i = 0; i < kCpiCatCount; ++i) {
+        h += ",cpi_";
+        h += cpiCatName(static_cast<CpiCat>(i));
+    }
+    h += '\n';
+    return h;
 }
 
 void
@@ -27,7 +33,10 @@ IntervalSeries::appendCsv(std::ostream &os,
            << s.condBranches << ',' << s.condMispredicts << ','
            << s.mispredictRate() << ',' << s.squashes << ','
            << s.verifyEvents << ',' << s.invalidateEvents << ','
-           << s.nullifications << '\n';
+           << s.nullifications;
+        for (std::uint64_t v : s.cpi.cycles)
+            os << ',' << v;
+        os << '\n';
     }
 }
 
@@ -52,7 +61,8 @@ IntervalSeries::toJson() const
            << ", \"squashes\": " << s.squashes
            << ", \"verify_events\": " << s.verifyEvents
            << ", \"invalidate_events\": " << s.invalidateEvents
-           << ", \"nullifications\": " << s.nullifications << "}";
+           << ", \"nullifications\": " << s.nullifications << ", "
+           << s.cpi.jsonFields() << "}";
     }
     os << "]";
     return os.str();

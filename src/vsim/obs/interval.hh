@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "cpi.hh"
+
 namespace vsim::obs
 {
 
@@ -41,6 +43,9 @@ struct IntervalSample
     std::uint64_t verifyEvents = 0;
     std::uint64_t invalidateEvents = 0;
     std::uint64_t nullifications = 0;
+
+    /** Per-category CPI-stack cycle deltas within the interval. */
+    CpiStack cpi;
 
     double
     ipc() const

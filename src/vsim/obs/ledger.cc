@@ -1,0 +1,50 @@
+#include "ledger.hh"
+
+#include <sstream>
+
+namespace vsim::obs
+{
+
+const char *
+ledgerOutcomeName(LedgerOutcome o)
+{
+    switch (o) {
+      case LedgerOutcome::Unresolved: return "unresolved";
+      case LedgerOutcome::Verified: return "verified";
+      case LedgerOutcome::Invalidated: return "invalidated";
+      case LedgerOutcome::Squashed: return "squashed";
+    }
+    return "unknown";
+}
+
+std::string
+LedgerRecord::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"seq\": " << seq << ", \"pc\": " << pc
+       << ", \"made_at\": " << madeAt
+       << ", \"resolved_at\": " << resolvedAt
+       << ", \"consumers\": " << consumers
+       << ", \"reissues\": " << reissues << ", \"outcome\": \""
+       << ledgerOutcomeName(outcome) << "\", \"committed\": "
+       << (committed ? "true" : "false") << "}";
+    return os.str();
+}
+
+std::string
+SpecLedger::recordsJson(std::size_t limit) const
+{
+    const std::size_t n =
+        (limit != 0 && records.size() > limit) ? limit : records.size();
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i)
+            os << ",\n ";
+        os << records[i].toJson();
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace vsim::obs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Speculation ledger — per-prediction lifecycle records. Where the
+ * CPI stack answers "where did the cycles go", the ledger answers
+ * "what happened to each value prediction": made at dispatch,
+ * consumed by N dependents, then resolved into exactly one terminal
+ * state (verified, invalidated, or squashed before resolution), and
+ * finally either committed or architecturally dead.
+ *
+ * Detailed records are gated by CoreConfig::specLedger (part of the
+ * run's identity / jobKey) because they grow with the prediction
+ * count; the aggregate conservation counters in CoreStats are always
+ * collected.
+ */
+
+#ifndef VSIM_OBS_LEDGER_HH
+#define VSIM_OBS_LEDGER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vsim::obs
+{
+
+/** Terminal state of one value prediction. */
+enum class LedgerOutcome : std::uint8_t
+{
+    Unresolved = 0, //!< run ended before resolution (cycle limit)
+    Verified,       //!< equality check confirmed the prediction
+    Invalidated,    //!< equality check refuted it; consumers reissue
+    Squashed,       //!< squashed (wrong path) before resolution
+};
+
+const char *ledgerOutcomeName(LedgerOutcome o);
+
+/** Lifecycle of a single value prediction. */
+struct LedgerRecord
+{
+    std::uint64_t seq = 0;        //!< dynamic sequence number
+    std::uint64_t pc = 0;         //!< producer instruction address
+    std::uint64_t madeAt = 0;     //!< dispatch cycle of the prediction
+    std::uint64_t resolvedAt = 0; //!< cycle of the terminal event
+    std::uint32_t consumers = 0;  //!< operand captures of the prediction
+    std::uint32_t reissues = 0;   //!< consumers nullified on invalidation
+    LedgerOutcome outcome = LedgerOutcome::Unresolved;
+    bool committed = false; //!< producer retired (vs. architecturally dead)
+
+    bool operator==(const LedgerRecord &) const = default;
+
+    /** One flat JSON object. */
+    std::string toJson() const;
+};
+
+/** All ledger records of one run, in prediction order. */
+struct SpecLedger
+{
+    bool enabled = false; //!< were detailed records collected?
+    std::vector<LedgerRecord> records;
+
+    bool operator==(const SpecLedger &) const = default;
+
+    /**
+     * JSON array of records; at most @p limit entries are emitted
+     * (0 = no limit). The caller reports truncation separately via
+     * truncated().
+     */
+    std::string recordsJson(std::size_t limit) const;
+
+    bool
+    truncated(std::size_t limit) const
+    {
+        return limit != 0 && records.size() > limit;
+    }
+};
+
+} // namespace vsim::obs
+
+#endif // VSIM_OBS_LEDGER_HH

@@ -78,6 +78,35 @@ Histogram::mean() const
                              / static_cast<double>(count_);
 }
 
+std::uint64_t
+Histogram::percentile(unsigned p) const
+{
+    if (count_ == 0)
+        return 0;
+    // Nearest-rank: the smallest rank r with r >= p% of count.
+    std::uint64_t rank = (count_ * p + 99) / 100;
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank)
+            return bucketLo(i);
+    }
+    return width_ * buckets_.size(); // overflow bucket's lower bound
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << name_ << ": count=" << count_ << " mean=" << mean()
+       << " p50=" << percentile(50) << " p90=" << percentile(90)
+       << " p99=" << percentile(99) << " min=" << min()
+       << " max=" << max_ << " (" << unit_ << ")";
+    return os.str();
+}
+
 std::string
 Histogram::toJson() const
 {
@@ -96,6 +125,9 @@ Histogram::toJson() const
        << "\"min\": " << min() << ", "
        << "\"max\": " << max_ << ", "
        << "\"mean\": " << mean() << ", "
+       << "\"p50\": " << percentile(50) << ", "
+       << "\"p90\": " << percentile(90) << ", "
+       << "\"p99\": " << percentile(99) << ", "
        << "\"bucket_width\": " << width_ << ", "
        << "\"bucket_count\": " << buckets_.size() << ", "
        << "\"buckets\": [";

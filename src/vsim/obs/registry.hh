@@ -86,6 +86,18 @@ class Histogram
     /** Arithmetic mean of the samples; 0 when empty. */
     double mean() const;
 
+    /**
+     * Bucket-resolution nearest-rank percentile for @p p in [0,100]:
+     * the inclusive lower bound of the bucket holding the rank-th
+     * sample (the overflow bucket reports its lower bound,
+     * bucket_width * bucket_count). Integer arithmetic only, so the
+     * result is bit-identical on every host. 0 when empty.
+     */
+    std::uint64_t percentile(unsigned p) const;
+
+    /** One-line text summary: count, mean, p50/p90/p99, min..max. */
+    std::string summary() const;
+
     bool operator==(const Histogram &) const = default;
 
     /**

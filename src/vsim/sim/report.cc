@@ -70,7 +70,48 @@ statsFields(std::ostringstream &os, const RunResult &r)
     field(os, "reissues", s.reissues);
     field(os, "loads_forwarded", s.loadsForwarded);
     field(os, "icache_misses", s.icacheMisses);
-    field(os, "dcache_misses", s.dcacheMisses, false);
+    field(os, "dcache_misses", s.dcacheMisses);
+    os << s.cpi.jsonFields() << ", ";
+    field(os, "pred_made", s.predMade);
+    field(os, "pred_squashed", s.predSquashed);
+    field(os, "pred_consumed", s.predConsumed);
+    field(os, "verify_touches", s.verifyTouches);
+    field(os, "inval_touches", s.invalTouches, false);
+}
+
+/** The job-identity prefix of a sweep-cell object (no braces). */
+void
+cellHeadFields(std::ostringstream &os, const SweepJob &job,
+               const RunResult &r)
+{
+    os << "\"label\": \"" << obs::jsonEscape(job.label) << "\", ";
+    os << "\"workload\": \"" << obs::jsonEscape(r.workload) << "\", ";
+    os << "\"scale\": " << job.scale << ", ";
+    os << "\"machine\": \"" << job.cfg.issueWidth << "/"
+       << job.cfg.windowSize << "\", ";
+    os << "\"config\": \"" << obs::jsonEscape(configLabel(job.cfg))
+       << "\", ";
+}
+
+/** The lifecycle-aggregate body of a ledger object (no braces). */
+void
+ledgerFields(std::ostringstream &os, const RunResult &r,
+             std::size_t limit)
+{
+    const core::CoreStats &s = r.stats;
+    field(os, "pred_made", s.predMade);
+    field(os, "verified", s.verifyEvents);
+    field(os, "invalidated", s.invalidateEvents);
+    field(os, "squashed", s.predSquashed);
+    field(os, "committed", s.vpSpeculated);
+    field(os, "consumed", s.predConsumed);
+    field(os, "reissues", s.reissues);
+    os << "\"records_enabled\": "
+       << (r.ledger.enabled ? "true" : "false") << ", ";
+    field(os, "records_total", r.ledger.records.size());
+    os << "\"truncated\": "
+       << (r.ledger.truncated(limit) ? "true" : "false") << ", ";
+    os << "\"records\": " << r.ledger.recordsJson(limit);
 }
 
 } // namespace
@@ -105,13 +146,7 @@ toJson(const SweepJob &job, const RunResult &r)
 {
     std::ostringstream os;
     os << "{";
-    os << "\"label\": \"" << obs::jsonEscape(job.label) << "\", ";
-    os << "\"workload\": \"" << obs::jsonEscape(r.workload) << "\", ";
-    os << "\"scale\": " << job.scale << ", ";
-    os << "\"machine\": \"" << job.cfg.issueWidth << "/"
-       << job.cfg.windowSize << "\", ";
-    os << "\"config\": \"" << obs::jsonEscape(configLabel(job.cfg))
-       << "\", ";
+    cellHeadFields(os, job, r);
     statsFields(os, r);
     os << "}";
     return os.str();
@@ -135,6 +170,46 @@ toJson(const std::vector<SweepJob> &jobs,
 }
 
 std::string
+toJson(const std::vector<SweepJob> &jobs,
+       const std::vector<RunResult> &results,
+       const std::vector<JobSpan> &spans)
+{
+    VSIM_ASSERT(jobs.size() == results.size(),
+                "jobs/results size mismatch");
+    VSIM_ASSERT(jobs.size() == spans.size(),
+                "jobs/spans size mismatch");
+    // Spans arrive in completion order; address them by job index.
+    std::vector<const JobSpan *> byIndex(jobs.size(), nullptr);
+    for (const JobSpan &sp : spans)
+        byIndex.at(sp.index) = &sp;
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i)
+            os << ",\n ";
+        os << "{";
+        cellHeadFields(os, jobs[i], results[i]);
+        statsFields(os, results[i]);
+        const JobSpan *sp = byIndex[i];
+        const std::uint64_t wall_ns =
+            sp ? sp->endNs - sp->startNs : 0;
+        const double wall_ms = static_cast<double>(wall_ns) / 1e6;
+        const double inst_per_s =
+            wall_ns == 0
+                ? 0.0
+                : static_cast<double>(results[i].instructions)
+                      / (static_cast<double>(wall_ns) / 1e9);
+        os << ", \"cache_hit\": "
+           << ((sp && sp->cacheHit) ? "true" : "false");
+        os << ", \"wall_ms\": " << wall_ms;
+        os << ", \"inst_per_s\": " << inst_per_s;
+        os << "}";
+    }
+    os << "]";
+    return os.str();
+}
+
+std::string
 toCsv(const std::vector<SweepJob> &jobs,
       const std::vector<RunResult> &results)
 {
@@ -143,7 +218,10 @@ toCsv(const std::vector<SweepJob> &jobs,
     std::ostringstream os;
     os << "label,workload,scale,machine,config,cycles,retired,ipc,"
           "exit_code,squashes,vp_eligible,vp_ch,vp_cl,vp_ih,vp_il,"
-          "verify_events,invalidate_events,nullifications,reissues\n";
+          "verify_events,invalidate_events,nullifications,reissues";
+    for (std::size_t c = 0; c < obs::kCpiCatCount; ++c)
+        os << ",cpi_" << obs::cpiCatName(static_cast<obs::CpiCat>(c));
+    os << '\n';
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const SweepJob &j = jobs[i];
         const RunResult &r = results[i];
@@ -157,8 +235,87 @@ toCsv(const std::vector<SweepJob> &jobs,
            << ',' << s.vpEligible << ',' << s.vpCH << ',' << s.vpCL
            << ',' << s.vpIH << ',' << s.vpIL << ',' << s.verifyEvents
            << ',' << s.invalidateEvents << ',' << s.nullifications
-           << ',' << s.reissues << '\n';
+           << ',' << s.reissues;
+        for (std::uint64_t v : s.cpi.cycles)
+            os << ',' << v;
+        os << '\n';
     }
+    return os.str();
+}
+
+std::string
+stacksText(const RunResult &r)
+{
+    std::ostringstream os;
+    os << r.workload << ": " << r.stats.cycles << " cycles, "
+       << r.instructions << " instructions\n";
+    os << r.stats.cpi.renderText(r.stats.cycles, r.instructions);
+    return os.str();
+}
+
+std::string
+stacksJson(const RunResult &r)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"workload\": \"" << obs::jsonEscape(r.workload) << "\", ";
+    field(os, "cycles", r.stats.cycles);
+    field(os, "retired", r.stats.retired);
+    os << r.stats.cpi.jsonFields();
+    os << "}";
+    return os.str();
+}
+
+std::string
+stacksJson(const std::vector<SweepJob> &jobs,
+           const std::vector<RunResult> &results)
+{
+    VSIM_ASSERT(jobs.size() == results.size(),
+                "jobs/results size mismatch");
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i)
+            os << ",\n ";
+        os << "{";
+        cellHeadFields(os, jobs[i], results[i]);
+        field(os, "cycles", results[i].stats.cycles);
+        field(os, "retired", results[i].stats.retired);
+        os << results[i].stats.cpi.jsonFields();
+        os << "}";
+    }
+    os << "]";
+    return os.str();
+}
+
+std::string
+ledgerJson(const RunResult &r, std::size_t limit)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"workload\": \"" << obs::jsonEscape(r.workload) << "\", ";
+    ledgerFields(os, r, limit);
+    os << "}";
+    return os.str();
+}
+
+std::string
+ledgerJson(const std::vector<SweepJob> &jobs,
+           const std::vector<RunResult> &results, std::size_t limit)
+{
+    VSIM_ASSERT(jobs.size() == results.size(),
+                "jobs/results size mismatch");
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i)
+            os << ",\n ";
+        os << "{";
+        cellHeadFields(os, jobs[i], results[i]);
+        ledgerFields(os, results[i], limit);
+        os << "}";
+    }
+    os << "]";
     return os.str();
 }
 
@@ -168,6 +325,23 @@ countersJson(const RunResult &r)
     obs::Registry reg;
     core::registerStats(reg, r.stats);
     return reg.toJson();
+}
+
+std::string
+countersText(const RunResult &r)
+{
+    obs::Registry reg;
+    core::registerStats(reg, r.stats);
+    std::ostringstream os;
+    for (const obs::Counter &c : reg.counters()) {
+        os << c.name() << ": " << c.value();
+        if (!c.unit().empty())
+            os << ' ' << c.unit();
+        os << '\n';
+    }
+    for (const obs::Histogram &h : reg.histograms())
+        os << h.summary() << '\n';
+    return os.str();
 }
 
 std::string

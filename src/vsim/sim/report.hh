@@ -33,9 +33,44 @@ std::string toJson(const SweepJob &job, const RunResult &r);
 std::string toJson(const std::vector<SweepJob> &jobs,
                    const std::vector<RunResult> &results);
 
+/**
+ * A whole sweep as JSON with per-cell execution timing appended:
+ * "wall_ms" (wall-clock of the cell, cache hits included) and
+ * "inst_per_s" (simulation rate). Timing fields are host-dependent by
+ * nature and must never enter digests or goldens.
+ */
+std::string toJson(const std::vector<SweepJob> &jobs,
+                   const std::vector<RunResult> &results,
+                   const std::vector<JobSpan> &spans);
+
 /** The same sweep as CSV with a header row. */
 std::string toCsv(const std::vector<SweepJob> &jobs,
                   const std::vector<RunResult> &results);
+
+// ---- CPI stack / speculation ledger exports ---------------------------
+
+/** One run's CPI stack as a human-readable table. */
+std::string stacksText(const RunResult &r);
+
+/** One run's CPI stack as a flat JSON object. */
+std::string stacksJson(const RunResult &r);
+
+/** Per-cell CPI stacks of a whole sweep as a JSON array. */
+std::string stacksJson(const std::vector<SweepJob> &jobs,
+                       const std::vector<RunResult> &results);
+
+/**
+ * One run's speculation ledger as JSON: aggregate lifecycle counters
+ * (always collected) plus the detailed per-prediction records when
+ * the run was configured with specLedger; at most @p limit records
+ * are emitted (0 = no limit), with a "truncated" flag.
+ */
+std::string ledgerJson(const RunResult &r, std::size_t limit);
+
+/** Speculation ledgers of a whole sweep as a JSON array. */
+std::string ledgerJson(const std::vector<SweepJob> &jobs,
+                       const std::vector<RunResult> &results,
+                       std::size_t limit);
 
 // ---- observability exports --------------------------------------------
 
@@ -45,6 +80,13 @@ std::string toCsv(const std::vector<SweepJob> &jobs,
  * value) plus the run's three latency/occupancy distributions.
  */
 std::string countersJson(const RunResult &r);
+
+/**
+ * The same registry as a human-readable listing: one "name: value
+ * unit" line per counter followed by one summary line per histogram
+ * (count, mean, p50/p90/p99, min..max).
+ */
+std::string countersText(const RunResult &r);
 
 /**
  * Interval time series of a whole sweep as CSV (one row per interval

@@ -106,6 +106,7 @@ runWorkload(const std::string &name, int scale,
     r.exitCode = out.exitCode;
     r.output = out.output;
     r.intervals = out.intervals;
+    r.ledger = out.ledger;
     return r;
 }
 

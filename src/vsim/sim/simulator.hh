@@ -17,6 +17,7 @@
 #include "vsim/core/core_stats.hh"
 #include "vsim/core/spec_model.hh"
 #include "vsim/obs/interval.hh"
+#include "vsim/obs/ledger.hh"
 
 namespace vsim::sim
 {
@@ -66,6 +67,8 @@ struct RunResult
     std::string output; //!< anything the program printed
     /** Interval time series (empty unless cfg.metricsInterval). */
     obs::IntervalSeries intervals;
+    /** Per-prediction lifecycle records (empty unless cfg.specLedger). */
+    obs::SpecLedger ledger;
 };
 
 /**

@@ -74,7 +74,7 @@ jobKey(const SweepJob &job)
     // sweepKind (like scheduler) stays out too: sparse and dense
     // sweeps produce bit-identical stats, so either may serve a
     // cached result for the other.
-    os << c.metricsInterval;
+    os << c.metricsInterval << ',' << c.specLedger;
     return os.str();
 }
 

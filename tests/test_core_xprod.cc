@@ -162,6 +162,14 @@ checkCombo(const std::string &label, const assembler::Program &prog,
     EXPECT_EQ(out.exitCode, ref.exitCode);
     EXPECT_EQ(out.output, ref.output);
 
+    // Cycle accounting: every cycle lands in exactly one CPI
+    // category, and every prediction reaches exactly one terminal
+    // state — on every combination of the cross-product.
+    EXPECT_EQ(out.stats.cpi.total(), out.stats.cycles);
+    EXPECT_EQ(out.stats.predMade, out.stats.verifyEvents
+                                      + out.stats.invalidateEvents
+                                      + out.stats.predSquashed);
+
     if (regoldMode()) {
         std::printf("%s :: %s\n", label.c_str(),
                     digest(out.stats, out.exitCode, out.output).c_str());

@@ -1,0 +1,581 @@
+/**
+ * @file
+ * Tests for the cycle-attribution layer: CPI-stack conservation (the
+ * per-category sums equal total cycles), bit-identity of the stacks
+ * across worker counts, sweep domains and trace replay, speculation-
+ * ledger lifecycle conservation, histogram percentiles, and the JSON
+ * shape of the new exports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "vsim/arch/exec.hh"
+#include "vsim/core/ooo_core.hh"
+#include "vsim/obs/cpi.hh"
+#include "vsim/obs/ledger.hh"
+#include "vsim/obs/registry.hh"
+#include "vsim/sim/report.hh"
+#include "vsim/sim/simulator.hh"
+#include "vsim/sim/sweep.hh"
+#include "vsim/trace/trace_io.hh"
+#include "vsim/workloads/workloads.hh"
+
+namespace
+{
+
+using namespace vsim;
+
+// ---- tiny JSON validator (same shape as test_obs's) -------------------
+
+class MiniJson
+{
+  public:
+    explicit MiniJson(const std::string &text) : s(text) {}
+
+    bool
+    parse()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+    int objects = 0;
+    std::vector<std::string> keys;
+
+    int
+    count(const std::string &key) const
+    {
+        int n = 0;
+        for (const auto &k : keys)
+            n += k == key;
+        return n;
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos >= s.size())
+            return false;
+        const char c = s[pos];
+        if (c == '[')
+            return array();
+        if (c == '{')
+            return object();
+        if (c == '"')
+            return string(nullptr);
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        return number();
+    }
+
+    bool
+    literal(const std::string &word)
+    {
+        if (s.compare(pos, word.size(), word) != 0)
+            return false;
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    array()
+    {
+        ++pos; // [
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos; // {
+        ++objects;
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(&key))
+                return false;
+            keys.push_back(key);
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string(std::string *out)
+    {
+        if (peek() != '"')
+            return false;
+        ++pos;
+        std::string v;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+            }
+            v += s[pos++];
+        }
+        if (pos >= s.size())
+            return false;
+        ++pos;
+        if (out)
+            *out = v;
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < s.size()
+               && (std::isdigit(static_cast<unsigned char>(s[pos]))
+                   || s[pos] == '.' || s[pos] == 'e' || s[pos] == '+'
+                   || s[pos] == '-'))
+            ++pos;
+        return pos > start;
+    }
+
+    char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size()
+               && std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    std::string s;
+    std::size_t pos = 0;
+};
+
+// ---- helpers ----------------------------------------------------------
+
+core::CoreConfig
+vpQueensConfig()
+{
+    return sim::vpConfig({8, 48}, core::SpecModel::greatModel(),
+                         core::ConfidenceKind::Real,
+                         core::UpdateTiming::Delayed);
+}
+
+core::SimOutcome
+runQueens(core::CoreConfig cfg)
+{
+    const assembler::Program prog =
+        workloads::buildProgram(workloads::byName("queens"), 1);
+    core::OooCore c(prog, cfg);
+    return c.run();
+}
+
+// ---- histogram percentiles --------------------------------------------
+
+TEST(HistogramPercentile, NearestRank)
+{
+    obs::Histogram h("lat", "latency", "cycles", 10, 10);
+    // 100 samples: 50 in bucket 0, 40 in bucket 2, 10 in bucket 9.
+    for (int i = 0; i < 50; ++i)
+        h.sample(5);
+    for (int i = 0; i < 40; ++i)
+        h.sample(25);
+    for (int i = 0; i < 10; ++i)
+        h.sample(95);
+    EXPECT_EQ(h.percentile(50), 0u);  // rank 50 falls in bucket 0
+    EXPECT_EQ(h.percentile(51), 20u); // rank 51 is in bucket 2
+    EXPECT_EQ(h.percentile(90), 20u);
+    EXPECT_EQ(h.percentile(91), 90u);
+    EXPECT_EQ(h.percentile(99), 90u);
+    EXPECT_EQ(h.percentile(100), 90u);
+    EXPECT_EQ(h.percentile(0), 0u); // clamped to rank 1
+}
+
+TEST(HistogramPercentile, EmptyAndOverflow)
+{
+    obs::Histogram h("lat", "latency", "cycles", 10, 4);
+    EXPECT_EQ(h.percentile(50), 0u);
+    for (int i = 0; i < 10; ++i)
+        h.sample(1000); // all overflow
+    // Overflow reports its inclusive lower bound.
+    EXPECT_EQ(h.percentile(50), 40u);
+    EXPECT_EQ(h.percentile(99), 40u);
+}
+
+TEST(HistogramPercentile, InJsonAndSummary)
+{
+    obs::Histogram h("lat", "latency", "cycles", 4, 8);
+    for (std::uint64_t v = 0; v < 20; ++v)
+        h.sample(v);
+    MiniJson parser(h.toJson());
+    ASSERT_TRUE(parser.parse());
+    EXPECT_EQ(parser.count("p50"), 1);
+    EXPECT_EQ(parser.count("p90"), 1);
+    EXPECT_EQ(parser.count("p99"), 1);
+    const std::string sum = h.summary();
+    EXPECT_NE(sum.find("p50="), std::string::npos);
+    EXPECT_NE(sum.find("p99="), std::string::npos);
+}
+
+// ---- CPI stack conservation -------------------------------------------
+
+TEST(CpiStack, SumsToTotalCyclesBase)
+{
+    const sim::RunResult r =
+        sim::runWorkload("queens", 1, sim::baseConfig({8, 48}));
+    EXPECT_EQ(r.stats.cpi.total(), r.stats.cycles);
+    // A base run never pays for speculation machinery.
+    EXPECT_EQ(r.stats.cpi[obs::CpiCat::Verify], 0u);
+    EXPECT_EQ(r.stats.cpi[obs::CpiCat::Reissue], 0u);
+    EXPECT_EQ(r.stats.cpi[obs::CpiCat::VmispSquash], 0u);
+    EXPECT_GT(r.stats.cpi[obs::CpiCat::Base], 0u);
+}
+
+TEST(CpiStack, SumsToTotalCyclesVp)
+{
+    const sim::RunResult r =
+        sim::runWorkload("queens", 1, vpQueensConfig());
+    EXPECT_EQ(r.stats.cpi.total(), r.stats.cycles);
+    EXPECT_GT(r.stats.cpi[obs::CpiCat::Base], 0u);
+}
+
+TEST(CpiStack, IdenticalAcrossWorkerCounts)
+{
+    std::vector<sim::SweepJob> jobs;
+    for (const char *wl : {"queens", "m88k", "compress"}) {
+        sim::SweepJob base;
+        base.label = std::string(wl) + " base";
+        base.workload = wl;
+        base.scale = 1;
+        base.cfg = sim::baseConfig({8, 48});
+        jobs.push_back(base);
+        sim::SweepJob vp = base;
+        vp.label = std::string(wl) + " vp";
+        vp.cfg = vpQueensConfig();
+        jobs.push_back(vp);
+    }
+    // Private caches so the second pass actually re-simulates.
+    sim::RunCache cache1, cache8;
+    sim::SweepRunner serial(1, &cache1);
+    sim::SweepRunner pool(8, &cache8);
+    const std::vector<sim::RunResult> a = serial.run(jobs);
+    const std::vector<sim::RunResult> b = pool.run(jobs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(jobs[i].label);
+        EXPECT_EQ(a[i].stats.cpi, b[i].stats.cpi);
+        EXPECT_EQ(a[i].stats.cycles, b[i].stats.cycles);
+        EXPECT_EQ(a[i].stats.predMade, b[i].stats.predMade);
+        EXPECT_EQ(a[i].stats.predConsumed, b[i].stats.predConsumed);
+        EXPECT_EQ(a[i].stats.verifyTouches, b[i].stats.verifyTouches);
+        EXPECT_EQ(a[i].stats.invalTouches, b[i].stats.invalTouches);
+    }
+}
+
+TEST(CpiStack, IdenticalAcrossSweepDomains)
+{
+    core::CoreConfig dense = vpQueensConfig();
+    dense.specLedger = true;
+    dense.sweepKind = core::SweepKind::Dense;
+    core::CoreConfig sparse = dense;
+    sparse.sweepKind = core::SweepKind::Sparse;
+    const core::SimOutcome a = runQueens(dense);
+    const core::SimOutcome b = runQueens(sparse);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.cpi, b.stats.cpi);
+    EXPECT_EQ(a.stats.verifyTouches, b.stats.verifyTouches);
+    EXPECT_EQ(a.stats.invalTouches, b.stats.invalTouches);
+    EXPECT_EQ(a.stats.predConsumed, b.stats.predConsumed);
+    // The whole per-prediction ledger must agree record for record.
+    EXPECT_EQ(a.ledger, b.ledger);
+}
+
+TEST(CpiStack, IdenticalAcrossTraceReplay)
+{
+    const std::string path =
+        testing::TempDir() + "vsim_cpi_replay.vst";
+    const assembler::Program prog =
+        workloads::buildProgram(workloads::byName("queens"), 1);
+    trace::recordTrace(prog, path);
+
+    core::CoreConfig cfg = vpQueensConfig();
+    cfg.specLedger = true;
+    const core::SimOutcome direct = runQueens(cfg);
+    const sim::RunResult replay =
+        sim::runWorkload(sim::traceWorkloadName(path), -1, cfg);
+    EXPECT_EQ(direct.stats.cycles, replay.stats.cycles);
+    EXPECT_EQ(direct.stats.cpi, replay.stats.cpi);
+    EXPECT_EQ(direct.ledger, replay.ledger);
+}
+
+// ---- speculation ledger -----------------------------------------------
+
+TEST(Ledger, LifecycleConservation)
+{
+    core::CoreConfig cfg = vpQueensConfig();
+    cfg.specLedger = true;
+    const core::SimOutcome out = runQueens(cfg);
+    ASSERT_TRUE(out.halted);
+    const core::CoreStats &s = out.stats;
+
+    // Aggregate conservation: every prediction reaches exactly one
+    // terminal state.
+    EXPECT_EQ(s.predMade,
+              s.verifyEvents + s.invalidateEvents + s.predSquashed);
+    EXPECT_GT(s.predMade, 0u);
+
+    // Detailed records mirror the aggregates one to one.
+    ASSERT_TRUE(out.ledger.enabled);
+    ASSERT_EQ(out.ledger.records.size(), s.predMade);
+    std::uint64_t verified = 0, invalidated = 0, squashed = 0;
+    std::uint64_t unresolved = 0, committed = 0, consumers = 0;
+    for (const obs::LedgerRecord &rec : out.ledger.records) {
+        switch (rec.outcome) {
+          case obs::LedgerOutcome::Verified:
+            ++verified;
+            break;
+          case obs::LedgerOutcome::Invalidated:
+            ++invalidated;
+            break;
+          case obs::LedgerOutcome::Squashed:
+            ++squashed;
+            break;
+          case obs::LedgerOutcome::Unresolved:
+            ++unresolved;
+            break;
+        }
+        if (rec.committed)
+            ++committed;
+        consumers += rec.consumers;
+        if (rec.outcome != obs::LedgerOutcome::Unresolved) {
+            EXPECT_GE(rec.resolvedAt, rec.madeAt);
+        }
+        // A squashed or still-unresolved prediction can never have
+        // retired.
+        if (rec.outcome == obs::LedgerOutcome::Squashed
+            || rec.outcome == obs::LedgerOutcome::Unresolved) {
+            EXPECT_FALSE(rec.committed);
+        }
+    }
+    EXPECT_EQ(unresolved, 0u) << "halted run left open predictions";
+    EXPECT_EQ(verified, s.verifyEvents);
+    EXPECT_EQ(invalidated, s.invalidateEvents);
+    EXPECT_EQ(squashed, s.predSquashed);
+    EXPECT_EQ(consumers, s.predConsumed);
+    EXPECT_EQ(committed, s.vpSpeculated);
+}
+
+TEST(Ledger, DisabledByDefaultButCountersLive)
+{
+    const core::SimOutcome out = runQueens(vpQueensConfig());
+    EXPECT_FALSE(out.ledger.enabled);
+    EXPECT_TRUE(out.ledger.records.empty());
+    // The aggregate lifecycle counters are collected regardless.
+    EXPECT_GT(out.stats.predMade, 0u);
+    EXPECT_EQ(out.stats.predMade, out.stats.verifyEvents
+                                      + out.stats.invalidateEvents
+                                      + out.stats.predSquashed);
+}
+
+TEST(Ledger, SpecLedgerIsPartOfTheJobKey)
+{
+    sim::SweepJob job;
+    job.label = "x";
+    job.workload = "queens";
+    job.scale = 1;
+    job.cfg = vpQueensConfig();
+    const std::string off = sim::jobKey(job);
+    job.cfg.specLedger = true;
+    const std::string on = sim::jobKey(job);
+    EXPECT_NE(off, on);
+}
+
+// ---- JSON exports ------------------------------------------------------
+
+TEST(CpiReport, StacksJsonShape)
+{
+    const sim::RunResult r =
+        sim::runWorkload("queens", 1, vpQueensConfig());
+    MiniJson parser(sim::stacksJson(r));
+    ASSERT_TRUE(parser.parse());
+    for (std::size_t c = 0; c < obs::kCpiCatCount; ++c) {
+        const std::string key =
+            std::string("cpi_")
+            + obs::cpiCatName(static_cast<obs::CpiCat>(c));
+        EXPECT_EQ(parser.count(key), 1) << key;
+    }
+    EXPECT_EQ(parser.count("cycles"), 1);
+
+    // Run JSON and counters JSON carry the same fields.
+    MiniJson run_parser(sim::toJson(r));
+    ASSERT_TRUE(run_parser.parse());
+    EXPECT_EQ(run_parser.count("cpi_base"), 1);
+    EXPECT_EQ(run_parser.count("pred_made"), 1);
+    MiniJson counters(sim::countersJson(r));
+    ASSERT_TRUE(counters.parse());
+
+    // The text table renders every category and the total line.
+    const std::string text = sim::stacksText(r);
+    for (std::size_t c = 0; c < obs::kCpiCatCount; ++c) {
+        EXPECT_NE(text.find(obs::cpiCatName(
+                      static_cast<obs::CpiCat>(c))),
+                  std::string::npos);
+    }
+    EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+TEST(CpiReport, LedgerJsonShapeAndTruncation)
+{
+    core::CoreConfig cfg = vpQueensConfig();
+    cfg.specLedger = true;
+    const sim::RunResult r = sim::runWorkload("queens", 1, cfg);
+    ASSERT_GT(r.ledger.records.size(), 2u);
+
+    MiniJson full(sim::ledgerJson(r, 0));
+    ASSERT_TRUE(full.parse());
+    EXPECT_EQ(full.count("pred_made"), 1);
+    EXPECT_EQ(full.count("truncated"), 1);
+    EXPECT_EQ(static_cast<std::size_t>(full.count("outcome")),
+              r.ledger.records.size());
+
+    MiniJson capped(sim::ledgerJson(r, 2));
+    ASSERT_TRUE(capped.parse());
+    EXPECT_EQ(capped.count("outcome"), 2);
+}
+
+TEST(CpiReport, SweepJsonCsvAndTimingShape)
+{
+    std::vector<sim::SweepJob> jobs;
+    sim::SweepJob job;
+    job.label = "vp,great \"D/R\""; // exercises CSV/JSON escaping
+    job.workload = "queens";
+    job.scale = 1;
+    job.cfg = vpQueensConfig();
+    jobs.push_back(job);
+
+    sim::RunCache cache;
+    sim::SweepRunner runner(2, &cache);
+    std::vector<sim::JobSpan> spans;
+    runner.setSpanSink(&spans);
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+
+    MiniJson stacks(sim::stacksJson(jobs, results));
+    ASSERT_TRUE(stacks.parse());
+    EXPECT_EQ(stacks.count("cpi_base"), 1);
+    EXPECT_EQ(stacks.count("label"), 1);
+
+    MiniJson ledger(sim::ledgerJson(jobs, results, 5));
+    ASSERT_TRUE(ledger.parse());
+    EXPECT_EQ(ledger.count("records"), 1);
+
+    MiniJson timed(sim::toJson(jobs, results, spans));
+    ASSERT_TRUE(timed.parse());
+    EXPECT_EQ(timed.count("wall_ms"), 1);
+    EXPECT_EQ(timed.count("inst_per_s"), 1);
+    EXPECT_EQ(timed.count("cache_hit"), 1);
+
+    // CSV: header gains one column per category, rows follow suit.
+    const std::string csv = sim::toCsv(jobs, results);
+    const std::string header = csv.substr(0, csv.find('\n'));
+    EXPECT_NE(header.find(",cpi_base"), std::string::npos);
+    EXPECT_NE(header.find(",cpi_vmisp_squash"), std::string::npos);
+    const std::size_t header_cols =
+        static_cast<std::size_t>(
+            std::count(header.begin(), header.end(), ',')) + 1;
+    // The quoted label field hides its embedded commas from a naive
+    // count; strip quoted sections before counting the data row.
+    std::string row = csv.substr(csv.find('\n') + 1);
+    row = row.substr(0, row.find('\n'));
+    std::string unquoted;
+    bool in_quotes = false;
+    for (char c : row) {
+        if (c == '"')
+            in_quotes = !in_quotes;
+        else if (!in_quotes)
+            unquoted += c;
+    }
+    const std::size_t row_cols =
+        static_cast<std::size_t>(
+            std::count(unquoted.begin(), unquoted.end(), ',')) + 1;
+    EXPECT_EQ(row_cols, header_cols);
+}
+
+TEST(CpiReport, IntervalSeriesCarriesStacks)
+{
+    core::CoreConfig cfg = vpQueensConfig();
+    cfg.metricsInterval = 500;
+    const sim::RunResult r = sim::runWorkload("queens", 1, cfg);
+    ASSERT_FALSE(r.intervals.empty());
+
+    // Per-interval stacks are themselves conservative: deltas sum to
+    // the interval's cycle count, and the series telescopes to the
+    // end-of-run stack.
+    obs::CpiStack acc;
+    for (const obs::IntervalSample &iv : r.intervals.samples) {
+        std::uint64_t sum = 0;
+        for (std::size_t c = 0; c < obs::kCpiCatCount; ++c) {
+            sum += iv.cpi.cycles[c];
+            acc.cycles[c] += iv.cpi.cycles[c];
+        }
+        EXPECT_EQ(sum, iv.cycles);
+    }
+    EXPECT_EQ(acc, r.stats.cpi);
+
+    const std::string header = obs::IntervalSeries::csvHeader("");
+    EXPECT_NE(header.find(",cpi_base"), std::string::npos);
+    MiniJson parser(r.intervals.toJson());
+    ASSERT_TRUE(parser.parse());
+    EXPECT_GE(parser.count("cpi_base"), 1);
+}
+
+} // namespace

@@ -27,6 +27,7 @@
 #include "vsim/assembler/assembler.hh"
 #include "vsim/base/logging.hh"
 #include "vsim/core/ooo_core.hh"
+#include "vsim/obs/cpi.hh"
 #include "vsim/obs/interval.hh"
 #include "vsim/obs/trace_export.hh"
 #include "vsim/sim/report.hh"
@@ -91,8 +92,17 @@ usage(const char *argv0)
         "  --metrics-interval N\n"
         "                    sample interval metrics every N cycles\n"
         "  --metrics PATH    write the interval time series as CSV\n"
-        "  --counters PATH   write the full counter/histogram registry\n"
-        "                    as JSON\n"
+        "  --counters [PATH] write the full counter/histogram registry\n"
+        "                    as JSON to PATH, or print a text listing\n"
+        "                    (with p50/p90/p99 per histogram) if no\n"
+        "                    PATH is given\n"
+        "  --stacks [PATH]   CPI stack (every cycle charged to one\n"
+        "                    category): JSON to PATH, or a text table\n"
+        "                    after the stats block if no PATH is given\n"
+        "  --ledger PATH     write the speculation ledger (lifecycle\n"
+        "                    of every value prediction) as JSON\n"
+        "  --ledger-limit N  emit at most N ledger records (default:\n"
+        "                    all; the JSON flags truncation)\n"
         "  --progress        print a completion line to stderr\n"
         "  --json [PATH]     emit the statistics as one JSON object\n"
         "                    (to PATH if given, else stdout)\n");
@@ -124,9 +134,14 @@ main(int argc, char **argv)
 
     std::string workload, asm_file, trace_file, json_path;
     std::string metrics_path, counters_path, trace_json_path;
+    std::string stacks_path, ledger_path;
     int scale = -1;
+    std::size_t ledger_limit = 0;
+    bool ledger_limit_set = false;
     bool pipeline = false;
     bool json = false;
+    bool counters = false;
+    bool stacks = false;
     bool progress = false;
     std::uint64_t pipeline_from = 0, pipeline_to = 200;
     core::CoreConfig cfg;
@@ -311,7 +326,22 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--metrics")) {
             metrics_path = need_value("--metrics");
         } else if (!std::strcmp(argv[i], "--counters")) {
-            counters_path = need_value("--counters");
+            counters = true;
+            // Optional output path operand.
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+                counters_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--stacks")) {
+            stacks = true;
+            // Optional output path operand.
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+                stacks_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--ledger")) {
+            ledger_path = need_value("--ledger");
+        } else if (!std::strcmp(argv[i], "--ledger-limit")) {
+            ledger_limit = static_cast<std::size_t>(
+                parsePositiveInt(argv[0], "--ledger-limit",
+                                 need_value("--ledger-limit")));
+            ledger_limit_set = true;
         } else if (!std::strcmp(argv[i], "--progress")) {
             progress = true;
         } else if (!std::strcmp(argv[i], "--json")) {
@@ -336,8 +366,15 @@ main(int argc, char **argv)
                      "--metrics needs --metrics-interval N\n");
         return 2;
     }
+    if (ledger_limit_set && ledger_path.empty()) {
+        std::fprintf(stderr, "--ledger-limit needs --ledger PATH\n");
+        return 2;
+    }
     const bool trace_json = !trace_json_path.empty();
     cfg.tracePipeline = pipeline || trace_json;
+    // Detailed per-prediction records are collected only on request —
+    // the flag is part of the run's cache identity.
+    cfg.specLedger = !ledger_path.empty();
 
     try {
         sim::RunResult r;
@@ -393,6 +430,7 @@ main(int argc, char **argv)
             r.exitCode = out.exitCode;
             r.output = out.output;
             r.intervals = out.intervals;
+            r.ledger = out.ledger;
             if (pipeline) {
                 pipeline_text =
                     core->tracer().render(pipeline_from, pipeline_to);
@@ -413,12 +451,27 @@ main(int argc, char **argv)
         }
         if (!counters_path.empty())
             sim::writeFile(counters_path, sim::countersJson(r) + "\n");
+        if (!stacks_path.empty())
+            sim::writeFile(stacks_path, sim::stacksJson(r) + "\n");
+        if (!ledger_path.empty()) {
+            sim::writeFile(ledger_path,
+                           sim::ledgerJson(r, ledger_limit) + "\n");
+        }
         if (trace_json) {
-            // Overlay the interval IPC as a Perfetto counter track.
+            // Overlay the interval IPC and the per-interval CPI stack
+            // as Perfetto counter tracks.
             for (const obs::IntervalSample &iv : r.intervals.samples) {
                 trace_writer.counter(
                     "ipc", iv.cycleStart, 1,
                     {{"ipc", obs::TraceWriter::num(iv.ipc())}});
+                obs::TraceWriter::Args cpi_args;
+                for (std::size_t c = 0; c < obs::kCpiCatCount; ++c) {
+                    cpi_args.emplace_back(
+                        obs::cpiCatName(static_cast<obs::CpiCat>(c)),
+                        obs::TraceWriter::num(iv.cpi.cycles[c]));
+                }
+                trace_writer.counter("cpi_stack", iv.cycleStart, 1,
+                                     std::move(cpi_args));
             }
             sim::writeFile(trace_json_path,
                            trace_writer.toJson() + "\n");
@@ -474,6 +527,10 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(s.nullifications),
                 static_cast<unsigned long long>(s.reissues));
         }
+        if (stacks && stacks_path.empty())
+            std::printf("\n%s", sim::stacksText(r).c_str());
+        if (counters && counters_path.empty())
+            std::printf("\n%s", sim::countersText(r).c_str());
         if (pipeline)
             std::printf("\n%s", pipeline_text.c_str());
         return 0;

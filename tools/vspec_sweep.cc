@@ -45,6 +45,14 @@ usage(const char *argv0)
                  "N cycles\n"
                  "  --metrics PATH        write the per-run interval "
                  "series as CSV\n"
+                 "  --stacks PATH         write every cell's CPI stack "
+                 "as JSON\n"
+                 "  --ledger PATH         write every cell's speculation "
+                 "ledger as JSON\n"
+                 "                        (per-prediction lifecycle "
+                 "records)\n"
+                 "  --ledger-limit N      emit at most N ledger records "
+                 "per cell\n"
                  "  --trace-json PATH     write the sweep execution "
                  "timeline as Chrome/Perfetto JSON\n"
                  "  --progress            print one stderr line per "
@@ -111,6 +119,9 @@ main(int argc, char **argv)
 
     std::string name, json_path, csv_path;
     std::string metrics_path, trace_json_path;
+    std::string stacks_path, ledger_path;
+    std::size_t ledger_limit = 0;
+    bool ledger_limit_set = false;
     std::uint64_t metrics_interval = 0;
     bool progress = false;
     sim::SweepOptions opt;
@@ -153,6 +164,15 @@ main(int argc, char **argv)
                                  need_value("--metrics-interval")));
         } else if (!std::strcmp(argv[i], "--metrics")) {
             metrics_path = need_value("--metrics");
+        } else if (!std::strcmp(argv[i], "--stacks")) {
+            stacks_path = need_value("--stacks");
+        } else if (!std::strcmp(argv[i], "--ledger")) {
+            ledger_path = need_value("--ledger");
+        } else if (!std::strcmp(argv[i], "--ledger-limit")) {
+            ledger_limit = static_cast<std::size_t>(
+                parsePositiveInt(argv[0], "--ledger-limit",
+                                 need_value("--ledger-limit")));
+            ledger_limit_set = true;
         } else if (!std::strcmp(argv[i], "--trace-json")) {
             trace_json_path = need_value("--trace-json");
         } else if (!std::strcmp(argv[i], "--progress")) {
@@ -247,12 +267,20 @@ main(int argc, char **argv)
                      "--metrics needs --metrics-interval N\n");
         return 2;
     }
+    if (ledger_limit_set && ledger_path.empty()) {
+        std::fprintf(stderr, "--ledger-limit needs --ledger PATH\n");
+        return 2;
+    }
 
     try {
         const sim::NamedSweep &spec = sim::sweepByName(name);
         std::vector<sim::SweepJob> sweep_jobs = spec.build(opt);
         for (sim::SweepJob &job : sweep_jobs) {
             job.cfg.metricsInterval = metrics_interval;
+            // Detailed per-prediction records are part of the jobKey:
+            // a ledger-bearing result must not be served from (or to)
+            // a run that did not collect records.
+            job.cfg.specLedger = !ledger_path.empty();
             // Machine-axis overrides change what the builder's label
             // describes, so they leave a visible mark on it.
             if (window_override) {
@@ -297,9 +325,10 @@ main(int argc, char **argv)
 
         sim::SweepRunner runner(jobs);
         runner.setProgress(progress);
+        // Spans are always collected: --json reports per-cell
+        // wall-clock and simulation rate alongside the stats.
         std::vector<sim::JobSpan> spans;
-        if (!trace_json_path.empty())
-            runner.setSpanSink(&spans);
+        runner.setSpanSink(&spans);
         const std::vector<sim::RunResult> results =
             runner.run(sweep_jobs);
 
@@ -323,7 +352,8 @@ main(int argc, char **argv)
         std::printf("%s", table.render().c_str());
 
         if (!json_path.empty()) {
-            sim::writeFile(json_path, sim::toJson(sweep_jobs, results));
+            sim::writeFile(json_path,
+                           sim::toJson(sweep_jobs, results, spans));
             std::printf("\nwrote %s\n", json_path.c_str());
         }
         if (!csv_path.empty()) {
@@ -334,6 +364,18 @@ main(int argc, char **argv)
             sim::writeFile(metrics_path,
                            sim::metricsToCsv(sweep_jobs, results));
             std::printf("\nwrote %s\n", metrics_path.c_str());
+        }
+        if (!stacks_path.empty()) {
+            sim::writeFile(stacks_path,
+                           sim::stacksJson(sweep_jobs, results) + "\n");
+            std::printf("\nwrote %s\n", stacks_path.c_str());
+        }
+        if (!ledger_path.empty()) {
+            sim::writeFile(
+                ledger_path,
+                sim::ledgerJson(sweep_jobs, results, ledger_limit)
+                    + "\n");
+            std::printf("\nwrote %s\n", ledger_path.c_str());
         }
         if (!trace_json_path.empty()) {
             sim::writeFile(trace_json_path,
