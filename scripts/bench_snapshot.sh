@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
 # Capture the simulator microbenchmark rates as a committed snapshot
-# (BENCH_PR7.json at the repo root): benchmark name (with its label,
+# (BENCH_PR8.json at the repo root): benchmark name (with its label,
 # when one distinguishes repetitions) -> inst/s, falling back to
 # simcycles/s for benchmarks that only report a cycle rate. When the
-# previous snapshot (BENCH_PR5.json, captured before the CPI-stack
-# attribution landed) is present, a "vs_pr5" section records the
-# attribution-off overhead per shared benchmark (new rate / old rate).
+# previous snapshot (BENCH_PR7.json, captured before the SoA window
+# split and the shard runner landed) is present, a "vs_pr7" section
+# records the per-benchmark ratio (new rate / old rate) — the SoA
+# gate is vs_pr7 >= 1.0 on the window-256 value-speculation rates.
+#
+# A "shard_scaling" section measures the sharded-run speedup on a
+# ~100M-instruction workload: the monolithic wall clock versus the
+# critical path of an 8-shard run (functional-warmup pass + slowest
+# shard). The shards are executed sequentially (--jobs 1) so each
+# per-shard wall time is an unpolluted single-worker measurement on
+# this single-CPU container; the reported speedup is the wall-clock
+# ratio an 8-worker machine (--jobs 8) achieves, since with 8 shards
+# on 8 workers the elapsed time is exactly warmup + max(shard wall).
 # Run from the repo root after a RelWithDebInfo build:
 #
 #   scripts/bench_snapshot.sh
@@ -13,7 +23,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake --build build -j --target perf_simulator >/dev/null
+cmake --build build -j --target perf_simulator vspec_run >/dev/null
 
 out=build/bench/bench_snapshot.json
 ./build/bench/perf_simulator \
@@ -21,8 +31,21 @@ out=build/bench/bench_snapshot.json
     --benchmark_out="$out" \
     --benchmark_out_format=json >/dev/null 2>&1
 
-python3 - "$out" BENCH_PR5.json <<'EOF' > BENCH_PR7.json
-import json, os, sys
+# ---- shard scaling (~100M instructions: queens scale 247) ------------
+scale=247
+mono_log=build/bench/shard_mono.txt
+shard_log=build/bench/shard_sharded.txt
+mono_t0=$(date +%s.%N)
+./build/tools/vspec_run --workload queens --scale "$scale" \
+    --model great > "$mono_log" 2>/dev/null
+mono_t1=$(date +%s.%N)
+./build/tools/vspec_run --workload queens --scale "$scale" \
+    --model great --shards 8 --warmup-insts 1000000 --jobs 1 \
+    > /dev/null 2> "$shard_log"
+
+python3 - "$out" BENCH_PR7.json "$mono_log" "$shard_log" \
+    "$mono_t0" "$mono_t1" <<'EOF' > BENCH_PR8.json
+import json, os, re, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
 rates = {}
@@ -37,13 +60,38 @@ snapshot = dict(sorted(rates.items()))
 if os.path.exists(sys.argv[2]):
     with open(sys.argv[2]) as f:
         prev = json.load(f)
-    snapshot["vs_pr5"] = {
+    snapshot["vs_pr7"] = {
         name: round(rates[name] / prev[name], 3)
         for name in sorted(rates)
         if name in prev and prev[name]
     }
+
+with open(sys.argv[3]) as f:
+    mono = f.read()
+insts = int(re.search(r"instructions\s*:\s*(\d+)", mono).group(1))
+mono_wall = float(sys.argv[6]) - float(sys.argv[5])
+with open(sys.argv[4]) as f:
+    sharded = f.read()
+warmup = re.search(r"shard warmup: .* in ([0-9.e+-]+)s", sharded)
+warmup_wall = float(warmup.group(1)) if warmup else 0.0
+shard_walls = [float(w) for w in
+               re.findall(r"shard \d+/\d+ .* wall=([0-9.e+-]+)s",
+                          sharded)]
+assert len(shard_walls) == 8, sharded
+critical = warmup_wall + max(shard_walls)
+snapshot["shard_scaling"] = {
+    "workload": "queens",
+    "instructions": insts,
+    "shards": 8,
+    "warmup_insts": 1000000,
+    "monolithic_wall_s": round(mono_wall, 2),
+    "warmup_pass_wall_s": round(warmup_wall, 2),
+    "max_shard_wall_s": round(max(shard_walls), 2),
+    "sum_shard_wall_s": round(sum(shard_walls), 2),
+    "speedup_at_jobs8": round(mono_wall / critical, 2),
+}
 print(json.dumps(snapshot, indent=2))
 EOF
 
-echo "wrote BENCH_PR7.json:"
-cat BENCH_PR7.json
+echo "wrote BENCH_PR8.json:"
+cat BENCH_PR8.json

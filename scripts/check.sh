@@ -22,7 +22,7 @@ echo "== tier-1: ctest =="
 echo "== tier-1: ThreadSanitizer (test_sweep, test_obs, test_cpi, test_sweepdiff) =="
 cmake -B build-tsan -S . -DVSIM_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target test_sweep test_obs test_cpi \
-    test_sweepdiff
+    test_sweepdiff test_shard
 ./build-tsan/tests/test_sweep
 ./build-tsan/tests/test_obs
 # CPI-stack / ledger identity across worker counts runs a real pool.
@@ -30,6 +30,11 @@ cmake --build build-tsan -j --target test_sweep test_obs test_cpi \
 # The randomized sparse-vs-dense sweep differential also runs here:
 # its programs are sized for sanitizer throughput.
 ./build-tsan/tests/test_sweepdiff
+# The shard runner's worker pool hands per-shard results back across
+# threads for the ordered merge; the inline-vs-pool identity test
+# drives it end to end.
+./build-tsan/tests/test_shard \
+    --gtest_filter='ShardMerge.ParallelWorkersMatchInline'
 
 echo "== tier-1: Address+UB Sanitizer (core, policy, scheduler) =="
 cmake -B build-asan -S . -DVSIM_SANITIZE=address,undefined >/dev/null
@@ -61,6 +66,14 @@ cmake --build build-asan -j --target \
 cmake --build build-asan -j --target test_trace
 ./build-asan/tests/test_trace --gtest_filter=\
 'TraceReject.*:TraceRoundTrip.Queens:TraceWorkload.*'
+# Snapshot serialization moves raw bytes through tagged sections, and
+# the full-warmup shard merge walks every seam-coalescing path
+# (interval halves, ledger carries) over slot-indexed state — both
+# sanitizer territory. The remaining shard tests rerun whole kernels
+# many times over; ctest covers them unsanitized.
+cmake --build build-asan -j --target test_shard
+./build-asan/tests/test_shard --gtest_filter=\
+'Snapshot.*:PlanShards.*:ShardMerge.FullWarmupIdenticalAcrossShardCounts:ShardMerge.ParallelWorkersMatchInline'
 
 echo "== tier-1: golden byte-identity (vspec_run / vspec_sweep) =="
 # Every user-facing table and run output must match the pre-refactor
@@ -146,6 +159,67 @@ echo "== tier-1: trace record/replay identity =="
     | sed "s|trace:$obs_dir/queens.vst|queens|" \
     | diff - "$obs_dir/direct_512.txt"
 echo "trace replay identical to direct simulation (window 48 and 512)"
+
+echo "== tier-1: sharded run identity (full warmup) =="
+# At full warmup (the default) the shard partition is exact: every
+# user-facing artifact of an 8-shard run must be byte-identical to the
+# 1-shard run — the report, the CPI stacks, the speculation ledger,
+# and the interval-metrics CSV. --jobs 2 keeps a real worker pool in
+# the loop on the 8-shard side.
+for shards in 1 8; do
+    ./build/tools/vspec_run --workload queens --scale 1 --model great \
+        --shards "$shards" --jobs 2 \
+        --stacks "$obs_dir/shard${shards}_stacks.json" \
+        --ledger "$obs_dir/shard${shards}_ledger.json" \
+        --ledger-limit 200 \
+        --metrics "$obs_dir/shard${shards}_metrics.csv" \
+        --metrics-interval 1000 \
+        > "$obs_dir/shard${shards}_report.txt" 2>/dev/null
+done
+for f in report.txt stacks.json ledger.json metrics.csv; do
+    diff "$obs_dir/shard1_$f" "$obs_dir/shard8_$f"
+done
+echo "1-shard and 8-shard outputs identical"
+
+echo "== tier-1: sharded finite-warmup speedup error (<= 1%) =="
+# With finite warmup the shards start from functional-warmup
+# snapshots and the partition is approximate. The paper-level
+# deliverable — harmonic-mean speedup of a value-predicting machine
+# over the base machine across kernels — must stay within 1% of the
+# monolithic value.
+for wl in queens compress m88k; do
+    ./build/tools/vspec_run --workload "$wl" --scale 1 --base \
+        > "$obs_dir/hm_${wl}_base_mono.txt"
+    ./build/tools/vspec_run --workload "$wl" --scale 1 --model great \
+        > "$obs_dir/hm_${wl}_great_mono.txt"
+    ./build/tools/vspec_run --workload "$wl" --scale 1 --base \
+        --shards 4 --warmup-insts 20000 \
+        > "$obs_dir/hm_${wl}_base_shard.txt" 2>/dev/null
+    ./build/tools/vspec_run --workload "$wl" --scale 1 --model great \
+        --shards 4 --warmup-insts 20000 \
+        > "$obs_dir/hm_${wl}_great_shard.txt" 2>/dev/null
+done
+python3 - "$obs_dir" <<'EOF'
+import re, statistics, sys
+
+def cycles(path):
+    with open(path) as f:
+        return int(re.search(r"cycles\s*:\s*(\d+)", f.read()).group(1))
+
+d = sys.argv[1]
+
+def hmean(kind):
+    return statistics.harmonic_mean(
+        [cycles(f"{d}/hm_{wl}_base_{kind}.txt")
+         / cycles(f"{d}/hm_{wl}_great_{kind}.txt")
+         for wl in ("queens", "compress", "m88k")])
+
+mono, shard = hmean("mono"), hmean("shard")
+err = abs(shard / mono - 1)
+print(f"hmean speedup: monolithic {mono:.4f}, sharded {shard:.4f} "
+      f"-> {err * 100:.3f}% error")
+sys.exit(0 if err <= 0.01 else 1)
+EOF
 
 echo "== tier-1: scheduler perf gate (window 256) =="
 # The ready-list scheduler must simulate >= 1.3x the cycles/second of

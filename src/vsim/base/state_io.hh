@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Byte-buffer serialization used by the checkpointable simulator
+ * state (SimSnapshot): a StateWriter appends fixed-width
+ * little-endian primitives to a growable buffer, a StateReader
+ * re-reads them with strict bounds checking. Every compound object
+ * (memory image, predictor tables, cache tag state) writes a small
+ * section tag first, so a reader that drifts out of sync fails loudly
+ * at the next section instead of silently mis-restoring state.
+ *
+ * The format is an in-process exchange format, not a stable on-disk
+ * one: producers and consumers are always the same build, so no
+ * versioning is needed beyond the section tags.
+ */
+
+#ifndef VSIM_BASE_STATE_IO_HH
+#define VSIM_BASE_STATE_IO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+
+namespace vsim
+{
+
+class StateWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    /** Four-character section tag guarding reader/writer sync. */
+    void
+    tag(const char (&t)[5])
+    {
+        buf.insert(buf.end(), t, t + 4);
+    }
+
+    void
+    bytes(const std::uint8_t *data, std::size_t len)
+    {
+        buf.insert(buf.end(), data, data + len);
+    }
+
+    const std::vector<std::uint8_t> &data() const { return buf; }
+    std::vector<std::uint8_t> take() { return std::move(buf); }
+
+  private:
+    std::vector<std::uint8_t> buf;
+};
+
+class StateReader
+{
+  public:
+    explicit StateReader(const std::vector<std::uint8_t> &data)
+        : buf(data.data()), size(data.size())
+    {
+    }
+
+    StateReader(const std::uint8_t *data, std::size_t len)
+        : buf(data), size(len)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return buf[pos++];
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(buf[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    bool boolean() { return u8() != 0; }
+
+    /** Consume and check a section tag written by StateWriter::tag. */
+    void
+    tag(const char (&t)[5])
+    {
+        need(4);
+        VSIM_ASSERT(std::memcmp(buf + pos, t, 4) == 0,
+                    "snapshot section tag mismatch: expected ", t);
+        pos += 4;
+    }
+
+    void
+    bytes(std::uint8_t *out, std::size_t len)
+    {
+        need(len);
+        std::memcpy(out, buf + pos, len);
+        pos += len;
+    }
+
+    bool done() const { return pos == size; }
+    std::size_t position() const { return pos; }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        VSIM_ASSERT(pos + n <= size,
+                    "snapshot buffer underrun at offset ", pos);
+    }
+
+    const std::uint8_t *buf;
+    std::size_t size;
+    std::size_t pos = 0;
+};
+
+} // namespace vsim
+
+#endif // VSIM_BASE_STATE_IO_HH

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "state_io.hh"
+
 namespace vsim
 {
 
@@ -67,6 +69,21 @@ class RatioStat
     {
         total_ = 0;
         hits_ = 0;
+    }
+
+    /** Checkpoint both counters (SimSnapshot round trips). */
+    void
+    save(StateWriter &w) const
+    {
+        w.u64(total_);
+        w.u64(hits_);
+    }
+
+    void
+    restore(StateReader &r)
+    {
+        total_ = r.u64();
+        hits_ = r.u64();
     }
 
   private:

@@ -5,6 +5,29 @@
 namespace vsim::bpred
 {
 
+namespace
+{
+
+void
+saveCounters(StateWriter &w, const std::vector<SatCounter> &table)
+{
+    w.u64(table.size());
+    for (const SatCounter &ctr : table)
+        w.u8(static_cast<std::uint8_t>(ctr.raw()));
+}
+
+void
+restoreCounters(StateReader &r, std::vector<SatCounter> &table)
+{
+    const std::uint64_t n = r.u64();
+    VSIM_ASSERT(n == table.size(),
+                "branch-predictor snapshot geometry mismatch");
+    for (SatCounter &ctr : table)
+        ctr.setRaw(r.u8());
+}
+
+} // namespace
+
 Gshare::Gshare(int history_bits, int table_bits)
     : historyBits(history_bits), tableBits(table_bits),
       table(1u << table_bits, SatCounter(2, 1))
@@ -39,6 +62,24 @@ Gshare::update(std::uint64_t pc, bool taken)
     history = (history << 1) | (taken ? 1 : 0);
 }
 
+void
+Gshare::save(StateWriter &w) const
+{
+    w.tag("BPGS");
+    w.u64(history);
+    saveCounters(w, table);
+    accuracy.save(w);
+}
+
+void
+Gshare::restore(StateReader &r)
+{
+    r.tag("BPGS");
+    history = r.u64();
+    restoreCounters(r, table);
+    accuracy.restore(r);
+}
+
 Bimodal::Bimodal(int table_bits)
     : tableBits(table_bits), table(1u << table_bits, SatCounter(2, 1))
 {}
@@ -59,6 +100,22 @@ Bimodal::update(std::uint64_t pc, bool taken)
         ctr.increment();
     else
         ctr.decrement();
+}
+
+void
+Bimodal::save(StateWriter &w) const
+{
+    w.tag("BPBM");
+    saveCounters(w, table);
+    accuracy.save(w);
+}
+
+void
+Bimodal::restore(StateReader &r)
+{
+    r.tag("BPBM");
+    restoreCounters(r, table);
+    accuracy.restore(r);
 }
 
 GAg::GAg(int history_bits)
@@ -85,6 +142,24 @@ GAg::update(std::uint64_t pc, bool taken)
     else
         ctr.decrement();
     history = (history << 1) | (taken ? 1 : 0);
+}
+
+void
+GAg::save(StateWriter &w) const
+{
+    w.tag("BPGA");
+    w.u64(history);
+    saveCounters(w, table);
+    accuracy.save(w);
+}
+
+void
+GAg::restore(StateReader &r)
+{
+    r.tag("BPGA");
+    history = r.u64();
+    restoreCounters(r, table);
+    accuracy.restore(r);
 }
 
 std::unique_ptr<BranchPredictor>

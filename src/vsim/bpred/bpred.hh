@@ -44,6 +44,15 @@ class BranchPredictor
 
     virtual std::string name() const = 0;
 
+    /**
+     * Checkpoint the predictor's training state (history registers,
+     * counter tables, accuracy counters) / rebuild it. The restoring
+     * predictor must be the same kind with the same geometry; the
+     * section tags in the stream catch mismatches.
+     */
+    virtual void save(StateWriter &w) const = 0;
+    virtual void restore(StateReader &r) = 0;
+
     const vsim::RatioStat &stats() const { return accuracy; }
 
     /** Record whether a completed prediction was correct. */
@@ -78,6 +87,13 @@ class SatCounter
     bool taken() const { return value > maxValue / 2; }
     int raw() const { return value; }
 
+    /** Restore a checkpointed raw count (clamped to the range). */
+    void
+    setRaw(int v)
+    {
+        value = v < 0 ? 0 : (v > maxValue ? maxValue : v);
+    }
+
   private:
     int value;
     int maxValue;
@@ -92,6 +108,8 @@ class Gshare : public BranchPredictor
     bool predict(std::uint64_t pc) override;
     void update(std::uint64_t pc, bool taken) override;
     std::string name() const override { return "gshare"; }
+    void save(StateWriter &w) const override;
+    void restore(StateReader &r) override;
 
   private:
     std::size_t index(std::uint64_t pc) const;
@@ -111,6 +129,8 @@ class Bimodal : public BranchPredictor
     bool predict(std::uint64_t pc) override;
     void update(std::uint64_t pc, bool taken) override;
     std::string name() const override { return "bimodal"; }
+    void save(StateWriter &w) const override;
+    void restore(StateReader &r) override;
 
   private:
     int tableBits;
@@ -126,6 +146,8 @@ class GAg : public BranchPredictor
     bool predict(std::uint64_t pc) override;
     void update(std::uint64_t pc, bool taken) override;
     std::string name() const override { return "gag"; }
+    void save(StateWriter &w) const override;
+    void restore(StateReader &r) override;
 
   private:
     int historyBits;

@@ -125,6 +125,39 @@ struct CoreConfig
      */
     bool specLedger = false;
 
+    // ---- sharded interval simulation (vsim/sim/shard.hh) -----------------
+    /**
+     * Cut the run into N equal instruction intervals simulated in
+     * parallel shards (0 = off; mutually exclusive with
+     * intervalInsts). Part of the run's identity (jobKey): with a
+     * finite warmupInsts the merged statistics approximate the
+     * monolithic run.
+     */
+    std::uint64_t shards = 0;
+    /**
+     * Cut the run into ceil(length / K) intervals of K instructions
+     * each (0 = off; mutually exclusive with shards). Part of the
+     * run's identity (jobKey).
+     */
+    std::uint64_t intervalInsts = 0;
+    /**
+     * Detailed-simulation warmup prefix per shard, in instructions:
+     * a shard starts simulating this many instructions before its
+     * counted interval (from a functional-warmup snapshot) and
+     * discards the prefix statistics. UINT64_MAX (the default) means
+     * full warmup — every shard replays from instruction 0, which is
+     * slower but makes the merged counters bit-identical to the
+     * monolithic run. Part of the run's identity (jobKey).
+     */
+    std::uint64_t warmupInsts = UINT64_MAX;
+    /**
+     * Worker threads for shard execution (<= 0 = one per hardware
+     * thread). An execution resource like SchedulerKind — never part
+     * of the run's identity (jobKey); sweeps keep the default 1
+     * because their cells are already parallel.
+     */
+    int shardJobs = 1;
+
     int effFetchWidth() const { return fetchWidth < 0 ? issueWidth : fetchWidth; }
     int effRetireWidth() const { return retireWidth < 0 ? issueWidth : retireWidth; }
     int

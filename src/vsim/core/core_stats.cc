@@ -4,6 +4,80 @@ namespace vsim::core
 {
 
 void
+CoreStats::subtractCounters(const CoreStats &baseline)
+{
+    cycles -= baseline.cycles;
+    retired -= baseline.retired;
+    fetched -= baseline.fetched;
+    dispatched -= baseline.dispatched;
+    issued -= baseline.issued;
+    retiredLoads -= baseline.retiredLoads;
+    retiredStores -= baseline.retiredStores;
+    retiredBranches -= baseline.retiredBranches;
+    condBranches -= baseline.condBranches;
+    condMispredicts -= baseline.condMispredicts;
+    squashes -= baseline.squashes;
+    vpEligible -= baseline.vpEligible;
+    vpCH -= baseline.vpCH;
+    vpCL -= baseline.vpCL;
+    vpIH -= baseline.vpIH;
+    vpIL -= baseline.vpIL;
+    vpSpeculated -= baseline.vpSpeculated;
+    verifyEvents -= baseline.verifyEvents;
+    invalidateEvents -= baseline.invalidateEvents;
+    nullifications -= baseline.nullifications;
+    reissues -= baseline.reissues;
+    loadsForwarded -= baseline.loadsForwarded;
+    icacheMisses -= baseline.icacheMisses;
+    dcacheMisses -= baseline.dcacheMisses;
+    predMade -= baseline.predMade;
+    predSquashed -= baseline.predSquashed;
+    predConsumed -= baseline.predConsumed;
+    verifyTouches -= baseline.verifyTouches;
+    invalTouches -= baseline.invalTouches;
+    for (std::size_t i = 0; i < obs::kCpiCatCount; ++i)
+        cpi.cycles[i] -= baseline.cpi.cycles[i];
+}
+
+void
+CoreStats::merge(const CoreStats &other)
+{
+    cycles += other.cycles;
+    retired += other.retired;
+    fetched += other.fetched;
+    dispatched += other.dispatched;
+    issued += other.issued;
+    retiredLoads += other.retiredLoads;
+    retiredStores += other.retiredStores;
+    retiredBranches += other.retiredBranches;
+    condBranches += other.condBranches;
+    condMispredicts += other.condMispredicts;
+    squashes += other.squashes;
+    vpEligible += other.vpEligible;
+    vpCH += other.vpCH;
+    vpCL += other.vpCL;
+    vpIH += other.vpIH;
+    vpIL += other.vpIL;
+    vpSpeculated += other.vpSpeculated;
+    verifyEvents += other.verifyEvents;
+    invalidateEvents += other.invalidateEvents;
+    nullifications += other.nullifications;
+    reissues += other.reissues;
+    loadsForwarded += other.loadsForwarded;
+    icacheMisses += other.icacheMisses;
+    dcacheMisses += other.dcacheMisses;
+    predMade += other.predMade;
+    predSquashed += other.predSquashed;
+    predConsumed += other.predConsumed;
+    verifyTouches += other.verifyTouches;
+    invalTouches += other.invalTouches;
+    cpi.merge(other.cpi);
+    verifyLatency.merge(other.verifyLatency);
+    invalToReissue.merge(other.invalToReissue);
+    specInFlight.merge(other.specInFlight);
+}
+
+void
 registerStats(obs::Registry &reg, const CoreStats &s)
 {
     auto set = [&reg](const char *name, const char *desc,

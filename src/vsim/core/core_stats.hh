@@ -101,6 +101,29 @@ struct CoreStats
         "every cycle (value prediction runs only)",
         "insts", 4, 32};
 
+    /** Memberwise equality (counters, CPI stack, histograms) — the
+     *  bit-identity predicate the shard-merge tests are built on. */
+    bool operator==(const CoreStats &) const = default;
+
+    /**
+     * Windowing helper for sharded runs: subtract @p baseline's
+     * scalar counters and CPI stack (the values captured when the
+     * shard's stats window opened) from this run-final copy, leaving
+     * only the window's contribution. The three histograms are NOT
+     * touched — their sample sites are gated on the window instead,
+     * because min/max cannot be recovered by subtraction.
+     */
+    void subtractCounters(const CoreStats &baseline);
+
+    /**
+     * Shard-merge helper: add @p other's scalar counters, CPI stack
+     * and histograms into this one. Associative and commutative, so a
+     * merge over per-shard windowed stats reconstructs the monolithic
+     * aggregates exactly when the shard windows partition the run
+     * (full warmup).
+     */
+    void merge(const CoreStats &other);
+
     double
     ipc() const
     {

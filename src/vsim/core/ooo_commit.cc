@@ -122,8 +122,9 @@ OooCore::applyCompletions()
                 || !e.issued || e.executed) {
                 continue; // stale (nullified or squashed meanwhile)
             }
+            RsCold &ec = cold(c.slot);
             e.executed = true;
-            e.execDoneAt = cycle;
+            ec.execDoneAt = cycle;
             e.outValue = c.value;
             e.outDeps.reset();
             for (const Operand &o : e.src) {
@@ -152,7 +153,7 @@ OooCore::applyCompletions()
                 noteOutputValid(e, false);
             broadcast(e);
 
-            if (e.inst.isBranch() && c.nextPc != e.predNextPc) {
+            if (e.inst.isBranch() && c.nextPc != ec.predNextPc) {
                 // Branch misprediction: squash younger work and
                 // redirect fetch to the computed target. Fetch is back
                 // on the correct path only if the computed target is
@@ -170,8 +171,8 @@ OooCore::applyCompletions()
                             on_path ? e.traceIndex + 1 : -1);
                 // Later re-executions (speculative resolution only)
                 // compare against the path actually being fetched.
-                e.predNextPc = c.nextPc;
-                e.mispredicted = true;
+                ec.predNextPc = c.nextPc;
+                ec.mispredicted = true;
             }
         }
         it = completions.erase(it);
@@ -247,6 +248,7 @@ OooCore::retireOne()
         return false;
     const int slot = windowOrder.front();
     RsEntry &e = entry(slot);
+    RsCold &ec = cold(slot);
 
     if (!e.executed || !e.outDeps.none())
         return false;
@@ -302,15 +304,15 @@ OooCore::retireOne()
 
     // ---- golden check against the functional pre-execution ----------
     VSIM_ASSERT(e.traceIndex >= 0,
-                "wrong-path instruction reached retirement, pc=", e.pc);
+                "wrong-path instruction reached retirement, pc=", ec.pc);
     VSIM_ASSERT(e.traceIndex == static_cast<std::int64_t>(retiredCount),
-                "retirement out of trace order at pc=", e.pc);
+                "retirement out of trace order at pc=", ec.pc);
     const arch::TraceEntry &te =
         trace.entries[static_cast<std::size_t>(e.traceIndex)];
-    VSIM_ASSERT(te.pc == e.pc, "retired pc mismatch");
+    VSIM_ASSERT(te.pc == ec.pc, "retired pc mismatch");
     if (int dest = e.inst.destReg(); dest >= 0) {
         VSIM_ASSERT(e.outValue == te.value,
-                    "value mismatch at retirement, pc=", e.pc,
+                    "value mismatch at retirement, pc=", ec.pc,
                     " ooo=", e.outValue, " func=", te.value);
         archRegs[static_cast<std::size_t>(dest)] = e.outValue;
         if (regTag[static_cast<std::size_t>(dest)] == slot)
@@ -344,7 +346,7 @@ OooCore::retireOne()
         ++stats_.retiredBranches;
         if (e.inst.isCondBranch()) {
             ++stats_.condBranches;
-            if (e.mispredicted)
+            if (ec.mispredicted)
                 ++stats_.condMispredicts;
         }
     }
@@ -353,7 +355,7 @@ OooCore::retireOne()
     if (e.vpEligible) {
         ++stats_.vpEligible;
         const bool correct = e.predValue == e.outValue;
-        auto &pp = perPcVp[e.pc];
+        auto &pp = perPcVp[ec.pc];
         ++pp.first;
         pp.second += correct;
         if (correct)
@@ -373,10 +375,10 @@ OooCore::retireOne()
             }
         }
         if (!predOverride && cfg.updateTiming == UpdateTiming::Delayed) {
-            vpred_->updateTable(e.pc, e.predToken, e.outValue);
-            vpred_->commitHistory(e.pc, e.outValue, correct);
+            vpred_->updateTable(ec.pc, ec.predToken, e.outValue);
+            vpred_->commitHistory(ec.pc, e.outValue, correct);
             if (cfg.confidence == ConfidenceKind::Real)
-                conf_->update(e.pc, correct);
+                conf_->update(ec.pc, correct);
         }
     }
 

@@ -24,9 +24,17 @@ OooCore::OooCore(const assembler::Program &prog, const CoreConfig &config)
 
 OooCore::OooCore(const assembler::Program &prog, arch::ExecTrace recorded,
                  const CoreConfig &config)
+    : OooCore(prog,
+              std::make_shared<const arch::ExecTrace>(std::move(recorded)),
+              config)
+{}
+
+OooCore::OooCore(const assembler::Program &prog,
+                 std::shared_ptr<const arch::ExecTrace> recorded,
+                 const CoreConfig &config)
     : cfg(config), model(config.model),
       policies(makePolicies(config.model)),
-      trace(std::move(recorded)),
+      traceOwned(std::move(recorded)), trace(*traceOwned),
       bpred_(bpred::makeBranchPredictor(config.branchPredictor)),
       vpred_(vpred::makeValuePredictor(config.valuePredictor)),
       conf_(std::make_unique<vpred::ResettingConfidence>(
@@ -49,6 +57,7 @@ OooCore::OooCore(const assembler::Program &prog, arch::ExecTrace recorded,
     fetchPc = init.pc;
 
     window.resize(static_cast<std::size_t>(cfg.windowSize));
+    windowCold.resize(static_cast<std::size_t>(cfg.windowSize));
     for (int i = cfg.windowSize - 1; i >= 0; --i)
         freeSlots.push_back(i);
     regTag.fill(-1);
@@ -84,6 +93,86 @@ OooCore::setPredictionOverride(PredictionOverride override_fn)
 }
 
 // =====================================================================
+// snapshot start / shard stats window
+// =====================================================================
+
+void
+OooCore::startFromSnapshot(const SimSnapshot &snap)
+{
+    VSIM_ASSERT(cycle == 0 && retiredCount == 0 && liveEntries == 0,
+                "startFromSnapshot on a running core");
+    VSIM_ASSERT(snap.instIndex < trace.entries.size(),
+                "snapshot index ", snap.instIndex,
+                " outside the trace");
+    VSIM_ASSERT(trace.entries[snap.instIndex].pc == snap.pc,
+                "snapshot PC does not match the trace at instruction ",
+                snap.instIndex);
+
+    archRegs = snap.regs;
+    memory = snap.memory;
+    startIndex = snap.instIndex;
+    retiredCount = snap.instIndex;
+    fetchTraceIdx = static_cast<std::int64_t>(snap.instIndex);
+    fetchPc = snap.pc;
+
+    StateReader r(snap.tables.data(), snap.tables.size());
+    bpred_->restore(r);
+    vpred_->restore(r);
+    conf_->restore(r);
+    l2.restore(r);
+    icacheH.l1().restore(r);
+    dcacheH.l1().restore(r);
+    VSIM_ASSERT(r.done(), "trailing bytes in snapshot tables");
+}
+
+void
+OooCore::setRunWindow(std::uint64_t stats_from_retired,
+                      std::uint64_t stop_after_retired)
+{
+    VSIM_ASSERT(cycle == 0, "setRunWindow on a running core");
+    VSIM_ASSERT(stats_from_retired >= retiredCount,
+                "stats window starts before the snapshot point");
+    VSIM_ASSERT(stop_after_retired > stats_from_retired
+                    && stop_after_retired <= trace.entries.size(),
+                "bad shard stop boundary");
+    statsFromRetired = stats_from_retired;
+    stopAfterRetired = stop_after_retired;
+    shardWindowed = true;
+    // When the window opens at the start (W covers nothing), the
+    // all-zero baseline is already correct.
+    statsOpen = retiredCount >= statsFromRetired;
+}
+
+void
+OooCore::openStatsWindow()
+{
+    statsOpen = true;
+    statsCut.cycleAt = cycle;
+    statsCut.base = stats_;
+    statsCut.base.cycles = cycle;
+    statsCut.base.icacheMisses = icacheH.l1().stats().misses();
+    statsCut.base.dcacheMisses = dcacheH.l1().stats().misses();
+    // Restart the interval sampler at the cut: shard samples cover
+    // only the counted window, with interval boundaries re-anchored
+    // at the cut cycle (DESIGN.md documents the seam).
+    if (cfg.metricsInterval != 0) {
+        intervals_.samples.clear();
+        ivCursor.cycleStart = cycle;
+        ivCursor.occupancySum = 0;
+        ivCursor.retired = stats_.retired;
+        ivCursor.issued = stats_.issued;
+        ivCursor.dispatched = stats_.dispatched;
+        ivCursor.condBranches = stats_.condBranches;
+        ivCursor.condMispredicts = stats_.condMispredicts;
+        ivCursor.squashes = stats_.squashes;
+        ivCursor.verifyEvents = stats_.verifyEvents;
+        ivCursor.invalidateEvents = stats_.invalidateEvents;
+        ivCursor.nullifications = stats_.nullifications;
+        ivCursor.cpi = stats_.cpi;
+    }
+}
+
+// =====================================================================
 // slot management
 // =====================================================================
 
@@ -96,6 +185,7 @@ OooCore::allocSlot()
     ++liveEntries;
     RsEntry &e = window[static_cast<std::size_t>(slot)];
     e = RsEntry{};
+    windowCold[static_cast<std::size_t>(slot)] = RsCold{};
     e.busy = true;
     // Waiters of the slot's previous tenant are all dead by now (a
     // retiring producer has broadcast; a squashed one took every
@@ -190,7 +280,7 @@ OooCore::nullify(RsEntry &e)
     }
     e.reissueAt = cycle + static_cast<std::uint64_t>(
                               model.invalidateToReissue);
-    e.nullifiedAt = cycle;
+    cold(e.slot).nullifiedAt = cycle;
     ++stats_.nullifications;
     if (tracingEnabled)
         tracer_.note(e.seq, cycle, "I");
@@ -201,8 +291,9 @@ void
 OooCore::noteOutputValid(RsEntry &e, bool via_event)
 {
     e.outValid = true;
-    e.outValidAt = cycle;
-    e.outValidViaEvent = via_event;
+    RsCold &ec = cold(e.slot);
+    ec.outValidAt = cycle;
+    ec.outValidViaEvent = via_event;
     e.verifiedAt = std::max(e.verifiedAt, cycle);
     if (e.predicted && !e.predResolved && !e.eqScheduled) {
         e.eqScheduled = true;
@@ -220,7 +311,8 @@ OooCore::resolvePrediction(RsEntry &p, bool verified)
     ++(verified ? stats_.verifyEvents : stats_.invalidateEvents);
     p.predResolved = true;
     p.verifiedAt = std::max(p.verifiedAt, cycle);
-    verifyLatencyHist->sample(cycle - p.dispatchAt);
+    if (statsOpen)
+        verifyLatencyHist->sample(cycle - p.dispatchAt);
     --specLive;
     ledgerResolved(p, verified ? obs::LedgerOutcome::Verified
                                : obs::LedgerOutcome::Invalidated);
@@ -252,7 +344,7 @@ OooCore::completeSquash(RsEntry &p)
     // p and refetch. p itself keeps its (correct) computed result.
     ++stats_.squashes;
     lastRedirect = RedirectCause::VMisp;
-    squashAfter(p.seq, p.pc + 4,
+    squashAfter(p.seq, cold(p.slot).pc + 4,
                 p.traceIndex >= 0 ? p.traceIndex + 1 : -1);
 }
 
@@ -319,7 +411,7 @@ OooCore::ledgerPredictionMade(const RsEntry &e)
         return;
     obs::LedgerRecord r;
     r.seq = e.seq;
-    r.pc = e.pc;
+    r.pc = cold(e.slot).pc;
     r.madeAt = cycle;
     ledgerIdx[static_cast<std::size_t>(e.slot)] =
         static_cast<std::int64_t>(ledger_.records.size());
@@ -386,6 +478,7 @@ OooCore::classifyCycle(std::uint64_t retired_delta) const
     // Commit-centric attribution: nothing retired this cycle, so
     // charge whatever holds the window head (the oldest instruction).
     const RsEntry &e = entry(windowOrder.front());
+    const RsCold &ec = cold(windowOrder.front());
 
     if (e.executed) {
         // An executed head failed one of retireOne()'s §3 release
@@ -403,7 +496,7 @@ OooCore::classifyCycle(std::uint64_t retired_delta) const
             // The release delay is verification cost only when the
             // head's validity actually came through the network;
             // otherwise it is the machine's plain commit latency.
-            if (e.predicted || e.outValidViaEvent)
+            if (e.predicted || ec.outValidViaEvent)
                 return CpiCat::Verify;
             for (const Operand &o : e.src) {
                 if (o.used() && o.validViaEvent)
@@ -434,7 +527,7 @@ OooCore::classifyCycle(std::uint64_t retired_delta) const
             // means it was nullified and waits on its producer's
             // re-broadcast: that is the reissue chain, not a plain
             // operand wait.
-            return e.execCount > 0 ? CpiCat::Reissue
+            return ec.execCount > 0 ? CpiCat::Reissue
                                    : CpiCat::OperandWait;
         }
         if (o.readyAt > cycle)
@@ -536,15 +629,21 @@ OooCore::sampleObservability()
 
     // Always-on distributions: collected on every run so a memoized
     // result is identical no matter which flags requested it.
-    if (cfg.useValuePrediction)
+    if (cfg.useValuePrediction && statsOpen)
         specInFlightHist->sample(static_cast<std::uint64_t>(specLive));
 
     if (cfg.metricsInterval == 0)
         return;
     ivCursor.occupancySum += static_cast<std::uint64_t>(liveEntries);
-    const std::uint64_t elapsed = cycle + 1 - ivCursor.cycleStart;
-    if (elapsed >= cfg.metricsInterval)
-        flushInterval(elapsed);
+    // Flush on absolute period boundaries (cycle + 1 = completed
+    // cycles). For a run counted from cycle 0 this is the same as
+    // flushing every `metricsInterval` elapsed cycles; for a shard
+    // whose window opened mid-run it keeps interval boundaries
+    // aligned with the monolithic run's, so a full-warmup merge can
+    // coalesce the two partial samples at each seam into exactly the
+    // monolithic sample (see sim/shard.cc).
+    if ((cycle + 1) % cfg.metricsInterval == 0)
+        flushInterval(cycle + 1 - ivCursor.cycleStart);
 }
 
 // =====================================================================
@@ -566,31 +665,90 @@ OooCore::tick()
     fetchStage();
     sampleObservability();
     ++cycle;
+    // Shard stats cut: the cycle at whose end the retired count
+    // crossed the boundary belongs to the *previous* shard; counting
+    // here starts with the next tick.
+    if (!statsOpen && retiredCount >= statsFromRetired)
+        openStatsWindow();
     return !halted;
 }
 
 SimOutcome
 OooCore::run()
 {
-    while (!halted && cycle < cfg.maxCycles)
+    while (!halted && cycle < cfg.maxCycles
+           && retiredCount < stopAfterRetired)
         tick();
 
     if (halted) {
-        VSIM_ASSERT(output == trace.output,
-                    "program output diverged from functional run");
+        // A core started mid-trace only produces the suffix of the
+        // program's output, so the full-output check needs a start
+        // at instruction 0.
+        if (startIndex == 0) {
+            VSIM_ASSERT(output == trace.output,
+                        "program output diverged from functional run");
+        }
         VSIM_ASSERT(retiredCount == trace.entries.size(),
                     "retired count != trace length");
     }
+    if (shardWindowed) {
+        VSIM_ASSERT(retiredCount >= stopAfterRetired || halted,
+                    "shard hit the cycle limit before its stop "
+                    "boundary");
+        VSIM_ASSERT(statsOpen,
+                    "shard stats window never opened");
+    }
+
+    // Close the trailing (short) interval so its events are not lost.
+    // Must happen before the shard-window subtraction below: interval
+    // deltas are computed against the absolute counter values the
+    // cursor captured.
+    if (cfg.metricsInterval != 0 && cycle > ivCursor.cycleStart)
+        flushInterval(cycle - ivCursor.cycleStart);
 
     stats_.cycles = cycle;
     stats_.icacheMisses = icacheH.l1().stats().misses();
     stats_.dcacheMisses = dcacheH.l1().stats().misses();
+    if (shardWindowed)
+        stats_.subtractCounters(statsCut.base);
     VSIM_ASSERT(stats_.cpi.total() == stats_.cycles,
                 "CPI stack does not sum to total cycles");
 
-    // Close the trailing (short) interval so its events are not lost.
-    if (cfg.metricsInterval != 0 && cycle > ivCursor.cycleStart)
-        flushInterval(cycle - ivCursor.cycleStart);
+    // A shard stopping at its boundary leaves correct-path entries in
+    // the window that the oracle trace proves will retire; mark their
+    // prediction records committed so the bit matches the monolithic
+    // run (wrong-path entries stay uncommitted there too).
+    if (shardWindowed && !halted && cfg.specLedger) {
+        for (const int slot : windowOrder) {
+            const RsEntry &e = entry(slot);
+            const std::int64_t li =
+                ledgerIdx[static_cast<std::size_t>(slot)];
+            if (e.busy && e.predicted && e.traceIndex >= 0 && li >= 0)
+                ledger_.records[static_cast<std::size_t>(li)]
+                    .committed = true;
+        }
+    }
+
+    // Shard ledger window: records of predictions made during the cut
+    // cycle or earlier belong to the previous shard. Pre-cut records
+    // that *resolved* inside this window are kept as carries: the
+    // previous shard saw those predictions as unresolved at its stop
+    // boundary, and the merge patches its seam records from them
+    // (exact at full warmup, where both shards replay the same
+    // machine).
+    if (shardWindowed && cfg.specLedger && statsCut.cycleAt > 0) {
+        auto &rec = ledger_.records;
+        rec.erase(
+            std::remove_if(
+                rec.begin(), rec.end(),
+                [this](const obs::LedgerRecord &r) {
+                    if (r.madeAt >= statsCut.cycleAt)
+                        return false;
+                    return r.outcome == obs::LedgerOutcome::Unresolved
+                           || r.resolvedAt < statsCut.cycleAt;
+                }),
+            rec.end());
+    }
 
     SimOutcome outcome;
     outcome.stats = stats_;

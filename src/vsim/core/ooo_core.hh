@@ -59,6 +59,7 @@
 #include "issue_scheduler.hh"
 #include "pipeline_trace.hh"
 #include "policy/policies.hh"
+#include "snapshot.hh"
 #include "spec_model.hh"
 #include "subscriber_index.hh"
 #include "window_types.hh"
@@ -115,6 +116,15 @@ class OooCore : private SpecHooks
      */
     OooCore(const assembler::Program &prog, arch::ExecTrace recorded,
             const CoreConfig &config);
+
+    /**
+     * Shared-trace replay constructor: like the replay constructor but
+     * borrowing @p recorded instead of owning a copy, so N shard cores
+     * replaying the same multi-gigabyte trace share one instance.
+     */
+    OooCore(const assembler::Program &prog,
+            std::shared_ptr<const arch::ExecTrace> recorded,
+            const CoreConfig &config);
     ~OooCore() override;
 
     OooCore(const OooCore &) = delete;
@@ -122,6 +132,33 @@ class OooCore : private SpecHooks
 
     /** Replace predictor output for matching PCs (Fig. 1 harness). */
     void setPredictionOverride(PredictionOverride override_fn);
+
+    /**
+     * Begin mid-trace from a functional-warmup snapshot: load the
+     * architected registers/memory/PC and restore the predictor,
+     * confidence and cache tables. Must be called on a fresh core,
+     * before the first tick and before setRunWindow(). The snapshot
+     * must have been produced for the same trace and machine
+     * geometry.
+     */
+    void startFromSnapshot(const SimSnapshot &snap);
+
+    /**
+     * Shard stats window: start counting statistics once
+     * @p stats_from_retired instructions have retired, and stop
+     * simulating once @p stop_after_retired have. The boundary cut
+     * happens at the end of the cycle in which the retired count
+     * crosses the threshold, so two shards meeting at the same
+     * boundary partition the cycle stream exactly (the crossing cycle
+     * belongs to the earlier shard). Call after startFromSnapshot()
+     * when both are used. Instruction counts are absolute trace
+     * indices.
+     */
+    void setRunWindow(std::uint64_t stats_from_retired,
+                      std::uint64_t stop_after_retired);
+
+    /** Cycle at which the shard stats window opened (0 = at start). */
+    std::uint64_t statsCutCycle() const { return statsCut.cycleAt; }
 
     /** Run to completion (HALT retires) or cfg.maxCycles. */
     SimOutcome run();
@@ -171,11 +208,20 @@ class OooCore : private SpecHooks
     {
         return window[static_cast<std::size_t>(slot)];
     }
+    RsCold &cold(int slot)
+    {
+        return windowCold[static_cast<std::size_t>(slot)];
+    }
+    const RsCold &
+    cold(int slot) const
+    {
+        return windowCold[static_cast<std::size_t>(slot)];
+    }
     WindowRef
     windowRef()
     {
         return {window, windowOrder,
-                sparseSweeps() ? &subsIndex : nullptr};
+                sparseSweeps() ? &subsIndex : nullptr, &windowCold};
     }
     bool sparseSweeps() const
     {
@@ -254,7 +300,14 @@ class OooCore : private SpecHooks
     CoreConfig cfg;
     SpecModel model;
     PolicySet policies;
-    arch::ExecTrace trace;
+    /**
+     * Oracle trace, shared so shard workers replaying the same trace
+     * do not copy it; `trace` is the single access path for the
+     * stages. traceOwned must be declared before trace (it
+     * initializes the reference).
+     */
+    std::shared_ptr<const arch::ExecTrace> traceOwned;
+    const arch::ExecTrace &trace;
     mem::MemImage memory; //!< committed memory state
     std::array<std::uint64_t, isa::kNumRegs> archRegs{};
     std::string output;
@@ -274,7 +327,14 @@ class OooCore : private SpecHooks
     bool halted = false;
     std::uint64_t exitCode = 0;
 
-    std::vector<RsEntry> window; //!< physical slots
+    std::vector<RsEntry> window; //!< physical slots (hot SoA half)
+    /**
+     * Cold SoA half of the window, parallel to `window` by slot: the
+     * once-per-instruction bookkeeping (pc, branch/value-prediction
+     * metadata, latency timestamps) the wakeup scans and policy sweeps
+     * never read. Reset together with the hot entry in allocSlot().
+     */
+    std::vector<RsCold> windowCold;
     std::vector<int> freeSlots;
     SlotRing windowOrder; //!< slots in program (seq) order
     int liveEntries = 0;
@@ -329,6 +389,34 @@ class OooCore : private SpecHooks
 
     std::uint64_t retiredCount = 0;
     int dcachePortsUsed = 0; //!< reset each cycle
+
+    // ---- shard run window (setRunWindow / startFromSnapshot) -------------
+    /** Trace index of the first instruction this core simulates. */
+    std::uint64_t startIndex = 0;
+    /** Counters start once this many instructions have retired. */
+    std::uint64_t statsFromRetired = 0;
+    /** Simulation stops once this many instructions have retired. */
+    std::uint64_t stopAfterRetired = UINT64_MAX;
+    /** setRunWindow() was called: trim the outcome to the window. */
+    bool shardWindowed = false;
+    /**
+     * True while histogram sampling is live. Scalar counters and the
+     * CPI stack are windowed by subtracting their values captured at
+     * the cut (exact for monotonically increasing integers); the
+     * histograms cannot be subtracted (min/max are not invertible), so
+     * their sample sites are gated on this flag instead. Always true
+     * in a non-windowed run.
+     */
+    bool statsOpen = true;
+    /** Counter values captured when the stats window opened. */
+    struct StatsCut
+    {
+        std::uint64_t cycleAt = 0;
+        CoreStats base; //!< scalar counters + CPI stack at the cut
+    };
+    StatsCut statsCut;
+    /** Open the stats window at the current cycle boundary. */
+    void openStatsWindow();
 
     /**
      * Once-per-dynamic-instance training guards: an instruction that

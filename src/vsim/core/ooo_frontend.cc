@@ -185,7 +185,7 @@ OooCore::captureOperand(RsEntry &e, int idx, int reg)
     } else if (p.executed) {
         o.value = p.outValue;
         o.deps = p.outDeps;
-        o.readyAt = std::max(cycle, p.execDoneAt);
+        o.readyAt = std::max(cycle, cold(t).execDoneAt);
         if (o.deps.none()) {
             o.state = OperandState::Valid;
             o.validAt = cycle;
@@ -205,6 +205,7 @@ OooCore::predictValueAt(RsEntry &e)
     if (!cfg.useValuePrediction || !vpEligibleInst(e.inst))
         return;
     e.vpEligible = true;
+    RsCold &c = cold(e.slot);
 
     const bool have_actual = e.traceIndex >= 0;
     const std::uint64_t actual =
@@ -213,7 +214,7 @@ OooCore::predictValueAt(RsEntry &e)
             : 0;
 
     if (predOverride) {
-        if (auto forced = predOverride(e.pc, actual)) {
+        if (auto forced = predOverride(c.pc, actual)) {
             e.predValue = *forced;
             e.predConfident = true;
             e.predicted = true;
@@ -223,13 +224,13 @@ OooCore::predictValueAt(RsEntry &e)
         return;
     }
 
-    const vpred::Prediction p = vpred_->predict(e.pc);
+    const vpred::Prediction p = vpred_->predict(c.pc);
     e.predValue = p.value;
-    e.predToken = p.token;
+    c.predToken = p.token;
 
     switch (cfg.confidence) {
       case ConfidenceKind::Real:
-        e.predConfident = conf_->confident(e.pc);
+        e.predConfident = conf_->confident(c.pc);
         break;
       case ConfidenceKind::Oracle:
         e.predConfident = have_actual && p.value == actual;
@@ -247,15 +248,15 @@ OooCore::predictValueAt(RsEntry &e)
         if (have_actual
             && !vpTrained[static_cast<std::size_t>(e.traceIndex)]) {
             vpTrained[static_cast<std::size_t>(e.traceIndex)] = true;
-            vpred_->pushHistory(e.pc, actual);
-            vpred_->updateTable(e.pc, p.token, actual);
+            vpred_->pushHistory(c.pc, actual);
+            vpred_->updateTable(c.pc, p.token, actual);
             if (cfg.confidence == ConfidenceKind::Real)
-                conf_->update(e.pc, p.value == actual);
+                conf_->update(c.pc, p.value == actual);
         }
     } else {
         // Delayed update: history speculatively advanced with the
         // prediction now; tables trained at retirement (§5.2).
-        vpred_->pushHistory(e.pc, p.value);
+        vpred_->pushHistory(c.pc, p.value);
     }
 }
 
@@ -272,14 +273,15 @@ OooCore::dispatchStage()
 
         const int slot = allocSlot();
         RsEntry &e = entry(slot);
+        RsCold &c = cold(slot);
         e.slot = slot;
         e.seq = nextSeq++;
-        e.pc = f.pc;
+        c.pc = f.pc;
         e.inst = f.inst;
         e.traceIndex = f.traceIndex;
         e.dispatchAt = cycle;
-        e.predTaken = f.predTaken;
-        e.predNextPc = f.predNextPc;
+        c.predTaken = f.predTaken;
+        c.predNextPc = f.predNextPc;
 
         captureOperand(e, 0, e.inst.srcReg1());
         captureOperand(e, 1, e.inst.srcReg2());

@@ -269,8 +269,9 @@ OooCore::issueEntry(RsEntry &e)
             rc_val = e.src[1].value;
     }
 
+    RsCold &ec = cold(e.slot);
     const arch::ExecOut out =
-        arch::evaluate(e.inst, e.pc, ra_val, rb_val, rc_val);
+        arch::evaluate(e.inst, ec.pc, ra_val, rb_val, rc_val);
 
     int lat = cfg.aluLat;
     Completion c;
@@ -322,10 +323,11 @@ OooCore::issueEntry(RsEntry &e)
 
     e.issued = true;
     ++e.nonce;
-    ++e.execCount;
-    if (e.execCount > 1) {
+    ++ec.execCount;
+    if (ec.execCount > 1) {
         ++stats_.reissues;
-        invalToReissueHist->sample(cycle - e.nullifiedAt);
+        if (statsOpen)
+            invalToReissueHist->sample(cycle - ec.nullifiedAt);
     }
     c.nonce = e.nonce;
     completions[cycle + static_cast<std::uint64_t>(lat)].push_back(c);

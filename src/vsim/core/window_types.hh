@@ -61,13 +61,44 @@ struct Operand
     bool used() const { return state != OperandState::Unused; }
 };
 
+/**
+ * Cold tail of a reservation-station entry, split out of RsEntry into
+ * a parallel (structure-of-arrays) vector indexed by the same physical
+ * slot. Everything here is touched a bounded number of times per
+ * dynamic instruction — at dispatch, completion, squash or retirement
+ * — never by the per-cycle wakeup scans or the verification/
+ * invalidation sweeps, so evicting it shrinks the hot entry the
+ * schedulers and policies stream over. The policy objects provably
+ * read none of these fields; they reach the cold array only through
+ * WindowRef::cold if a future scheme needs it.
+ */
+struct RsCold
+{
+    std::uint64_t pc = 0;
+
+    // value prediction bookkeeping
+    std::uint64_t predToken = 0;
+    bool predWasCorrect = false; //!< filled at retire
+
+    // control
+    bool predTaken = false;
+    std::uint64_t predNextPc = 0;
+    bool mispredicted = false; //!< caused a squash at resolution
+
+    // execution/latency bookkeeping
+    std::uint64_t execDoneAt = 0;
+    std::uint64_t nullifiedAt = 0; //!< cycle of the last nullification
+    int execCount = 0;
+    std::uint64_t outValidAt = 0;
+    bool outValidViaEvent = false;
+};
+
 struct RsEntry
 {
     bool busy = false;
     int slot = -1; //!< own physical index (= prediction bit)
     std::uint64_t seq = 0;
     std::uint64_t nonce = 0; //!< bumps on (re)issue/nullify
-    std::uint64_t pc = 0;
     isa::Inst inst;
     std::int64_t traceIndex = -1; //!< -1 on the wrong path
 
@@ -76,16 +107,11 @@ struct RsEntry
     bool issued = false;
     bool executed = false;
     std::uint64_t dispatchAt = 0;
-    std::uint64_t execDoneAt = 0;
     std::uint64_t reissueAt = 0; //!< earliest re-select after nullify
-    std::uint64_t nullifiedAt = 0; //!< cycle of the last nullification
-    int execCount = 0;
 
     std::uint64_t outValue = 0;
     SpecMask outDeps;
     bool outValid = false;
-    std::uint64_t outValidAt = 0;
-    bool outValidViaEvent = false;
 
     // value prediction bookkeeping
     bool vpEligible = false;
@@ -93,14 +119,7 @@ struct RsEntry
     bool predResolved = false;
     bool eqScheduled = false;
     std::uint64_t predValue = 0;
-    std::uint64_t predToken = 0;
     bool predConfident = false;
-    bool predWasCorrect = false; //!< filled at retire
-
-    // control
-    bool predTaken = false;
-    std::uint64_t predNextPc = 0;
-    bool mispredicted = false; //!< caused a squash at resolution
 
     // memory
     bool addrReady = false;
@@ -142,17 +161,25 @@ class SubscriberIndex;
  * allocate or free entries; they only rewrite operand/output state.
  * A non-null subscriber index narrows the sweeps to the resolving
  * bit's subscribers (SweepKind::Sparse); null keeps the legacy dense
- * scan over the full order.
+ * scan over the full order. The cold array (the SoA tail split out of
+ * RsEntry) rides along for completeness; the shipped policies never
+ * touch it, so fakes may leave it null.
  */
 struct WindowRef
 {
     std::vector<RsEntry> &window;
     const SlotRing &order;
     SubscriberIndex *subs = nullptr;
+    std::vector<RsCold> *cold = nullptr;
 
     RsEntry &at(int slot) const
     {
         return window[static_cast<std::size_t>(slot)];
+    }
+
+    RsCold &coldAt(int slot) const
+    {
+        return (*cold)[static_cast<std::size_t>(slot)];
     }
 };
 

@@ -100,6 +100,40 @@ Cache::probe(std::uint64_t addr) const
 }
 
 void
+Cache::save(StateWriter &w) const
+{
+    w.tag("CACH");
+    w.u64(lines.size());
+    for (const Line &line : lines) {
+        w.boolean(line.valid);
+        w.boolean(line.dirty);
+        w.u64(line.tag);
+        w.u64(line.lastUse);
+    }
+    w.u64(useCounter);
+    accesses.save(w);
+    w.u64(writebackCount);
+}
+
+void
+Cache::restore(StateReader &r)
+{
+    r.tag("CACH");
+    const std::uint64_t n = r.u64();
+    VSIM_ASSERT(n == lines.size(),
+                cfg.name, ": snapshot geometry mismatch");
+    for (Line &line : lines) {
+        line.valid = r.boolean();
+        line.dirty = r.boolean();
+        line.tag = r.u64();
+        line.lastUse = r.u64();
+    }
+    useCounter = r.u64();
+    accesses.restore(r);
+    writebackCount = r.u64();
+}
+
+void
 Cache::flush()
 {
     for (auto &line : lines) {

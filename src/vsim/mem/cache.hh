@@ -72,6 +72,16 @@ class Cache
     const vsim::RatioStat &stats() const { return accesses; }
     std::uint64_t writebacks() const { return writebackCount; }
 
+    /**
+     * Checkpoint the full replacement state (valid/dirty/tag/LRU per
+     * line, the LRU clock) plus the access/writeback counters, so a
+     * restored cache continues bit-identically — same victims, same
+     * hit/miss stream. The restoring cache must have been built with
+     * the same geometry.
+     */
+    void save(StateWriter &w) const;
+    void restore(StateReader &r);
+
   private:
     struct Line
     {

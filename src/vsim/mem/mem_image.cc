@@ -1,5 +1,8 @@
 #include "mem_image.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "vsim/base/logging.hh"
 
 namespace vsim::mem
@@ -78,6 +81,36 @@ MemImage::writeBlock(std::uint64_t addr, const std::uint8_t *data,
 {
     for (std::size_t i = 0; i < len; ++i)
         writeByte(addr + i, data[i]);
+}
+
+void
+MemImage::save(StateWriter &w) const
+{
+    w.tag("MEMI");
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages.size());
+    for (const auto &[key, page] : pages)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (std::uint64_t key : keys) {
+        w.u64(key);
+        w.bytes(pages.at(key)->data(), kPageSize);
+    }
+}
+
+void
+MemImage::restore(StateReader &r)
+{
+    r.tag("MEMI");
+    pages.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t key = r.u64();
+        auto page = std::make_unique<Page>();
+        r.bytes(page->data(), kPageSize);
+        pages.emplace(key, std::move(page));
+    }
 }
 
 } // namespace vsim::mem

@@ -17,6 +17,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "vsim/base/state_io.hh"
+
 namespace vsim::mem
 {
 
@@ -49,6 +51,14 @@ class MemImage
 
     /** Number of mapped pages (for tests/stats). */
     std::size_t mappedPages() const { return pages.size(); }
+
+    /**
+     * Serialize the full image (page numbers sorted, so the byte
+     * stream is deterministic regardless of hash-map iteration
+     * order) / rebuild it from a stream. Part of SimSnapshot.
+     */
+    void save(StateWriter &w) const;
+    void restore(StateReader &r);
 
   private:
     using Page = std::array<std::uint8_t, kPageSize>;

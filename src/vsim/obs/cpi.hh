@@ -75,6 +75,14 @@ struct CpiStack
 
     bool operator==(const CpiStack &) const = default;
 
+    /** Element-wise addition; used by the shard merge. */
+    void
+    merge(const CpiStack &other)
+    {
+        for (std::size_t i = 0; i < kCpiCatCount; ++i)
+            cycles[i] += other.cycles[i];
+    }
+
     /**
      * Flat JSON fields "cpi_<name>": N, comma-separated, no braces —
      * meant for embedding into a larger per-run object.

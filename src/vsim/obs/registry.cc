@@ -1,5 +1,6 @@
 #include "registry.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "vsim/base/logging.hh"
@@ -68,6 +69,23 @@ Histogram::sample(std::uint64_t v)
         ++overflow_;
     else
         ++buckets_[static_cast<std::size_t>(idx)];
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    VSIM_ASSERT(width_ == other.width_
+                    && buckets_.size() == other.buckets_.size(),
+                "histogram merge needs identical geometry: ", name_);
+    if (other.count_ == 0)
+        return;
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    overflow_ += other.overflow_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
 }
 
 double

@@ -101,6 +101,16 @@ class Histogram
     bool operator==(const Histogram &) const = default;
 
     /**
+     * Fold @p other into this histogram: bucket-wise addition plus
+     * exact count/sum/overflow/min/max combination. Both histograms
+     * must share the same geometry (bucket width and bucket count) —
+     * merging incompatible histograms panics. Merging is associative
+     * and commutative, so the shard runner's merge order can never
+     * change the combined distribution.
+     */
+    void merge(const Histogram &other);
+
+    /**
      * One flat JSON object. Trailing all-zero buckets are trimmed so
      * sparse histograms stay compact; "overflow" is always emitted.
      */

@@ -1,0 +1,294 @@
+#include "shard.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "vsim/base/logging.hh"
+#include "vsim/base/thread_pool.hh"
+#include "vsim/core/ooo_core.hh"
+#include "vsim/core/snapshot.hh"
+#include "vsim/trace/trace_io.hh"
+#include "vsim/workloads/workloads.hh"
+
+namespace vsim::sim
+{
+
+bool
+shardingRequested(const core::CoreConfig &cfg)
+{
+    return cfg.shards > 0 || cfg.intervalInsts > 0;
+}
+
+std::vector<ShardPlan>
+planShards(std::uint64_t len, const core::CoreConfig &cfg)
+{
+    VSIM_ASSERT(len > 0, "cannot shard an empty trace");
+    if (cfg.shards > 0 && cfg.intervalInsts > 0)
+        VSIM_FATAL("--shards and --interval-insts are mutually "
+                   "exclusive: pick one partition of the trace");
+
+    const std::uint64_t w = cfg.warmupInsts;
+    auto warmStart = [w](std::uint64_t start) {
+        return w == UINT64_MAX ? 0 : start - std::min(start, w);
+    };
+
+    std::vector<ShardPlan> plan;
+    if (cfg.shards > 0) {
+        // N near-equal pieces; shards beyond one-instruction
+        // granularity would be empty, so clamp.
+        const std::uint64_t n = std::min<std::uint64_t>(cfg.shards, len);
+        plan.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) {
+            ShardPlan p;
+            p.start = len * i / n;
+            p.stop = len * (i + 1) / n;
+            p.warmStart = warmStart(p.start);
+            plan.push_back(p);
+        }
+    } else {
+        VSIM_ASSERT(cfg.intervalInsts > 0, "no shard partition requested");
+        plan.reserve(static_cast<std::size_t>(
+            (len + cfg.intervalInsts - 1) / cfg.intervalInsts));
+        for (std::uint64_t s = 0; s < len; s += cfg.intervalInsts) {
+            ShardPlan p;
+            p.start = s;
+            p.stop = std::min(len, s + cfg.intervalInsts);
+            p.warmStart = warmStart(p.start);
+            plan.push_back(p);
+        }
+    }
+    return plan;
+}
+
+namespace
+{
+
+/** One shard's outcome plus the merge/rebase inputs. */
+struct ShardResult
+{
+    core::SimOutcome out;
+    std::uint64_t cutCycle = 0; //!< cycle the stats window opened at
+    double wallSeconds = 0.0;
+    std::exception_ptr error;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                         - t0)
+        .count();
+}
+
+} // namespace
+
+ShardRunner::ShardRunner(core::CoreConfig config) : cfg(std::move(config))
+{}
+
+RunResult
+ShardRunner::run(const std::string &workload, int scale)
+{
+    // Materialise the program and the oracle trace once; every shard
+    // core borrows the (potentially multi-gigabyte) trace via
+    // shared_ptr instead of copying it.
+    assembler::Program prog;
+    std::shared_ptr<const arch::ExecTrace> trace;
+    if (isTraceWorkload(workload)) {
+        trace::LoadedTrace loaded =
+            trace::loadTrace(traceWorkloadPath(workload));
+        prog = std::move(loaded.program);
+        trace = std::make_shared<const arch::ExecTrace>(
+            std::move(loaded.trace));
+    } else {
+        const workloads::Workload &w = workloads::byName(workload);
+        prog = workloads::buildProgram(w, scale);
+        trace = std::make_shared<const arch::ExecTrace>(
+            arch::preExecute(prog));
+    }
+    const std::uint64_t len = trace->entries.size();
+
+    const std::vector<ShardPlan> plan = planShards(len, cfg);
+    const std::size_t n = plan.size();
+
+    // Functional-warmup pass: one snapshot per distinct nonzero
+    // warmStart. At full warmup every shard replays from instruction
+    // 0 and this pass is skipped entirely.
+    std::vector<std::uint64_t> points;
+    for (const ShardPlan &p : plan)
+        if (p.warmStart > 0)
+            points.push_back(p.warmStart);
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()),
+                 points.end());
+
+    std::vector<core::SimSnapshot> snaps;
+    if (!points.empty()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        snaps = core::functionalWarmup(prog, *trace, cfg, points);
+        VSIM_INFORM("shard warmup: ", points.size(), " snapshot(s) of ",
+                    len, " insts in ", secondsSince(t0), "s");
+    }
+    auto snapshotFor = [&](std::uint64_t point) -> const core::SimSnapshot & {
+        const auto it =
+            std::lower_bound(points.begin(), points.end(), point);
+        VSIM_ASSERT(it != points.end() && *it == point,
+                    "no snapshot captured for warmStart ", point);
+        return snaps[static_cast<std::size_t>(it - points.begin())];
+    };
+
+    std::vector<ShardResult> results(n);
+    auto runShard = [&](std::size_t i) {
+        ShardResult &r = results[i];
+        try {
+            const auto t0 = std::chrono::steady_clock::now();
+            core::OooCore core(prog, trace, cfg);
+            if (plan[i].warmStart > 0)
+                core.startFromSnapshot(snapshotFor(plan[i].warmStart));
+            core.setRunWindow(plan[i].start, plan[i].stop);
+            r.out = core.run();
+            r.cutCycle = core.statsCutCycle();
+            r.wallSeconds = secondsSince(t0);
+            VSIM_INFORM("shard ", i + 1, "/", n, " [", plan[i].start,
+                        ",", plan[i].stop, ") warm=", plan[i].warmStart,
+                        ": cycles=", r.out.stats.cycles, " wall=",
+                        r.wallSeconds, "s");
+        } catch (...) {
+            // Pool tasks must not throw; surface on the caller.
+            r.error = std::current_exception();
+        }
+    };
+
+    const int jobs = cfg.shardJobs <= 0 ? ThreadPool::defaultThreadCount()
+                                        : cfg.shardJobs;
+    if (n > 1 && jobs > 1) {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < n; ++i)
+            pool.submit([&runShard, i] { runShard(i); });
+        pool.wait();
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            runShard(i);
+    }
+    for (ShardResult &r : results)
+        if (r.error)
+            std::rethrow_exception(r.error);
+
+    // ---- merge -----------------------------------------------------------
+    // Scalars, CPI stacks and histograms add; interval samples and
+    // ledger records are rebased onto the merged timeline: shard i's
+    // counted cycles begin at offset_i = sum of the earlier shards'
+    // counted cycles, so a shard-local cycle x maps to
+    // x - cut_i + offset_i. At full warmup cut_i == offset_i for
+    // every shard (each replay reproduces the monolithic cycle
+    // stream), making the rebase the identity and the merge
+    // bit-identical to the monolithic run.
+    core::CoreStats merged = results[0].out.stats;
+    for (std::size_t i = 1; i < n; ++i)
+        merged.merge(results[i].out.stats);
+
+    RunResult r;
+    r.workload = workload;
+    r.stats = merged;
+    r.instructions = merged.retired;
+    r.ipc = merged.ipc();
+    // The architectural outcome is fixed by the oracle trace; a
+    // mid-trace shard core only reproduces its suffix of the output.
+    r.exitCode = trace->exitCode;
+    r.output = trace->output;
+
+    r.intervals.period = cfg.metricsInterval;
+    r.ledger.enabled = cfg.specLedger;
+    const bool fullWarmup = cfg.warmupInsts == UINT64_MAX;
+    // Merged-ledger indices of records still unresolved at their
+    // shard's stop boundary, keyed by dynamic sequence number.
+    std::unordered_map<std::uint64_t, std::size_t> unresolvedSeam;
+    std::uint64_t offset = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t cut = results[i].cutCycle;
+        const auto &inSamples = results[i].out.intervals.samples;
+        for (std::size_t j = 0; j < inSamples.size(); ++j) {
+            obs::IntervalSample s = inSamples[j];
+            VSIM_ASSERT(s.cycleStart >= cut,
+                        "interval sample precedes the shard's cut");
+            s.cycleStart = s.cycleStart - cut + offset;
+            // Seam coalescing: the core flushes intervals on absolute
+            // period boundaries, so the previous shard's trailing
+            // partial sample and this shard's *leading* partial
+            // sample are two halves of one monolithic interval
+            // whenever the seam does not itself fall on a boundary.
+            // Summing them reconstructs the monolithic sample exactly
+            // at full warmup. Only the leading sample may coalesce —
+            // later samples of a finite-warmup shard are contiguous
+            // and off-boundary too, but they are whole intervals.
+            auto &out = r.intervals.samples;
+            if (j == 0 && !out.empty() && cfg.metricsInterval != 0
+                && s.cycleStart % cfg.metricsInterval != 0
+                && out.back().cycleStart + out.back().cycles
+                       == s.cycleStart) {
+                obs::IntervalSample &b = out.back();
+                b.cycles += s.cycles;
+                b.retired += s.retired;
+                b.issued += s.issued;
+                b.dispatched += s.dispatched;
+                b.occupancySum += s.occupancySum;
+                b.condBranches += s.condBranches;
+                b.condMispredicts += s.condMispredicts;
+                b.squashes += s.squashes;
+                b.verifyEvents += s.verifyEvents;
+                b.invalidateEvents += s.invalidateEvents;
+                b.nullifications += s.nullifications;
+                b.cpi.merge(s.cpi);
+                continue;
+            }
+            out.push_back(s);
+        }
+        for (obs::LedgerRecord rec : results[i].out.ledger.records) {
+            if (rec.madeAt < cut) {
+                // Pre-cut carry: the resolved form of a prediction the
+                // previous shard reported as unresolved at its stop.
+                // Patch that seam record in place (the seq streams of
+                // full-warmup replays are identical; finite-warmup
+                // shards have incomparable seqs, so the seam records
+                // stay unresolved there — a documented approximation).
+                if (!fullWarmup)
+                    continue;
+                const auto it = unresolvedSeam.find(rec.seq);
+                if (it == unresolvedSeam.end())
+                    continue;
+                obs::LedgerRecord &t = r.ledger.records[it->second];
+                t.outcome = rec.outcome;
+                t.resolvedAt = rec.resolvedAt - cut + offset;
+                t.consumers = rec.consumers;
+                t.reissues = rec.reissues;
+                t.committed = rec.committed;
+                unresolvedSeam.erase(it);
+                continue;
+            }
+            rec.madeAt = rec.madeAt - cut + offset;
+            if (rec.outcome != obs::LedgerOutcome::Unresolved)
+                rec.resolvedAt = rec.resolvedAt - cut + offset;
+            else if (i + 1 < n)
+                unresolvedSeam.emplace(rec.seq,
+                                       r.ledger.records.size());
+            r.ledger.records.push_back(rec);
+        }
+        offset += results[i].out.stats.cycles;
+    }
+
+    // The final shard must have consumed the trace to its HALT; the
+    // earlier shards stop at their boundary instead of halting.
+    VSIM_ASSERT(results[n - 1].out.halted,
+                "final shard of ", workload,
+                " did not finish within the cycle limit");
+    if (cfg.warmupInsts == UINT64_MAX)
+        VSIM_ASSERT(merged.retired == len,
+                    "full-warmup shards did not partition the trace: ",
+                    merged.retired, " != ", len);
+    return r;
+}
+
+} // namespace vsim::sim

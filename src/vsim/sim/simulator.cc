@@ -1,5 +1,6 @@
 #include "simulator.hh"
 
+#include "shard.hh"
 #include "vsim/base/logging.hh"
 #include "vsim/core/ooo_core.hh"
 #include "vsim/trace/trace_io.hh"
@@ -94,6 +95,10 @@ RunResult
 runWorkload(const std::string &name, int scale,
             const core::CoreConfig &cfg)
 {
+    if (shardingRequested(cfg)) {
+        ShardRunner runner(cfg);
+        return runner.run(name, scale);
+    }
     const core::SimOutcome out = simulate(name, scale, cfg);
     VSIM_ASSERT(out.halted, "workload ", name,
                 " did not finish within the cycle limit");

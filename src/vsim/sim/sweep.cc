@@ -75,6 +75,12 @@ jobKey(const SweepJob &job)
     // sweeps produce bit-identical stats, so either may serve a
     // cached result for the other.
     os << c.metricsInterval << ',' << c.specLedger;
+    // Sharding: interval partition and warmup depth change the merged
+    // statistics (exactly reproducible only at full warmup), so they
+    // are part of the key; shardJobs (an execution resource, like
+    // scheduler) stays out.
+    os << ';' << c.shards << ',' << c.intervalInsts << ','
+       << c.warmupInsts;
     return os.str();
 }
 

@@ -218,7 +218,7 @@ validateRecord(const TraceRecord &rec, std::uint64_t index,
 
 } // namespace
 
-TraceReader::TraceReader(const std::string &path)
+TraceReader::TraceReader(const std::string &path_) : path(path_)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
@@ -351,6 +351,17 @@ TraceReader::next(TraceRecord &out)
         return false;
     out = records[cursor++];
     return true;
+}
+
+void
+TraceReader::seek(std::uint64_t record_index)
+{
+    if (record_index > records.size()) {
+        VSIM_FATAL("seek to record ", record_index, " of ",
+                   records.size(), " points past the trace footer: ",
+                   path);
+    }
+    cursor = record_index;
 }
 
 arch::ExecTrace

@@ -87,6 +87,22 @@ class TraceReader
     /** Iterate validated records; returns false when exhausted. */
     bool next(TraceRecord &out);
 
+    /**
+     * Reposition the next() cursor to @p record_index. O(1) by
+     * construction of the v1 layout: the header is fixed-size (80
+     * bytes) and every record is a fixed 48 bytes, so a record's file
+     * position is a pure offset computation — and this reader holds
+     * the validated records in memory, making the seek a cursor
+     * assignment. @p record_index == recordCount() is allowed and
+     * leaves the reader exhausted; anything beyond that points past
+     * the footer and raises vsim::FatalError instead of letting
+     * next() silently come up short.
+     */
+    void seek(std::uint64_t record_index);
+
+    /** Index of the record the next next() call returns. */
+    std::uint64_t tell() const { return cursor; }
+
     /** Rebuild the functional-core trace (records + output + exit). */
     arch::ExecTrace execTrace() const;
 
@@ -95,6 +111,7 @@ class TraceReader
     assembler::Program prog;
     std::vector<TraceRecord> records;
     std::string output;
+    std::string path;
     std::uint64_t cursor = 0;
 };
 

@@ -92,6 +92,44 @@ FcmPredictor::updateTable(std::uint64_t pc, std::uint64_t token,
     }
 }
 
+void
+FcmPredictor::save(StateWriter &w) const
+{
+    w.tag("VPFC");
+    w.u64(history.size());
+    for (const HistEntry &entry : history)
+        for (std::uint16_t h : entry.vhash)
+            w.u64(h);
+    for (const HistEntry &entry : committed)
+        for (std::uint16_t h : entry.vhash)
+            w.u64(h);
+    w.u64(table.size());
+    for (const PredEntry &entry : table) {
+        w.u64(entry.value);
+        w.u8(entry.counter);
+    }
+}
+
+void
+FcmPredictor::restore(StateReader &r)
+{
+    r.tag("VPFC");
+    VSIM_ASSERT(r.u64() == history.size(),
+                "fcm snapshot geometry mismatch (l1)");
+    for (HistEntry &entry : history)
+        for (std::uint16_t &h : entry.vhash)
+            h = static_cast<std::uint16_t>(r.u64());
+    for (HistEntry &entry : committed)
+        for (std::uint16_t &h : entry.vhash)
+            h = static_cast<std::uint16_t>(r.u64());
+    VSIM_ASSERT(r.u64() == table.size(),
+                "fcm snapshot geometry mismatch (l2)");
+    for (PredEntry &entry : table) {
+        entry.value = r.u64();
+        entry.counter = r.u8();
+    }
+}
+
 // ---------------------------------------------------------------------
 // LastValuePredictor
 // ---------------------------------------------------------------------
@@ -116,6 +154,25 @@ LastValuePredictor::updateTable(std::uint64_t pc, std::uint64_t token,
     const std::size_t idx = static_cast<std::size_t>(
         (pc >> 2) & ((1ull << tableBits) - 1));
     table[idx] = actual;
+}
+
+void
+LastValuePredictor::save(StateWriter &w) const
+{
+    w.tag("VPLV");
+    w.u64(table.size());
+    for (std::uint64_t v : table)
+        w.u64(v);
+}
+
+void
+LastValuePredictor::restore(StateReader &r)
+{
+    r.tag("VPLV");
+    VSIM_ASSERT(r.u64() == table.size(),
+                "last-value snapshot geometry mismatch");
+    for (std::uint64_t &v : table)
+        v = r.u64();
 }
 
 // ---------------------------------------------------------------------
@@ -150,6 +207,31 @@ StridePredictor::updateTable(std::uint64_t pc, std::uint64_t token,
         entry.stride = delta;
     entry.lastDelta = delta;
     entry.last = actual;
+}
+
+void
+StridePredictor::save(StateWriter &w) const
+{
+    w.tag("VPST");
+    w.u64(table.size());
+    for (const Entry &entry : table) {
+        w.u64(entry.last);
+        w.i64(entry.stride);
+        w.i64(entry.lastDelta);
+    }
+}
+
+void
+StridePredictor::restore(StateReader &r)
+{
+    r.tag("VPST");
+    VSIM_ASSERT(r.u64() == table.size(),
+                "stride snapshot geometry mismatch");
+    for (Entry &entry : table) {
+        entry.last = r.u64();
+        entry.stride = r.i64();
+        entry.lastDelta = r.i64();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -202,6 +284,41 @@ HybridPredictor::updateTable(std::uint64_t pc, std::uint64_t token,
     stride.updateTable(pc, 0, actual);
 }
 
+void
+HybridPredictor::save(StateWriter &w) const
+{
+    w.tag("VPHY");
+    fcm.save(w);
+    stride.save(w);
+    w.u64(chooser.size());
+    for (std::uint8_t c : chooser)
+        w.u8(c);
+    for (const Outstanding &o : ring) {
+        w.u64(o.fcmToken);
+        w.u64(o.fcmValue);
+        w.u64(o.strideValue);
+    }
+    w.u64(ringNext);
+}
+
+void
+HybridPredictor::restore(StateReader &r)
+{
+    r.tag("VPHY");
+    fcm.restore(r);
+    stride.restore(r);
+    VSIM_ASSERT(r.u64() == chooser.size(),
+                "hybrid snapshot geometry mismatch");
+    for (std::uint8_t &c : chooser)
+        c = r.u8();
+    for (Outstanding &o : ring) {
+        o.fcmToken = r.u64();
+        o.fcmValue = r.u64();
+        o.strideValue = r.u64();
+    }
+    ringNext = r.u64();
+}
+
 std::unique_ptr<ValuePredictor>
 makeValuePredictor(const std::string &kind)
 {
@@ -251,6 +368,25 @@ ResettingConfidence::update(std::uint64_t pc, bool correct)
     } else {
         table[idx] = 0;
     }
+}
+
+void
+ResettingConfidence::save(StateWriter &w) const
+{
+    w.tag("CONF");
+    w.u64(table.size());
+    for (std::uint8_t c : table)
+        w.u8(c);
+}
+
+void
+ResettingConfidence::restore(StateReader &r)
+{
+    r.tag("CONF");
+    VSIM_ASSERT(r.u64() == table.size(),
+                "confidence snapshot geometry mismatch");
+    for (std::uint8_t &c : table)
+        c = r.u8();
 }
 
 } // namespace vsim::vpred

@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "vsim/base/state_io.hh"
+
 namespace vsim::vpred
 {
 
@@ -78,6 +80,15 @@ class ValuePredictor
     }
 
     virtual std::string name() const = 0;
+
+    /**
+     * Checkpoint the predictor's training state (history tables,
+     * prediction tables, chooser/ring state) / rebuild it. The
+     * restoring predictor must be the same kind with the same
+     * geometry; section tags in the stream catch mismatches.
+     */
+    virtual void save(StateWriter &w) const = 0;
+    virtual void restore(StateReader &r) = 0;
 };
 
 /** Sazeides/Smith order-4 finite-context-method predictor. */
@@ -97,6 +108,8 @@ class FcmPredictor : public ValuePredictor
     void commitHistory(std::uint64_t pc, std::uint64_t actual,
                        bool correct) override;
     std::string name() const override { return "fcm"; }
+    void save(StateWriter &w) const override;
+    void restore(StateReader &r) override;
 
   private:
     struct HistEntry
@@ -142,6 +155,8 @@ class LastValuePredictor : public ValuePredictor
     void updateTable(std::uint64_t pc, std::uint64_t token,
                      std::uint64_t actual) override;
     std::string name() const override { return "last-value"; }
+    void save(StateWriter &w) const override;
+    void restore(StateReader &r) override;
 
   private:
     int tableBits;
@@ -159,6 +174,8 @@ class StridePredictor : public ValuePredictor
     void updateTable(std::uint64_t pc, std::uint64_t token,
                      std::uint64_t actual) override;
     std::string name() const override { return "stride"; }
+    void save(StateWriter &w) const override;
+    void restore(StateReader &r) override;
 
   private:
     struct Entry
@@ -189,6 +206,8 @@ class HybridPredictor : public ValuePredictor
         fcm.commitHistory(pc, actual, correct);
     }
     std::string name() const override { return "hybrid"; }
+    void save(StateWriter &w) const override;
+    void restore(StateReader &r) override;
 
   private:
     /**
@@ -250,6 +269,10 @@ class ResettingConfidence : public ConfidenceEstimator
     bool confident(std::uint64_t pc) const override;
     void update(std::uint64_t pc, bool correct) override;
     std::string name() const override { return "resetting"; }
+
+    /** Checkpoint the counter table (SimSnapshot round trips). */
+    void save(StateWriter &w) const;
+    void restore(StateReader &r);
 
   private:
     int maxCount;

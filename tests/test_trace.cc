@@ -144,6 +144,54 @@ TEST(TraceRoundTrip, Vortex) { roundTripBothWindows("vortex"); }
 TEST(TraceRoundTrip, Queens) { roundTripBothWindows("queens"); }
 
 /**
+ * Cursor repositioning: seek() is an O(1) record-offset jump (the v1
+ * layout is fixed-size), tell() reports the next record's index, a
+ * seek to recordCount() leaves the reader exhausted, and anything
+ * past the footer raises FatalError instead of short iteration.
+ */
+TEST(TraceSeek, SeekTellAndPastFooterRejection)
+{
+    const auto prog =
+        workloads::buildProgram(workloads::byName("queens"), 1);
+    const std::string path = tmpPath("seek");
+    const std::uint64_t count = trace::recordTrace(prog, path);
+    ASSERT_GT(count, 10u);
+
+    trace::TraceReader r(path);
+    ASSERT_EQ(r.recordCount(), count);
+    EXPECT_EQ(r.tell(), 0u);
+
+    trace::TraceRecord first;
+    ASSERT_TRUE(r.next(first));
+    EXPECT_EQ(r.tell(), 1u);
+
+    // Jump forward, read, and confirm the cursor tracks the seek.
+    r.seek(count / 2);
+    EXPECT_EQ(r.tell(), count / 2);
+    trace::TraceRecord mid;
+    ASSERT_TRUE(r.next(mid));
+    EXPECT_EQ(r.tell(), count / 2 + 1);
+
+    // Rewind to the start: the same first record comes back.
+    r.seek(0);
+    trace::TraceRecord again;
+    ASSERT_TRUE(r.next(again));
+    EXPECT_EQ(again.pc, first.pc);
+    EXPECT_EQ(again.value, first.value);
+
+    // Seeking to recordCount() is allowed and leaves it exhausted.
+    r.seek(count);
+    trace::TraceRecord none;
+    EXPECT_FALSE(r.next(none));
+    EXPECT_EQ(r.tell(), count);
+
+    // One past the footer is a user error, not a silent empty read.
+    EXPECT_THROW(r.seek(count + 1), FatalError);
+
+    std::remove(path.c_str());
+}
+
+/**
  * The "trace:<path>" workload-name plumbing: runWorkload on a trace
  * name must reproduce the direct run of the kernel it was recorded
  * from, and the name helpers must round-trip paths.

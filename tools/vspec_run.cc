@@ -103,6 +103,18 @@ usage(const char *argv0)
         "                    of every value prediction) as JSON\n"
         "  --ledger-limit N  emit at most N ledger records (default:\n"
         "                    all; the JSON flags truncation)\n"
+        "  --shards N        split the run into N interval shards,\n"
+        "                    simulated independently and merged into\n"
+        "                    one report (see --warmup-insts)\n"
+        "  --interval-insts K\n"
+        "                    shard every K retired instructions\n"
+        "                    instead of a fixed shard count\n"
+        "  --warmup-insts W  per-shard detailed-warmup prefix in\n"
+        "                    instructions, or 'full' (default): full\n"
+        "                    replay from instruction 0, bit-identical\n"
+        "                    to the monolithic run\n"
+        "  --jobs N          worker threads executing shards\n"
+        "                    (default 1)\n"
         "  --progress        print a completion line to stderr\n"
         "  --json [PATH]     emit the statistics as one JSON object\n"
         "                    (to PATH if given, else stdout)\n");
@@ -125,6 +137,26 @@ parsePositiveInt(const char *argv0, const char *flag, const char *text)
     return static_cast<int>(v);
 }
 
+/**
+ * Full-token positive 64-bit count; exits with usage on anything else
+ * (including negative numbers, which strtoull would silently wrap).
+ */
+std::uint64_t
+parsePositiveU64(const char *argv0, const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (text[0] == '-' || text[0] == '+' || end == text || *end != '\0'
+        || errno == ERANGE || v == 0) {
+        std::fprintf(stderr, "%s expects a positive count, got '%s'\n",
+                     flag, text);
+        usage(argv0);
+        std::exit(2);
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
 } // namespace
 
 int
@@ -139,6 +171,8 @@ main(int argc, char **argv)
     std::size_t ledger_limit = 0;
     bool ledger_limit_set = false;
     bool pipeline = false;
+    bool warmup_set = false;
+    bool jobs_set = false;
     bool json = false;
     bool counters = false;
     bool stacks = false;
@@ -342,6 +376,24 @@ main(int argc, char **argv)
                 parsePositiveInt(argv[0], "--ledger-limit",
                                  need_value("--ledger-limit")));
             ledger_limit_set = true;
+        } else if (!std::strcmp(argv[i], "--shards")) {
+            cfg.shards = parsePositiveU64(argv[0], "--shards",
+                                          need_value("--shards"));
+        } else if (!std::strcmp(argv[i], "--interval-insts")) {
+            cfg.intervalInsts =
+                parsePositiveU64(argv[0], "--interval-insts",
+                                 need_value("--interval-insts"));
+        } else if (!std::strcmp(argv[i], "--warmup-insts")) {
+            const char *w = need_value("--warmup-insts");
+            cfg.warmupInsts =
+                !std::strcmp(w, "full")
+                    ? UINT64_MAX
+                    : parsePositiveU64(argv[0], "--warmup-insts", w);
+            warmup_set = true;
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            cfg.shardJobs = parsePositiveInt(argv[0], "--jobs",
+                                             need_value("--jobs"));
+            jobs_set = true;
         } else if (!std::strcmp(argv[i], "--progress")) {
             progress = true;
         } else if (!std::strcmp(argv[i], "--json")) {
@@ -370,8 +422,30 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--ledger-limit needs --ledger PATH\n");
         return 2;
     }
+    if (cfg.shards > 0 && cfg.intervalInsts > 0) {
+        std::fprintf(stderr, "--shards and --interval-insts are "
+                             "mutually exclusive\n");
+        return 2;
+    }
+    const bool sharded = cfg.shards > 0 || cfg.intervalInsts > 0;
+    if ((warmup_set || jobs_set) && !sharded) {
+        std::fprintf(stderr, "--warmup-insts/--jobs need --shards or "
+                             "--interval-insts\n");
+        return 2;
+    }
+    if (sharded && !asm_file.empty()) {
+        std::fprintf(stderr, "sharded runs support --workload and "
+                             "--trace only, not --asm\n");
+        return 2;
+    }
     const bool trace_json = !trace_json_path.empty();
     cfg.tracePipeline = pipeline || trace_json;
+    if (sharded && cfg.tracePipeline) {
+        std::fprintf(stderr, "pipeline tracing needs a single "
+                             "monolithic core; drop --shards/"
+                             "--interval-insts\n");
+        return 2;
+    }
     // Detailed per-prediction records are collected only on request —
     // the flag is part of the run's cache identity.
     cfg.specLedger = !ledger_path.empty();

@@ -86,6 +86,21 @@ usage(const char *argv0)
                  "every run (max 512)\n"
                  "  --fetch-width N       override the fetch width of "
                  "every run\n"
+                 "  --shards N            split every run into N "
+                 "interval shards, simulated\n"
+                 "                        independently and merged "
+                 "(see --warmup-insts)\n"
+                 "  --interval-insts K    shard every K retired "
+                 "instructions instead of a\n"
+                 "                        fixed shard count\n"
+                 "  --warmup-insts W      per-shard detailed-warmup "
+                 "prefix in instructions, or\n"
+                 "                        'full' (default): exact "
+                 "replay, bit-identical results\n"
+                 "  --shard-jobs N        worker threads per run for "
+                 "shard execution\n"
+                 "                        (default 1; --jobs stays the "
+                 "sweep-level worker count)\n"
                  "named sweeps:\n",
                  argv0, static_cast<int>(std::strlen(argv0) + 7), "",
                  argv0);
@@ -108,6 +123,26 @@ parsePositiveInt(const char *argv0, const char *flag, const char *text)
         std::exit(2);
     }
     return static_cast<int>(v);
+}
+
+/**
+ * Full-token positive 64-bit count; exits with usage on anything else
+ * (including negative numbers, which strtoull would silently wrap).
+ */
+std::uint64_t
+parsePositiveU64(const char *argv0, const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (text[0] == '-' || text[0] == '+' || end == text || *end != '\0'
+        || errno == ERANGE || v == 0) {
+        std::fprintf(stderr, "%s expects a positive count, got '%s'\n",
+                     flag, text);
+        usage(argv0);
+        std::exit(2);
+    }
+    return static_cast<std::uint64_t>(v);
 }
 
 } // namespace
@@ -134,6 +169,12 @@ main(int argc, char **argv)
     std::optional<core::SweepKind> sweep_kind_override;
     std::optional<int> window_override;
     std::optional<int> fetch_width_override;
+    std::uint64_t shards = 0;
+    std::uint64_t interval_insts = 0;
+    std::uint64_t warmup_insts = UINT64_MAX;
+    int shard_jobs = 1;
+    bool warmup_set = false;
+    bool shard_jobs_set = false;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> const char * {
@@ -238,6 +279,24 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--fetch-width")) {
             fetch_width_override = parsePositiveInt(
                 argv[0], "--fetch-width", need_value("--fetch-width"));
+        } else if (!std::strcmp(argv[i], "--shards")) {
+            shards = parsePositiveU64(argv[0], "--shards",
+                                      need_value("--shards"));
+        } else if (!std::strcmp(argv[i], "--interval-insts")) {
+            interval_insts =
+                parsePositiveU64(argv[0], "--interval-insts",
+                                 need_value("--interval-insts"));
+        } else if (!std::strcmp(argv[i], "--warmup-insts")) {
+            const char *w = need_value("--warmup-insts");
+            warmup_insts =
+                !std::strcmp(w, "full")
+                    ? UINT64_MAX
+                    : parsePositiveU64(argv[0], "--warmup-insts", w);
+            warmup_set = true;
+        } else if (!std::strcmp(argv[i], "--shard-jobs")) {
+            shard_jobs = parsePositiveInt(argv[0], "--shard-jobs",
+                                          need_value("--shard-jobs"));
+            shard_jobs_set = true;
         } else if (!std::strcmp(argv[i], "--sweep-kind")) {
             const std::string k = need_value("--sweep-kind");
             if (k == "sparse")
@@ -271,6 +330,17 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--ledger-limit needs --ledger PATH\n");
         return 2;
     }
+    if (shards > 0 && interval_insts > 0) {
+        std::fprintf(stderr, "--shards and --interval-insts are "
+                             "mutually exclusive\n");
+        return 2;
+    }
+    if ((warmup_set || shard_jobs_set) && shards == 0
+        && interval_insts == 0) {
+        std::fprintf(stderr, "--warmup-insts/--shard-jobs need "
+                             "--shards or --interval-insts\n");
+        return 2;
+    }
 
     try {
         const sim::NamedSweep &spec = sim::sweepByName(name);
@@ -298,6 +368,13 @@ main(int argc, char **argv)
             // dense pass can reuse a sparse pass's cached results.
             if (sweep_kind_override)
                 job.cfg.sweepKind = *sweep_kind_override;
+            // Shard partition + warmup depth are part of the jobKey
+            // (finite warmup changes results); the worker count is an
+            // execution resource like --jobs and is not.
+            job.cfg.shards = shards;
+            job.cfg.intervalInsts = interval_insts;
+            job.cfg.warmupInsts = warmup_insts;
+            job.cfg.shardJobs = shard_jobs;
             if (!job.cfg.useValuePrediction)
                 continue;
             // Each override replaces only its own aspect of the job's
