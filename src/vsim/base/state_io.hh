@@ -8,14 +8,23 @@
  * section tag first, so a reader that drifts out of sync fails loudly
  * at the next section instead of silently mis-restoring state.
  *
- * The format is an in-process exchange format, not a stable on-disk
- * one: producers and consumers are always the same build, so no
- * versioning is needed beyond the section tags.
+ * The format is a same-build exchange format, not a stable cross-
+ * version one: producers and consumers are always the same build
+ * (the persistent run cache enforces this with a build fingerprint in
+ * its entry header — see vsim/sim/disk_cache.hh), so no versioning is
+ * needed beyond the section tags.
+ *
+ * Reader failures (underrun, tag mismatch) throw vsim::FatalError so
+ * that consumers of *untrusted* bytes — a truncated or corrupted
+ * on-disk cache entry, a malformed daemon request — can catch the
+ * error and recover (evict the entry, reject the request) instead of
+ * aborting the process.
  */
 
 #ifndef VSIM_BASE_STATE_IO_HH
 #define VSIM_BASE_STATE_IO_HH
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -44,6 +53,15 @@ class StateWriter
 
     void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
     void boolean(bool v) { u8(v ? 1 : 0); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    /** Length-prefixed string (u64 length + raw bytes). */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf.insert(buf.end(), s.begin(), s.end());
+    }
 
     /** Four-character section tag guarding reader/writer sync. */
     void
@@ -98,14 +116,29 @@ class StateReader
 
     std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
     bool boolean() { return u8() != 0; }
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    /** Length-prefixed string written by StateWriter::str. */
+    std::string
+    str()
+    {
+        std::uint64_t len = u64();
+        if (len > size - pos)
+            VSIM_FATAL("state buffer underrun: string of ", len,
+                       " bytes at offset ", pos, " exceeds buffer");
+        std::string s(reinterpret_cast<const char *>(buf + pos), len);
+        pos += len;
+        return s;
+    }
 
     /** Consume and check a section tag written by StateWriter::tag. */
     void
     tag(const char (&t)[5])
     {
         need(4);
-        VSIM_ASSERT(std::memcmp(buf + pos, t, 4) == 0,
-                    "snapshot section tag mismatch: expected ", t);
+        if (std::memcmp(buf + pos, t, 4) != 0)
+            VSIM_FATAL("state section tag mismatch: expected ", t,
+                       " at offset ", pos);
         pos += 4;
     }
 
@@ -124,8 +157,9 @@ class StateReader
     void
     need(std::size_t n)
     {
-        VSIM_ASSERT(pos + n <= size,
-                    "snapshot buffer underrun at offset ", pos);
+        if (n > size - pos)
+            VSIM_FATAL("state buffer underrun at offset ", pos,
+                       ": need ", n, " more bytes, have ", size - pos);
     }
 
     const std::uint8_t *buf;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "vsim/base/logging.hh"
+#include "vsim/base/state_io.hh"
 
 namespace vsim::obs
 {
@@ -86,6 +87,41 @@ Histogram::merge(const Histogram &other)
     overflow_ += other.overflow_;
     for (std::size_t i = 0; i < buckets_.size(); ++i)
         buckets_[i] += other.buckets_[i];
+}
+
+void
+Histogram::save(StateWriter &w) const
+{
+    w.tag("HGRM");
+    w.u64(width_);
+    w.u64(buckets_.size());
+    w.u64(overflow_);
+    w.u64(count_);
+    w.u64(sum_);
+    w.u64(min_);
+    w.u64(max_);
+    for (std::uint64_t b : buckets_)
+        w.u64(b);
+}
+
+void
+Histogram::restore(StateReader &r)
+{
+    r.tag("HGRM");
+    const std::uint64_t width = r.u64();
+    const std::uint64_t nbuckets = r.u64();
+    if (width != width_ || nbuckets != buckets_.size())
+        VSIM_FATAL("histogram geometry mismatch restoring ", name_,
+                   ": stream has width ", width, " x ", nbuckets,
+                   ", host has width ", width_, " x ",
+                   buckets_.size());
+    overflow_ = r.u64();
+    count_ = r.u64();
+    sum_ = r.u64();
+    min_ = r.u64();
+    max_ = r.u64();
+    for (std::uint64_t &b : buckets_)
+        b = r.u64();
 }
 
 double

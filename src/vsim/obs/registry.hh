@@ -23,6 +23,12 @@
 #include <string>
 #include <vector>
 
+namespace vsim
+{
+class StateWriter;
+class StateReader;
+} // namespace vsim
+
 namespace vsim::obs
 {
 
@@ -115,6 +121,15 @@ class Histogram
      * sparse histograms stay compact; "overflow" is always emitted.
      */
     std::string toJson() const;
+
+    /**
+     * Serialize the aggregated distribution (geometry + buckets +
+     * count/sum/min/max) to a state stream; name/description/unit are
+     * not serialized — the restoring host object supplies them.
+     * restore() fatals (catchably) on tag or geometry mismatch.
+     */
+    void save(StateWriter &w) const;
+    void restore(StateReader &r);
 
   private:
     std::string name_, desc_, unit_;

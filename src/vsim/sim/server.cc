@@ -1,0 +1,693 @@
+#include "server.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "vsim/base/logging.hh"
+#include "vsim/base/state_io.hh"
+#include "vsim/base/thread_pool.hh"
+#include "vsim/obs/registry.hh" // jsonEscape
+#include "disk_cache.hh"
+
+namespace vsim::sim
+{
+
+// ---- job codec ---------------------------------------------------------
+
+void
+saveSweepJob(StateWriter &w, const SweepJob &job)
+{
+    const core::CoreConfig &c = job.cfg;
+    const core::SpecModel &m = c.model;
+    w.tag("SWJB");
+    w.str(job.label);
+    w.str(job.workload);
+    w.i64(job.scale);
+    // Machine.
+    w.i64(c.issueWidth);
+    w.i64(c.windowSize);
+    w.i64(c.fetchWidth);
+    w.i64(c.retireWidth);
+    w.i64(c.dcachePorts);
+    // Value speculation.
+    w.boolean(c.useValuePrediction);
+    w.str(m.name);
+    w.i64(m.execToEquality);
+    w.i64(m.equalityToInvalidate);
+    w.i64(m.equalityToVerify);
+    w.i64(m.verifyToFreeResource);
+    w.i64(m.invalidateToReissue);
+    w.i64(m.verifyToBranch);
+    w.i64(m.verifyAddrToMem);
+    w.u8(static_cast<std::uint8_t>(m.verifyScheme));
+    w.u8(static_cast<std::uint8_t>(m.invalScheme));
+    w.u8(static_cast<std::uint8_t>(m.selectPolicy));
+    w.boolean(m.branchNeedsValidOps);
+    w.boolean(m.memNeedsValidOps);
+    w.str(c.valuePredictor);
+    w.u8(static_cast<std::uint8_t>(c.confidence));
+    w.i64(c.confidenceBits);
+    w.i64(c.confidenceTableBits);
+    w.i64(c.confidenceThreshold);
+    w.u8(static_cast<std::uint8_t>(c.updateTiming));
+    // Front end and memory hierarchy.
+    w.str(c.branchPredictor);
+    for (const mem::CacheConfig *cc : {&c.icache, &c.dcache, &c.l2cache}) {
+        w.str(cc->name);
+        w.u64(cc->sizeBytes);
+        w.i64(cc->assoc);
+        w.i64(cc->blockBytes);
+    }
+    w.i64(c.icacheHitLat);
+    w.i64(c.dcacheHitLat);
+    w.i64(c.l2HitLat);
+    w.i64(c.l2MissLat);
+    w.i64(c.storeForwardLat);
+    // Functional units and run control.
+    w.i64(c.aluLat);
+    w.i64(c.mulLat);
+    w.i64(c.divLat);
+    w.u64(c.maxCycles);
+    w.boolean(c.tracePipeline);
+    w.u8(static_cast<std::uint8_t>(c.scheduler));
+    w.u8(static_cast<std::uint8_t>(c.sweepKind));
+    // Observability and sharding.
+    w.u64(c.metricsInterval);
+    w.u64(c.traceRetain);
+    w.boolean(c.specLedger);
+    w.u64(c.shards);
+    w.u64(c.intervalInsts);
+    w.u64(c.warmupInsts);
+    w.i64(c.shardJobs);
+}
+
+namespace
+{
+
+std::uint8_t
+checkedEnum(StateReader &r, std::uint8_t max, const char *what)
+{
+    const std::uint8_t v = r.u8();
+    if (v > max)
+        VSIM_FATAL("invalid ", what, " value ", int(v), " in sweep job");
+    return v;
+}
+
+} // namespace
+
+SweepJob
+loadSweepJob(StateReader &r)
+{
+    SweepJob job;
+    core::CoreConfig &c = job.cfg;
+    core::SpecModel &m = c.model;
+    r.tag("SWJB");
+    job.label = r.str();
+    job.workload = r.str();
+    job.scale = static_cast<int>(r.i64());
+    c.issueWidth = static_cast<int>(r.i64());
+    c.windowSize = static_cast<int>(r.i64());
+    c.fetchWidth = static_cast<int>(r.i64());
+    c.retireWidth = static_cast<int>(r.i64());
+    c.dcachePorts = static_cast<int>(r.i64());
+    c.useValuePrediction = r.boolean();
+    m.name = r.str();
+    m.execToEquality = static_cast<int>(r.i64());
+    m.equalityToInvalidate = static_cast<int>(r.i64());
+    m.equalityToVerify = static_cast<int>(r.i64());
+    m.verifyToFreeResource = static_cast<int>(r.i64());
+    m.invalidateToReissue = static_cast<int>(r.i64());
+    m.verifyToBranch = static_cast<int>(r.i64());
+    m.verifyAddrToMem = static_cast<int>(r.i64());
+    m.verifyScheme = static_cast<core::VerifyScheme>(
+        checkedEnum(r, 3, "verify scheme"));
+    m.invalScheme = static_cast<core::InvalScheme>(
+        checkedEnum(r, 2, "invalidation scheme"));
+    m.selectPolicy = static_cast<core::SelectPolicy>(
+        checkedEnum(r, 3, "selection policy"));
+    m.branchNeedsValidOps = r.boolean();
+    m.memNeedsValidOps = r.boolean();
+    c.valuePredictor = r.str();
+    c.confidence = static_cast<core::ConfidenceKind>(
+        checkedEnum(r, 2, "confidence kind"));
+    c.confidenceBits = static_cast<int>(r.i64());
+    c.confidenceTableBits = static_cast<int>(r.i64());
+    c.confidenceThreshold = static_cast<int>(r.i64());
+    c.updateTiming = static_cast<core::UpdateTiming>(
+        checkedEnum(r, 1, "update timing"));
+    c.branchPredictor = r.str();
+    for (mem::CacheConfig *cc : {&c.icache, &c.dcache, &c.l2cache}) {
+        cc->name = r.str();
+        cc->sizeBytes = r.u64();
+        cc->assoc = static_cast<int>(r.i64());
+        cc->blockBytes = static_cast<int>(r.i64());
+    }
+    c.icacheHitLat = static_cast<int>(r.i64());
+    c.dcacheHitLat = static_cast<int>(r.i64());
+    c.l2HitLat = static_cast<int>(r.i64());
+    c.l2MissLat = static_cast<int>(r.i64());
+    c.storeForwardLat = static_cast<int>(r.i64());
+    c.aluLat = static_cast<int>(r.i64());
+    c.mulLat = static_cast<int>(r.i64());
+    c.divLat = static_cast<int>(r.i64());
+    c.maxCycles = r.u64();
+    c.tracePipeline = r.boolean();
+    c.scheduler =
+        static_cast<core::SchedulerKind>(checkedEnum(r, 1, "scheduler"));
+    c.sweepKind =
+        static_cast<core::SweepKind>(checkedEnum(r, 1, "sweep kind"));
+    c.metricsInterval = r.u64();
+    c.traceRetain = static_cast<std::size_t>(r.u64());
+    c.specLedger = r.boolean();
+    c.shards = r.u64();
+    c.intervalInsts = r.u64();
+    c.warmupInsts = r.u64();
+    c.shardJobs = static_cast<int>(r.i64());
+    return job;
+}
+
+// ---- hex ---------------------------------------------------------------
+
+std::string
+hexEncode(const std::vector<std::uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        out += digits[b >> 4];
+        out += digits[b & 0xf];
+    }
+    return out;
+}
+
+namespace
+{
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+hexDecode(const std::string &hex)
+{
+    if (hex.size() % 2 != 0)
+        VSIM_FATAL("odd-length hex payload (", hex.size(), " chars)");
+    std::vector<std::uint8_t> out(hex.size() / 2);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const int hi = hexNibble(hex[2 * i]);
+        const int lo = hexNibble(hex[2 * i + 1]);
+        if (hi < 0 || lo < 0)
+            VSIM_FATAL("invalid hex digit at offset ", 2 * i);
+        out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+    }
+    return out;
+}
+
+// ---- framing -----------------------------------------------------------
+
+namespace
+{
+
+/** write(2) the whole buffer; EPIPE and friends throw FatalError. */
+void
+writeAll(int fd, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                VSIM_FATAL("socket write timed out");
+            VSIM_FATAL("socket write failed: ", std::strerror(errno));
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * Read exactly @p len bytes. Returns false on EOF before the first
+ * byte when @p eof_ok; any other short read or error throws.
+ */
+bool
+readAll(int fd, void *data, std::size_t len, bool eof_ok)
+{
+    char *p = static_cast<char *>(data);
+    std::size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::recv(fd, p + got, len - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                VSIM_FATAL("socket read timed out");
+            VSIM_FATAL("socket read failed: ", std::strerror(errno));
+        }
+        if (n == 0) {
+            if (eof_ok && got == 0)
+                return false;
+            VSIM_FATAL("peer closed mid-frame (", got, "/", len,
+                       " bytes)");
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+sendFrame(int fd, const std::string &json)
+{
+    const std::uint32_t len = static_cast<std::uint32_t>(json.size());
+    std::uint8_t hdr[4];
+    for (int i = 0; i < 4; ++i)
+        hdr[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    writeAll(fd, hdr, sizeof(hdr));
+    writeAll(fd, json.data(), json.size());
+}
+
+/** Read one frame; false on clean EOF at a frame boundary. */
+bool
+recvFrame(int fd, std::string &json)
+{
+    std::uint8_t hdr[4];
+    if (!readAll(fd, hdr, sizeof(hdr), /*eof_ok=*/true))
+        return false;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(hdr[i]) << (8 * i);
+    if (len > kMaxFrameBytes)
+        VSIM_FATAL("oversized frame (", len, " bytes)");
+    json.resize(len);
+    if (len > 0)
+        readAll(fd, json.data(), len, /*eof_ok=*/false);
+    return true;
+}
+
+// ---- request parsing ---------------------------------------------------
+
+/** Scan `"name": "<string>"` out of a flat JSON object. */
+bool
+findString(const std::string &obj, const std::string &name,
+           std::string &out)
+{
+    const std::string needle = "\"" + name + "\"";
+    std::size_t at = obj.find(needle);
+    if (at == std::string::npos)
+        return false;
+    at += needle.size();
+    while (at < obj.size()
+           && (std::isspace(static_cast<unsigned char>(obj[at]))
+               || obj[at] == ':'))
+        ++at;
+    if (at >= obj.size() || obj[at] != '"')
+        return false;
+    const std::size_t end = obj.find('"', at + 1);
+    if (end == std::string::npos)
+        return false;
+    out = obj.substr(at + 1, end - at - 1);
+    return true;
+}
+
+/**
+ * Parse the "jobs" array of hex strings. Strict about shape: anything
+ * but `"jobs": ["...", ...]` (whitespace allowed) is malformed.
+ */
+bool
+parseJobsArray(const std::string &obj, std::vector<std::string> &out)
+{
+    const std::string needle = "\"jobs\"";
+    std::size_t at = obj.find(needle);
+    if (at == std::string::npos)
+        return false;
+    at += needle.size();
+    const auto skipWs = [&] {
+        while (at < obj.size()
+               && std::isspace(static_cast<unsigned char>(obj[at])))
+            ++at;
+    };
+    skipWs();
+    if (at >= obj.size() || obj[at] != ':')
+        return false;
+    ++at;
+    skipWs();
+    if (at >= obj.size() || obj[at] != '[')
+        return false;
+    ++at;
+    skipWs();
+    if (at < obj.size() && obj[at] == ']')
+        return true; // empty list
+    while (true) {
+        skipWs();
+        if (at >= obj.size() || obj[at] != '"')
+            return false;
+        const std::size_t end = obj.find('"', at + 1);
+        if (end == std::string::npos)
+            return false;
+        out.push_back(obj.substr(at + 1, end - at - 1));
+        at = end + 1;
+        skipWs();
+        if (at >= obj.size())
+            return false;
+        if (obj[at] == ']')
+            return true;
+        if (obj[at] != ',')
+            return false;
+        ++at;
+    }
+}
+
+std::string
+errorFrame(const std::string &message)
+{
+    return "{\"type\": \"error\", \"message\": \""
+           + obs::jsonEscape(message) + "\"}";
+}
+
+/** Per-connection send state: one writer at a time, EPIPE latches. */
+struct ClientLink
+{
+    int fd;
+    std::mutex mtx;
+    bool dead = false;
+
+    void
+    send(const std::string &json)
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        if (dead)
+            return;
+        try {
+            sendFrame(fd, json);
+        } catch (const FatalError &err) {
+            // The client went away; keep simulating (results still
+            // land in the shared cache) but stop writing.
+            VSIM_WARN("sweepd: client disconnected: ", err.what());
+            dead = true;
+        }
+    }
+};
+
+} // namespace
+
+// ---- server ------------------------------------------------------------
+
+SweepServer::SweepServer(std::string socket_path, int workers,
+                         RunCache *run_cache)
+    : path(std::move(socket_path)),
+      nWorkers(workers < 1 ? ThreadPool::defaultThreadCount() : workers),
+      cache(run_cache)
+{
+    VSIM_ASSERT(cache != nullptr, "SweepServer needs a run cache");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        VSIM_FATAL("socket path too long (", path.size(), " > ",
+                   sizeof(addr.sun_path) - 1, "): ", path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        VSIM_FATAL("cannot create socket: ", std::strerror(errno));
+    ::unlink(path.c_str());
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr))
+        != 0) {
+        const int err = errno;
+        ::close(listenFd);
+        listenFd = -1;
+        VSIM_FATAL("cannot bind ", path, ": ", std::strerror(err));
+    }
+    if (::listen(listenFd, 64) != 0) {
+        const int err = errno;
+        ::close(listenFd);
+        listenFd = -1;
+        VSIM_FATAL("cannot listen on ", path, ": ",
+                   std::strerror(err));
+    }
+}
+
+SweepServer::~SweepServer()
+{
+    if (listenFd >= 0)
+        ::close(listenFd);
+    ::unlink(path.c_str());
+}
+
+void
+SweepServer::serve()
+{
+    ThreadPool pool(nWorkers);
+    std::vector<std::thread> clients;
+    while (!stopping.load()) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            VSIM_FATAL("poll failed: ", std::strerror(errno));
+        }
+        if (ready == 0)
+            continue;
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            VSIM_FATAL("accept failed: ", std::strerror(errno));
+        }
+        clients.emplace_back([this, fd, &pool] {
+            handleClientOnPool(fd, pool);
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+}
+
+void
+SweepServer::handleClientOnPool(int fd, ThreadPool &pool)
+{
+    auto link = std::make_shared<ClientLink>();
+    link->fd = fd;
+    try {
+        std::string request;
+        while (!stopping.load() && recvFrame(fd, request)) {
+            std::string type;
+            if (!findString(request, "type", type)
+                || type != "sweep") {
+                link->send(errorFrame(
+                    "malformed request: expected {\"type\": "
+                    "\"sweep\", \"jobs\": [...]}"));
+                break;
+            }
+            std::vector<std::string> encoded;
+            if (!parseJobsArray(request, encoded)) {
+                link->send(errorFrame(
+                    "malformed request: bad \"jobs\" array"));
+                break;
+            }
+            std::vector<SweepJob> jobs;
+            jobs.reserve(encoded.size());
+            try {
+                for (const std::string &hex : encoded) {
+                    const std::vector<std::uint8_t> bytes =
+                        hexDecode(hex);
+                    StateReader r(bytes.data(), bytes.size());
+                    jobs.push_back(loadSweepJob(r));
+                }
+            } catch (const FatalError &err) {
+                link->send(errorFrame(
+                    std::string("malformed job encoding: ")
+                    + err.what()));
+                break;
+            }
+
+            // Fan the batch out on the shared pool; every cell
+            // memoizes and dedupes through the shared RunCache, so
+            // identical cells from concurrent clients simulate once.
+            struct Batch
+            {
+                std::mutex mtx;
+                std::condition_variable cv;
+                std::size_t remaining;
+                std::string firstError;
+            };
+            auto batch = std::make_shared<Batch>();
+            batch->remaining = jobs.size();
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                const SweepJob job = jobs[i];
+                pool.submit([this, link, batch, job, i] {
+                    try {
+                        bool cached = false;
+                        const RunResult result =
+                            cache->getOrRun(job, &cached);
+                        StateWriter w;
+                        saveRunResult(w, result);
+                        std::ostringstream os;
+                        os << "{\"type\": \"result\", \"index\": " << i
+                           << ", \"cached\": "
+                           << (cached ? "true" : "false")
+                           << ", \"data\": \"" << hexEncode(w.data())
+                           << "\"}";
+                        link->send(os.str());
+                        served.fetch_add(1);
+                    } catch (const std::exception &err) {
+                        std::unique_lock<std::mutex> lock(batch->mtx);
+                        if (batch->firstError.empty())
+                            batch->firstError = err.what();
+                    }
+                    std::unique_lock<std::mutex> lock(batch->mtx);
+                    if (--batch->remaining == 0)
+                        batch->cv.notify_all();
+                });
+            }
+            {
+                std::unique_lock<std::mutex> lock(batch->mtx);
+                batch->cv.wait(
+                    lock, [&] { return batch->remaining == 0; });
+            }
+            if (!batch->firstError.empty()) {
+                link->send(errorFrame(batch->firstError));
+                break;
+            }
+            std::ostringstream os;
+            os << "{\"type\": \"done\", \"cells\": " << jobs.size()
+               << "}";
+            link->send(os.str());
+            if (link->dead)
+                break;
+        }
+    } catch (const FatalError &err) {
+        // Framing error or mid-frame disconnect: log and drop the
+        // connection; other clients are unaffected.
+        VSIM_WARN("sweepd: dropping client: ", err.what());
+    }
+    ::close(fd);
+}
+
+// ---- thin client -------------------------------------------------------
+
+std::vector<ServerCell>
+runSweepOverSocket(const std::string &socket_path,
+                   const std::vector<SweepJob> &jobs, int timeout_ms)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        VSIM_FATAL("socket path too long: ", socket_path);
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        VSIM_FATAL("cannot create socket: ", std::strerror(errno));
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        const int err = errno;
+        ::close(fd);
+        VSIM_FATAL("cannot connect to sweep daemon at ", socket_path,
+                   ": ", std::strerror(err),
+                   " (is vspec_sweepd running?)");
+    }
+
+    std::vector<ServerCell> cells(jobs.size());
+    std::vector<bool> filled(jobs.size(), false);
+    try {
+        std::ostringstream req;
+        req << "{\"type\": \"sweep\", \"jobs\": [";
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            StateWriter w;
+            saveSweepJob(w, jobs[i]);
+            req << (i ? ", " : "") << '"' << hexEncode(w.data())
+                << '"';
+        }
+        req << "]}";
+        sendFrame(fd, req.str());
+
+        bool done = false;
+        std::string frame;
+        while (!done) {
+            if (!recvFrame(fd, frame))
+                VSIM_FATAL("sweep daemon closed the connection before "
+                           "completing the batch");
+            std::string type;
+            if (!findString(frame, "type", type))
+                VSIM_FATAL("sweep daemon sent an untyped frame");
+            if (type == "error") {
+                std::string message = "(no message)";
+                findString(frame, "message", message);
+                VSIM_FATAL("sweep daemon error: ", message);
+            } else if (type == "done") {
+                done = true;
+            } else if (type == "result") {
+                const std::string idx_needle = "\"index\":";
+                const std::size_t at = frame.find(idx_needle);
+                if (at == std::string::npos)
+                    VSIM_FATAL("result frame without an index");
+                const std::size_t index = static_cast<std::size_t>(
+                    std::strtoull(frame.c_str() + at
+                                      + idx_needle.size(),
+                                  nullptr, 10));
+                if (index >= jobs.size())
+                    VSIM_FATAL("result index ", index,
+                               " out of range (", jobs.size(),
+                               " jobs)");
+                std::string data;
+                if (!findString(frame, "data", data))
+                    VSIM_FATAL("result frame without data");
+                const std::vector<std::uint8_t> bytes =
+                    hexDecode(data);
+                StateReader r(bytes.data(), bytes.size());
+                cells[index].result = loadRunResult(r);
+                cells[index].cached =
+                    frame.find("\"cached\": true") != std::string::npos;
+                filled[index] = true;
+            } else {
+                VSIM_FATAL("sweep daemon sent unknown frame type '",
+                           type, "'");
+            }
+        }
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    ::close(fd);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!filled[i])
+            VSIM_FATAL("sweep daemon reported done but cell ", i,
+                       " never arrived");
+    }
+    return cells;
+}
+
+} // namespace vsim::sim

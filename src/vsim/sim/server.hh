@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Sweep-as-a-service: the experiment engine behind a Unix-domain
+ * socket. A long-running daemon (tools/vspec_sweepd.cc) owns the
+ * process-wide RunCache — optionally backed by a persistent
+ * DiskRunCache — and a worker pool; any number of concurrent clients
+ * submit batched sweep requests and read back one result per cell as
+ * it completes. Two clients asking for the same cell simulate it once
+ * (the RunCache's in-flight dedupe works across connections), and a
+ * restarted daemon serves previously computed cells from disk.
+ *
+ * Wire protocol — length-prefixed JSON frames in both directions:
+ * every frame is a 4-byte little-endian payload length followed by
+ * that many bytes of UTF-8 JSON.
+ *
+ *   client -> server   {"type": "sweep", "jobs": ["<hex>", ...]}
+ *   server -> client   {"type": "result", "index": N,
+ *                       "cached": true|false, "data": "<hex>"}  (per cell,
+ *                       completion order)
+ *                      {"type": "done", "cells": N}             (terminal)
+ *                      {"type": "error", "message": "..."}      (terminal)
+ *
+ * "<hex>" payloads are hex-encoded vsim::StateWriter streams: each
+ * requested job is a saveSweepJob encoding (label, workload, scale and
+ * every CoreConfig field), each returned cell a saveRunResult
+ * encoding. Shipping the full job — rather than a key — lets the
+ * server simulate cells it has never seen; shipping the full result
+ * lets the thin client render every existing report format locally,
+ * byte-identical to a direct run.
+ */
+
+#ifndef VSIM_SIM_SERVER_HH
+#define VSIM_SIM_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep.hh"
+
+namespace vsim
+{
+class ThreadPool;
+class StateWriter;
+class StateReader;
+} // namespace vsim
+
+namespace vsim::sim
+{
+
+/** Protocol frames larger than this are rejected as malformed. */
+constexpr std::uint32_t kMaxFrameBytes = 256u * 1024u * 1024u;
+
+/** Serialize a sweep job (label, workload, scale, full CoreConfig). */
+void saveSweepJob(StateWriter &w, const SweepJob &job);
+
+/** Inverse of saveSweepJob; VSIM_FATAL (catchable) on corrupt input. */
+SweepJob loadSweepJob(StateReader &r);
+
+/** Lower-case hex of @p bytes. */
+std::string hexEncode(const std::vector<std::uint8_t> &bytes);
+
+/** Inverse of hexEncode; VSIM_FATAL on odd length / non-hex digits. */
+std::vector<std::uint8_t> hexDecode(const std::string &hex);
+
+/**
+ * The daemon side: accept loop plus a shared simulation worker pool.
+ * One instance serves many concurrent client connections; all of them
+ * memoize and dedupe through @p cache.
+ */
+class SweepServer
+{
+  public:
+    /**
+     * Bind and listen on @p socket_path (an existing socket file is
+     * replaced). @p workers is the simulation worker count (<= 0 = one
+     * per hardware thread). VSIM_FATAL when the socket cannot be
+     * bound.
+     */
+    SweepServer(std::string socket_path, int workers,
+                RunCache *cache = &RunCache::process());
+    ~SweepServer();
+
+    SweepServer(const SweepServer &) = delete;
+    SweepServer &operator=(const SweepServer &) = delete;
+
+    /**
+     * Run the accept loop until stop() is called (from a signal
+     * handler or another thread). Each connection is served on its own
+     * thread; simulations run on the shared worker pool.
+     */
+    void serve();
+
+    /** Ask serve() to return; safe from signal handlers. */
+    void stop() { stopping.store(true); }
+
+    const std::string &socketPath() const { return path; }
+
+    /** Total cells served since construction (tests, stats line). */
+    std::uint64_t cellsServed() const { return served.load(); }
+
+  private:
+    void handleClientOnPool(int fd, ThreadPool &pool);
+
+    std::string path;
+    int listenFd = -1;
+    int nWorkers;
+    RunCache *cache;
+    std::atomic<bool> stopping{false};
+    std::atomic<std::uint64_t> served{0};
+};
+
+/** One cell returned by runSweepOverSocket. */
+struct ServerCell
+{
+    RunResult result;
+    bool cached = false; //!< served without simulating (memory or disk)
+};
+
+/**
+ * The thin-client side: connect to the daemon at @p socket_path, ship
+ * @p jobs, and collect every cell (re-ordered back to job order).
+ * @p timeout_ms bounds connect and each read/write. VSIM_FATAL with a
+ * clear diagnostic when the daemon is unreachable, times out, or
+ * reports an error.
+ */
+std::vector<ServerCell> runSweepOverSocket(
+    const std::string &socket_path, const std::vector<SweepJob> &jobs,
+    int timeout_ms = 300000);
+
+} // namespace vsim::sim
+
+#endif // VSIM_SIM_SERVER_HH

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "disk_cache.hh"
 #include "vsim/base/logging.hh"
 #include "vsim/base/thread_pool.hh"
 #include "vsim/trace/trace_io.hh"
@@ -97,6 +98,7 @@ RunCache::getOrRun(const SweepJob &job, bool *cache_hit)
     const std::string key = jobKey(job);
     std::promise<RunResult> promise;
     std::shared_future<RunResult> future;
+    std::shared_ptr<DiskRunCache> dsk;
     bool owner = false;
     {
         std::unique_lock<std::mutex> lock(mtx);
@@ -105,23 +107,56 @@ RunCache::getOrRun(const SweepJob &job, bool *cache_hit)
             ++nHits;
             future = it->second;
         } else {
-            ++nMisses;
             future = promise.get_future().share();
             entries.emplace(key, future);
             owner = true;
+            dsk = diskCache;
+        }
+    }
+    bool from_disk = false;
+    if (owner) {
+        try {
+            RunResult result;
+            from_disk = dsk && dsk->load(key, result);
+            if (!from_disk)
+                result = runWorkload(job.workload, job.scale, job.cfg);
+            promise.set_value(std::move(result));
+            {
+                std::unique_lock<std::mutex> lock(mtx);
+                if (from_disk)
+                    ++nDiskHits;
+                else
+                    ++nMisses;
+            }
+            if (!from_disk && dsk)
+                dsk->store(key, future.get());
+        } catch (...) {
+            // Release every waiter with the error, then drop the
+            // entry: a failure is never memoized, so a retried key
+            // simulates again instead of replaying the exception.
+            promise.set_exception(std::current_exception());
+            std::unique_lock<std::mutex> lock(mtx);
+            ++nMisses;
+            entries.erase(key);
         }
     }
     if (cache_hit)
-        *cache_hit = !owner;
-    if (owner) {
-        try {
-            promise.set_value(
-                runWorkload(job.workload, job.scale, job.cfg));
-        } catch (...) {
-            promise.set_exception(std::current_exception());
-        }
-    }
+        *cache_hit = !owner || from_disk;
     return future.get(); // rethrows the run's error, if any
+}
+
+void
+RunCache::attachDisk(std::shared_ptr<DiskRunCache> disk)
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    diskCache = std::move(disk);
+}
+
+std::shared_ptr<DiskRunCache>
+RunCache::disk() const
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    return diskCache;
 }
 
 std::uint64_t
@@ -138,6 +173,13 @@ RunCache::misses() const
     return nMisses;
 }
 
+std::uint64_t
+RunCache::diskHits() const
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    return nDiskHits;
+}
+
 std::size_t
 RunCache::size() const
 {
@@ -152,6 +194,7 @@ RunCache::clear()
     entries.clear();
     nHits = 0;
     nMisses = 0;
+    nDiskHits = 0;
 }
 
 SweepRunner::SweepRunner(int jobs, RunCache *cache)

@@ -26,6 +26,7 @@
 #include <functional>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -34,6 +35,8 @@
 
 namespace vsim::sim
 {
+
+class DiskRunCache; // disk_cache.hh
 
 /** One cell of a sweep: a workload run under one configuration. */
 struct SweepJob
@@ -86,23 +89,38 @@ class RunCache
     /**
      * Return the cached result for @p job, or simulate it (running at
      * most once per key even under concurrent callers — late arrivals
-     * block on the in-flight run). Errors are rethrown to every
-     * caller of the failing key. When @p cache_hit is non-null it is
-     * set to whether the key was already present (a blocking wait on
-     * an in-flight run still counts as a hit).
+     * block on the in-flight run). Lookup order is memory → attached
+     * disk store → simulate. Errors are rethrown to every caller
+     * blocked on the failing key, and the key itself is released —
+     * a failure is never memoized, so a later retry simulates again.
+     * When @p cache_hit is non-null it is set to whether the run was
+     * satisfied without simulating (a blocking wait on an in-flight
+     * run and a disk-store hit both count).
      */
     RunResult getOrRun(const SweepJob &job, bool *cache_hit = nullptr);
 
+    /**
+     * Attach a persistent disk store (nullptr detaches). Subsequent
+     * misses consult the store before simulating and write their
+     * results back to it.
+     */
+    void attachDisk(std::shared_ptr<DiskRunCache> disk);
+    std::shared_ptr<DiskRunCache> disk() const;
+
     std::uint64_t hits() const;
     std::uint64_t misses() const;
+    /** Misses satisfied from the attached disk store. */
+    std::uint64_t diskHits() const;
     std::size_t size() const;
     void clear();
 
   private:
     mutable std::mutex mtx;
     std::map<std::string, std::shared_future<RunResult>> entries;
+    std::shared_ptr<DiskRunCache> diskCache;
     std::uint64_t nHits = 0;
     std::uint64_t nMisses = 0;
+    std::uint64_t nDiskHits = 0;
 };
 
 /** Executes job lists on a worker pool, memoizing through a RunCache. */

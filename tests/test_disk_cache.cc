@@ -1,0 +1,593 @@
+/**
+ * @file
+ * Tests for the persistent on-disk run cache (vsim/sim/disk_cache.hh)
+ * and the sweep daemon (vsim/sim/server.hh): RunResult codec
+ * round-trips, cold/warm disk bit-identity, build-fingerprint
+ * invalidation, corrupt/truncated-entry eviction, two-process access
+ * to one store, the length-prefixed-JSON wire protocol (including
+ * malformed-request rejection and a client vanishing mid-stream), and
+ * daemon restart over a warm cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "vsim/base/logging.hh"
+#include "vsim/base/state_io.hh"
+#include "vsim/sim/disk_cache.hh"
+#include "vsim/sim/server.hh"
+#include "vsim/sim/simulator.hh"
+#include "vsim/sim/sweep.hh"
+
+namespace
+{
+
+using namespace vsim;
+using core::ConfidenceKind;
+using core::SpecModel;
+using core::UpdateTiming;
+
+namespace fs = std::filesystem;
+
+/** Self-deleting scratch directory (cache dirs, socket paths). */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char buf[] = "/tmp/vsim_test_XXXXXX";
+        VSIM_ASSERT(::mkdtemp(buf) != nullptr, "mkdtemp failed");
+        path = buf;
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+};
+
+/** A cheap cell whose RunResult exercises every codec section. */
+sim::SweepJob
+richJob(const std::string &workload = "queens")
+{
+    sim::SweepJob job;
+    job.label = "rich";
+    job.workload = workload;
+    job.scale = 1;
+    job.cfg = sim::vpConfig({8, 48}, SpecModel::greatModel(),
+                            ConfidenceKind::Real, UpdateTiming::Delayed);
+    job.cfg.metricsInterval = 500; // interval series in the result
+    job.cfg.specLedger = true;     // ledger records in the result
+    return job;
+}
+
+sim::SweepJob
+baseJob(const std::string &workload = "queens")
+{
+    sim::SweepJob job;
+    job.label = "base";
+    job.workload = workload;
+    job.scale = 1;
+    job.cfg = sim::baseConfig({8, 48});
+    return job;
+}
+
+std::vector<std::uint8_t>
+bytesOf(const sim::RunResult &r)
+{
+    StateWriter w;
+    sim::saveRunResult(w, r);
+    return w.data();
+}
+
+// ---- RunResult / SweepJob codecs --------------------------------------
+
+TEST(RunResultCodec, RoundTripIsBitIdentical)
+{
+    sim::RunCache cache;
+    const sim::RunResult a = cache.getOrRun(richJob());
+    ASSERT_GT(a.intervals.samples.size(), 0u);
+    ASSERT_TRUE(a.ledger.enabled);
+
+    const std::vector<std::uint8_t> encoded = bytesOf(a);
+    StateReader r(encoded.data(), encoded.size());
+    const sim::RunResult b = sim::loadRunResult(r);
+    EXPECT_TRUE(r.done());
+
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.intervals.samples.size(), b.intervals.samples.size());
+    EXPECT_EQ(a.ledger.records.size(), b.ledger.records.size());
+    // Re-encoding the decoded result must reproduce the exact bytes.
+    EXPECT_EQ(encoded, bytesOf(b));
+}
+
+TEST(RunResultCodec, TruncatedStreamThrowsNotCrashes)
+{
+    sim::RunCache cache;
+    const std::vector<std::uint8_t> encoded =
+        bytesOf(cache.getOrRun(richJob()));
+    for (std::size_t len : {std::size_t(0), std::size_t(3),
+                            encoded.size() / 2, encoded.size() - 1}) {
+        StateReader r(encoded.data(), len);
+        EXPECT_THROW(sim::loadRunResult(r), FatalError) << len;
+    }
+}
+
+TEST(SweepJobCodec, RoundTripPreservesEveryField)
+{
+    sim::SweepJob a = richJob("m88k");
+    a.label = "a label with spaces";
+    a.cfg.icache.sizeBytes = 32 * 1024;
+    a.cfg.l2MissLat = 77;
+    a.cfg.shards = 4;
+    a.cfg.warmupInsts = 10'000;
+    a.cfg.traceRetain = 123;
+
+    StateWriter w;
+    sim::saveSweepJob(w, a);
+    StateReader r(w.data().data(), w.data().size());
+    const sim::SweepJob b = sim::loadSweepJob(r);
+    EXPECT_TRUE(r.done());
+
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(sim::jobKey(a), sim::jobKey(b));
+    // Cosmetic fields must survive too: the daemon reproduces the
+    // exact configuration, not just the cache identity.
+    EXPECT_EQ(a.cfg.model.name, b.cfg.model.name);
+    EXPECT_EQ(a.cfg.icache.name, b.cfg.icache.name);
+    EXPECT_EQ(a.cfg.traceRetain, b.cfg.traceRetain);
+    // Re-encode: bit-identical.
+    StateWriter w2;
+    sim::saveSweepJob(w2, b);
+    EXPECT_EQ(w.data(), w2.data());
+}
+
+TEST(SweepJobCodec, OutOfRangeEnumIsRejected)
+{
+    sim::SweepJob bad = baseJob();
+    bad.cfg.model.verifyScheme = static_cast<core::VerifyScheme>(9);
+    StateWriter w;
+    sim::saveSweepJob(w, bad);
+    StateReader r(w.data().data(), w.data().size());
+    EXPECT_THROW(sim::loadSweepJob(r), FatalError);
+}
+
+TEST(Hex, RoundTripAndRejection)
+{
+    const std::vector<std::uint8_t> bytes{0x00, 0x7f, 0xab, 0xff};
+    const std::string hex = sim::hexEncode(bytes);
+    EXPECT_EQ(hex, "007fabff");
+    EXPECT_EQ(sim::hexDecode(hex), bytes);
+    EXPECT_EQ(sim::hexDecode("ABcd"), (std::vector<std::uint8_t>{
+                                          0xab, 0xcd}));
+    EXPECT_THROW(sim::hexDecode("abc"), FatalError);  // odd length
+    EXPECT_THROW(sim::hexDecode("zz"), FatalError);   // non-hex
+}
+
+// ---- disk store -------------------------------------------------------
+
+TEST(DiskRunCache, ColdThenWarmIsBitIdentical)
+{
+    TempDir dir;
+    const sim::SweepJob job = richJob();
+
+    // Cold: simulate, store.
+    sim::RunCache cold;
+    cold.attachDisk(std::make_shared<sim::DiskRunCache>(dir.path));
+    bool hit = true;
+    const sim::RunResult first = cold.getOrRun(job, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(cold.misses(), 1u);
+    EXPECT_EQ(cold.diskHits(), 0u);
+
+    // Warm: a fresh process-equivalent (empty memory cache, new
+    // DiskRunCache over the same directory) must serve from disk.
+    sim::RunCache warm;
+    warm.attachDisk(std::make_shared<sim::DiskRunCache>(dir.path));
+    const sim::RunResult second = warm.getOrRun(job, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(warm.diskHits(), 1u);
+    EXPECT_EQ(warm.misses(), 0u);
+    EXPECT_EQ(bytesOf(first), bytesOf(second));
+}
+
+TEST(DiskRunCache, DifferentFingerprintNeverServesOldEntries)
+{
+    TempDir dir;
+    sim::RunCache cache;
+    const sim::SweepJob job = baseJob();
+    const std::string key = sim::jobKey(job);
+    const sim::RunResult result = cache.getOrRun(job);
+
+    sim::DiskRunCache current(dir.path);
+    current.store(key, result);
+    ASSERT_TRUE(fs::exists(current.entryPath(key)));
+
+    // A different build fingerprint (new sources, new flags) must
+    // miss — and must NOT evict the other build's entry.
+    sim::DiskRunCache other(dir.path, current.fingerprint() ^ 1);
+    sim::RunResult out;
+    EXPECT_FALSE(other.load(key, out));
+    EXPECT_TRUE(fs::exists(current.entryPath(key)));
+    EXPECT_TRUE(current.load(key, out));
+    EXPECT_EQ(bytesOf(result), bytesOf(out));
+}
+
+TEST(DiskRunCache, CorruptEntryIsEvictedNotServed)
+{
+    TempDir dir;
+    sim::RunCache cache;
+    const sim::SweepJob job = baseJob();
+    const std::string key = sim::jobKey(job);
+    sim::DiskRunCache disk(dir.path);
+    disk.store(key, cache.getOrRun(job));
+
+    const std::string path = disk.entryPath(key);
+    // Flip one byte in the middle: the checksum must catch it and the
+    // entry must be evicted, never served.
+    std::vector<char> bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    ASSERT_GT(bytes.size(), 64u);
+    bytes[bytes.size() / 2] ^= 0x5a;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    sim::RunResult out;
+    EXPECT_FALSE(disk.load(key, out));
+    EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(DiskRunCache, TruncatedEntryIsEvicted)
+{
+    TempDir dir;
+    sim::RunCache cache;
+    const sim::SweepJob job = baseJob();
+    const std::string key = sim::jobKey(job);
+    sim::DiskRunCache disk(dir.path);
+
+    for (std::uintmax_t keep : {std::uintmax_t(3),
+                                std::uintmax_t(100)}) {
+        disk.store(key, cache.getOrRun(job));
+        const std::string path = disk.entryPath(key);
+        ASSERT_TRUE(fs::exists(path));
+        fs::resize_file(path, keep);
+        sim::RunResult out;
+        EXPECT_FALSE(disk.load(key, out)) << keep;
+        EXPECT_FALSE(fs::exists(path)) << keep;
+    }
+}
+
+TEST(DiskRunCache, KeyMismatchInSlotIsAPlainMiss)
+{
+    // Simulate an FNV slot collision: a well-formed entry for key A
+    // sitting at key B's path. The stored-key guard must miss without
+    // evicting A's (valid) bytes.
+    TempDir dir;
+    sim::RunCache cache;
+    const sim::SweepJob a = baseJob("queens");
+    const sim::SweepJob b = baseJob("m88k");
+    sim::DiskRunCache disk(dir.path);
+    disk.store(sim::jobKey(a), cache.getOrRun(a));
+    fs::copy_file(disk.entryPath(sim::jobKey(a)),
+                  disk.entryPath(sim::jobKey(b)));
+
+    sim::RunResult out;
+    EXPECT_FALSE(disk.load(sim::jobKey(b), out));
+    EXPECT_TRUE(fs::exists(disk.entryPath(sim::jobKey(b))));
+}
+
+TEST(DiskRunCache, UnwritableDirectoryIsFatalAtConstruction)
+{
+    EXPECT_THROW(sim::DiskRunCache("/proc/no-such-cache-dir"),
+                 FatalError);
+}
+
+TEST(DiskCacheProcess, TwoProcessesShareOneStore)
+{
+    TempDir dir;
+    const sim::SweepJob job = baseJob();
+    const std::string key = sim::jobKey(job);
+
+    // Two child processes race to populate the same directory with
+    // the same cell; atomic temp-file + rename writes mean both must
+    // succeed and leave one valid entry.
+    pid_t pids[2];
+    for (pid_t &pid : pids) {
+        pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            int status = 1;
+            try {
+                sim::RunCache mine;
+                mine.attachDisk(
+                    std::make_shared<sim::DiskRunCache>(dir.path));
+                const sim::RunResult r = mine.getOrRun(job);
+                status = r.stats.cycles > 0 ? 0 : 1;
+            } catch (...) {
+                status = 1;
+            }
+            ::_exit(status);
+        }
+    }
+    for (pid_t pid : pids) {
+        int status = -1;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    }
+
+    // The parent — a third process — reads what the children left.
+    sim::DiskRunCache disk(dir.path);
+    sim::RunResult from_disk;
+    ASSERT_TRUE(disk.load(key, from_disk));
+    sim::RunCache cache;
+    EXPECT_EQ(bytesOf(cache.getOrRun(job)), bytesOf(from_disk));
+}
+
+// ---- daemon wire protocol ---------------------------------------------
+
+/** Raw-socket client for protocol-abuse tests. */
+int
+rawConnect(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    VSIM_ASSERT(path.size() < sizeof(addr.sun_path), "path too long");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    VSIM_ASSERT(fd >= 0, "socket failed");
+    VSIM_ASSERT(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr))
+                    == 0,
+                "connect failed");
+    return fd;
+}
+
+void
+rawSendFrame(int fd, const std::string &json)
+{
+    const std::uint32_t len = static_cast<std::uint32_t>(json.size());
+    std::uint8_t hdr[4];
+    for (int i = 0; i < 4; ++i)
+        hdr[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    ASSERT_EQ(::send(fd, hdr, 4, 0), 4);
+    ASSERT_EQ(::send(fd, json.data(), json.size(), 0),
+              static_cast<ssize_t>(json.size()));
+}
+
+std::string
+rawRecvFrame(int fd)
+{
+    std::uint8_t hdr[4];
+    std::size_t got = 0;
+    while (got < 4) {
+        const ssize_t n = ::recv(fd, hdr + got, 4 - got, 0);
+        if (n <= 0)
+            return "";
+        got += static_cast<std::size_t>(n);
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(hdr[i]) << (8 * i);
+    std::string json(len, '\0');
+    got = 0;
+    while (got < len) {
+        const ssize_t n = ::recv(fd, json.data() + got, len - got, 0);
+        if (n <= 0)
+            return "";
+        got += static_cast<std::size_t>(n);
+    }
+    return json;
+}
+
+std::string
+encodeJob(const sim::SweepJob &job)
+{
+    StateWriter w;
+    sim::saveSweepJob(w, job);
+    return sim::hexEncode(w.data());
+}
+
+/** A SweepServer on its own thread, stopped and joined on scope exit. */
+struct ServerGuard
+{
+    sim::SweepServer server;
+    std::thread thread;
+
+    ServerGuard(const std::string &sock, int workers,
+                sim::RunCache *cache)
+        : server(sock, workers, cache),
+          thread([this] { server.serve(); })
+    {
+    }
+
+    ~ServerGuard()
+    {
+        server.stop();
+        thread.join();
+    }
+};
+
+TEST(SweepServer, BatchMatchesDirectRunBitForBit)
+{
+    TempDir dir;
+    const std::string sock = dir.path + "/d.sock";
+    const std::vector<sim::SweepJob> jobs{baseJob("queens"),
+                                          richJob("queens"),
+                                          baseJob("m88k")};
+    sim::RunCache server_cache;
+    ServerGuard guard(sock, 2, &server_cache);
+
+    const auto cells = sim::runSweepOverSocket(sock, jobs);
+    ASSERT_EQ(cells.size(), jobs.size());
+    sim::RunCache direct;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_FALSE(cells[i].cached) << i;
+        EXPECT_EQ(bytesOf(direct.getOrRun(jobs[i])),
+                  bytesOf(cells[i].result))
+            << i;
+    }
+    EXPECT_EQ(guard.server.cellsServed(), jobs.size());
+
+    // Same batch again: every cell must be served from memory.
+    const auto again = sim::runSweepOverSocket(sock, jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_TRUE(again[i].cached) << i;
+        EXPECT_EQ(bytesOf(cells[i].result), bytesOf(again[i].result))
+            << i;
+    }
+    EXPECT_EQ(server_cache.misses(), jobs.size());
+}
+
+TEST(SweepServer, ConcurrentClientsDedupeInFlight)
+{
+    TempDir dir;
+    const std::string sock = dir.path + "/d.sock";
+    const std::vector<sim::SweepJob> jobs{richJob("queens")};
+    sim::RunCache server_cache;
+    ServerGuard guard(sock, 4, &server_cache);
+
+    std::vector<std::vector<sim::ServerCell>> got(4);
+    std::vector<std::thread> clients;
+    for (auto &out : got)
+        clients.emplace_back([&, p = &out] {
+            *p = sim::runSweepOverSocket(sock, jobs);
+        });
+    for (std::thread &t : clients)
+        t.join();
+
+    // Four clients, one cell: exactly one simulation ran.
+    EXPECT_EQ(server_cache.misses(), 1u);
+    for (const auto &cells : got) {
+        ASSERT_EQ(cells.size(), 1u);
+        EXPECT_EQ(bytesOf(got[0][0].result), bytesOf(cells[0].result));
+    }
+}
+
+TEST(SweepServer, MalformedRequestsGetErrorFrames)
+{
+    TempDir dir;
+    const std::string sock = dir.path + "/d.sock";
+    sim::RunCache server_cache;
+    ServerGuard guard(sock, 1, &server_cache);
+
+    const struct
+    {
+        const char *request;
+        const char *expect;
+    } cases[] = {
+        {"{\"type\": \"bogus\"}", "malformed request"},
+        {"not json at all", "malformed request"},
+        // The reply is JSON, so the quotes around "jobs" arrive
+        // backslash-escaped.
+        {"{\"type\": \"sweep\", \"jobs\": \"nope\"}",
+         "bad \\\"jobs\\\" array"},
+        {"{\"type\": \"sweep\", \"jobs\": [\"zz\"]}",
+         "malformed job encoding"},
+    };
+    for (const auto &c : cases) {
+        const int fd = rawConnect(sock);
+        rawSendFrame(fd, c.request);
+        const std::string reply = rawRecvFrame(fd);
+        EXPECT_NE(reply.find("\"type\": \"error\""), std::string::npos)
+            << c.request << " -> " << reply;
+        EXPECT_NE(reply.find(c.expect), std::string::npos)
+            << c.request << " -> " << reply;
+        ::close(fd);
+    }
+}
+
+TEST(SweepServer, ClientVanishingMidBatchStillPopulatesCache)
+{
+    TempDir dir;
+    const std::string sock = dir.path + "/d.sock";
+    const sim::SweepJob job = baseJob();
+    sim::RunCache server_cache;
+    ServerGuard guard(sock, 2, &server_cache);
+
+    // Send a valid batch, then hang up without reading a single
+    // result: the daemon must finish the work into its cache and keep
+    // serving other clients.
+    const int fd = rawConnect(sock);
+    rawSendFrame(fd, "{\"type\": \"sweep\", \"jobs\": [\""
+                         + encodeJob(job) + "\"]}");
+    ::close(fd);
+
+    for (int waited = 0; server_cache.size() < 1 && waited < 30000;
+         waited += 10)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(server_cache.size(), 1u);
+
+    const auto cells =
+        sim::runSweepOverSocket(sock, {job});
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_TRUE(cells[0].cached); // the abandoned run served this one
+    // The owner bumps the miss counter just after publishing the
+    // result, so a waiter can observe the result first; poll briefly.
+    for (int waited = 0; server_cache.misses() < 1 && waited < 5000;
+         waited += 10)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(server_cache.misses(), 1u);
+}
+
+TEST(SweepServer, RestartedDaemonServesWarmCacheFromDisk)
+{
+    TempDir dir;
+    const std::string sock = dir.path + "/d.sock";
+    const std::string cache_dir = dir.path + "/cache";
+    const std::vector<sim::SweepJob> jobs{baseJob("queens"),
+                                          richJob("queens")};
+
+    std::vector<std::vector<std::uint8_t>> first;
+    {
+        sim::RunCache c1;
+        c1.attachDisk(std::make_shared<sim::DiskRunCache>(cache_dir));
+        ServerGuard guard(sock, 2, &c1);
+        for (const auto &cell : sim::runSweepOverSocket(sock, jobs))
+            first.push_back(bytesOf(cell.result));
+    } // daemon gone; only the disk store survives
+
+    sim::RunCache c2;
+    c2.attachDisk(std::make_shared<sim::DiskRunCache>(cache_dir));
+    ServerGuard guard(sock, 2, &c2);
+    const auto cells = sim::runSweepOverSocket(sock, jobs);
+    ASSERT_EQ(cells.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_TRUE(cells[i].cached) << i;
+        EXPECT_EQ(first[i], bytesOf(cells[i].result)) << i;
+    }
+    EXPECT_EQ(c2.diskHits(), jobs.size());
+    EXPECT_EQ(c2.misses(), 0u);
+}
+
+TEST(SweepClient, UnreachableSocketIsAClearError)
+{
+    TempDir dir;
+    try {
+        sim::runSweepOverSocket(dir.path + "/nobody.sock",
+                                {baseJob()}, 1000);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("vspec_sweepd"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+} // namespace

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -140,6 +141,110 @@ TEST(JobKey, ModelNameIsCosmetic)
     EXPECT_EQ(sim::jobKey(a), sim::jobKey(b));
 }
 
+// With results now persisted across processes (disk_cache.hh), a
+// CoreConfig field that jobKey forgets silently serves wrong cached
+// results forever. The static_asserts trip whenever CoreConfig or
+// SpecModel grows/shrinks; on a size change, audit jobKey() in
+// sweep.cc (and the sweep-job codec in server.cc), then update the
+// sizes AND the mutation table below.
+static_assert(sizeof(core::CoreConfig) == 448,
+              "CoreConfig changed: audit jobKey() + saveSweepJob()");
+static_assert(sizeof(SpecModel) == 80,
+              "SpecModel changed: audit jobKey() + saveSweepJob()");
+
+TEST(JobKey, EveryRelevantFieldChangesTheKey)
+{
+    using Mutator = void (*)(sim::SweepJob &);
+    const struct
+    {
+        const char *name;
+        bool identity; //!< true: key must CHANGE when mutated
+        Mutator mutate;
+    } fields[] = {
+        // Machine.
+        {"issueWidth", true, [](sim::SweepJob &j) { j.cfg.issueWidth = 4; }},
+        {"fetchWidth", true, [](sim::SweepJob &j) { j.cfg.fetchWidth = 16; }},
+        {"retireWidth", true, [](sim::SweepJob &j) { j.cfg.retireWidth = 4; }},
+        {"dcachePorts", true, [](sim::SweepJob &j) { j.cfg.dcachePorts = 1; }},
+        // Value speculation.
+        {"valuePredictor", true,
+         [](sim::SweepJob &j) { j.cfg.valuePredictor = "last"; }},
+        {"confidence", true,
+         [](sim::SweepJob &j) { j.cfg.confidence = ConfidenceKind::Always; }},
+        {"confidenceBits", true,
+         [](sim::SweepJob &j) { j.cfg.confidenceBits = 5; }},
+        {"updateTiming", true,
+         [](sim::SweepJob &j) { j.cfg.updateTiming = UpdateTiming::Immediate; }},
+        {"model.verifyToBranch", true,
+         [](sim::SweepJob &j) { j.cfg.model.verifyToBranch += 2; }},
+        {"model.verifyAddrToMem", true,
+         [](sim::SweepJob &j) { j.cfg.model.verifyAddrToMem += 2; }},
+        {"model.branchNeedsValidOps", true,
+         [](sim::SweepJob &j) {
+             j.cfg.model.branchNeedsValidOps =
+                 !j.cfg.model.branchNeedsValidOps;
+         }},
+        // Front end and memory hierarchy.
+        {"branchPredictor", true,
+         [](sim::SweepJob &j) { j.cfg.branchPredictor = "taken"; }},
+        {"icache.sizeBytes", true,
+         [](sim::SweepJob &j) { j.cfg.icache.sizeBytes /= 2; }},
+        {"dcache.assoc", true,
+         [](sim::SweepJob &j) { j.cfg.dcache.assoc *= 2; }},
+        {"l2cache.blockBytes", true,
+         [](sim::SweepJob &j) { j.cfg.l2cache.blockBytes *= 2; }},
+        {"dcacheHitLat", true,
+         [](sim::SweepJob &j) { j.cfg.dcacheHitLat += 1; }},
+        {"l2MissLat", true, [](sim::SweepJob &j) { j.cfg.l2MissLat += 10; }},
+        {"storeForwardLat", true,
+         [](sim::SweepJob &j) { j.cfg.storeForwardLat += 1; }},
+        // Functional units and run control.
+        {"aluLat", true, [](sim::SweepJob &j) { j.cfg.aluLat += 1; }},
+        {"mulLat", true, [](sim::SweepJob &j) { j.cfg.mulLat += 1; }},
+        {"divLat", true, [](sim::SweepJob &j) { j.cfg.divLat += 1; }},
+        {"maxCycles", true, [](sim::SweepJob &j) { j.cfg.maxCycles = 1000; }},
+        // Observability that rides in the RunResult (PR 7).
+        {"metricsInterval", true,
+         [](sim::SweepJob &j) { j.cfg.metricsInterval = 500; }},
+        {"specLedger", true,
+         [](sim::SweepJob &j) { j.cfg.specLedger = true; }},
+        // Sharded interval simulation (PR 8).
+        {"shards", true, [](sim::SweepJob &j) { j.cfg.shards = 4; }},
+        {"intervalInsts", true,
+         [](sim::SweepJob &j) { j.cfg.intervalInsts = 100'000; }},
+        {"warmupInsts", true,
+         [](sim::SweepJob &j) { j.cfg.warmupInsts = 10'000; }},
+        // Execution resources and cosmetics: bit-identical results,
+        // so they must NOT fracture the cache (PRs 6-8 audits).
+        {"label", false, [](sim::SweepJob &j) { j.label = "renamed"; }},
+        {"model.name", false,
+         [](sim::SweepJob &j) { j.cfg.model.name = "renamed"; }},
+        {"icache.name", false,
+         [](sim::SweepJob &j) { j.cfg.icache.name = "renamed"; }},
+        {"scheduler", false,
+         [](sim::SweepJob &j) {
+             j.cfg.scheduler = core::SchedulerKind::Scan;
+         }},
+        {"sweepKind", false,
+         [](sim::SweepJob &j) { j.cfg.sweepKind = core::SweepKind::Dense; }},
+        {"tracePipeline", false,
+         [](sim::SweepJob &j) { j.cfg.tracePipeline = true; }},
+        {"traceRetain", false,
+         [](sim::SweepJob &j) { j.cfg.traceRetain = 64; }},
+        {"shardJobs", false, [](sim::SweepJob &j) { j.cfg.shardJobs = 8; }},
+    };
+
+    const std::string base_key = sim::jobKey(quickJob("queens", true));
+    for (const auto &f : fields) {
+        sim::SweepJob mutated = quickJob("queens", true);
+        f.mutate(mutated);
+        if (f.identity)
+            EXPECT_NE(sim::jobKey(mutated), base_key) << f.name;
+        else
+            EXPECT_EQ(sim::jobKey(mutated), base_key) << f.name;
+    }
+}
+
 // ---- serial vs parallel determinism -----------------------------------
 
 std::vector<sim::SweepJob>
@@ -245,6 +350,33 @@ TEST(RunCache, DuplicateJobsSimulateOnce)
     EXPECT_EQ(cache.hits(), 7u);
     for (const auto &r : results)
         EXPECT_EQ(r.stats.cycles, results[0].stats.cycles);
+}
+
+TEST(RunCache, OwnerExceptionReleasesWaitersAndKey)
+{
+    // Eight copies of a failing cell under eight workers: the owner's
+    // exception must release every waiter (no deadlock), propagate
+    // out of run(), and un-memoize the key so a retry executes again
+    // instead of replaying a stale error.
+    std::vector<sim::SweepJob> jobs(8, quickJob("nonesuch"));
+    sim::RunCache cache;
+    sim::SweepRunner runner(8, &cache);
+    EXPECT_THROW(runner.run(jobs), FatalError);
+    EXPECT_EQ(cache.size(), 0u);
+    const std::uint64_t misses_after_first = cache.misses();
+    EXPECT_GE(misses_after_first, 1u);
+
+    // The failing key was dropped: a second attempt re-executes (the
+    // miss counter advances) rather than replaying a cached error.
+    EXPECT_THROW(runner.run(jobs), FatalError);
+    EXPECT_GT(cache.misses(), misses_after_first);
+    EXPECT_EQ(cache.size(), 0u);
+
+    // The cache stays usable for good cells afterwards.
+    bool hit = true;
+    cache.getOrRun(quickJob(), &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(cache.size(), 1u);
 }
 
 // ---- JSON round-trip --------------------------------------------------

@@ -30,6 +30,7 @@
 #include "vsim/obs/cpi.hh"
 #include "vsim/obs/interval.hh"
 #include "vsim/obs/trace_export.hh"
+#include "vsim/sim/disk_cache.hh"
 #include "vsim/sim/report.hh"
 #include "vsim/sim/simulator.hh"
 #include "vsim/sim/sweep.hh"
@@ -116,6 +117,11 @@ usage(const char *argv0)
         "  --jobs N          worker threads executing shards\n"
         "                    (default 1)\n"
         "  --progress        print a completion line to stderr\n"
+        "  --cache-dir PATH  persistent on-disk run cache: repeated\n"
+        "                    runs of the same configuration are served\n"
+        "                    from disk instead of re-simulated (also\n"
+        "                    via VSIM_CACHE_DIR; ignored for --asm and\n"
+        "                    pipeline-traced runs)\n"
         "  --json [PATH]     emit the statistics as one JSON object\n"
         "                    (to PATH if given, else stdout)\n");
 }
@@ -166,7 +172,7 @@ main(int argc, char **argv)
 
     std::string workload, asm_file, trace_file, json_path;
     std::string metrics_path, counters_path, trace_json_path;
-    std::string stacks_path, ledger_path;
+    std::string stacks_path, ledger_path, cache_dir;
     int scale = -1;
     std::size_t ledger_limit = 0;
     bool ledger_limit_set = false;
@@ -396,6 +402,8 @@ main(int argc, char **argv)
             jobs_set = true;
         } else if (!std::strcmp(argv[i], "--progress")) {
             progress = true;
+        } else if (!std::strcmp(argv[i], "--cache-dir")) {
+            cache_dir = need_value("--cache-dir");
         } else if (!std::strcmp(argv[i], "--json")) {
             json = true;
             // Optional output path operand.
@@ -449,8 +457,18 @@ main(int argc, char **argv)
     // Detailed per-prediction records are collected only on request —
     // the flag is part of the run's cache identity.
     cfg.specLedger = !ledger_path.empty();
+    if (cache_dir.empty()) {
+        const char *env = std::getenv("VSIM_CACHE_DIR");
+        if (env && *env)
+            cache_dir = env;
+    }
 
     try {
+        if (!cache_dir.empty() && asm_file.empty()
+            && !cfg.tracePipeline) {
+            sim::RunCache::process().attachDisk(
+                std::make_shared<sim::DiskRunCache>(cache_dir));
+        }
         sim::RunResult r;
         std::string pipeline_text;
         obs::TraceWriter trace_writer;

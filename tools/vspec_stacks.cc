@@ -242,20 +242,36 @@ main(int argc, char **argv)
     // differ: "base" vs "great D/R"); multi-cell files pair up by
     // identity so reordered sweeps still align.
     std::size_t matched = 0;
+    std::vector<const StackRow *> only_a, only_b;
     if (as.size() == 1 && bs.size() == 1) {
         diffOne(as[0], bs[0]);
         matched = 1;
     } else {
         for (const StackRow &a : as) {
+            bool found = false;
             for (const StackRow &b : bs) {
                 if (a.key() == b.key()) {
                     if (matched)
                         std::printf("\n");
                     diffOne(a, b);
                     ++matched;
+                    found = true;
                     break;
                 }
             }
+            if (!found)
+                only_a.push_back(&a);
+        }
+        for (const StackRow &b : bs) {
+            bool found = false;
+            for (const StackRow &a : as) {
+                if (a.key() == b.key()) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                only_b.push_back(&b);
         }
     }
     if (matched == 0) {
@@ -265,10 +281,22 @@ main(int argc, char **argv)
                      argv[1], as.size(), argv[2], bs.size());
         return 1;
     }
-    if (matched < as.size() || matched < bs.size()) {
+    // A partial match means the two files describe different sweeps;
+    // diffing only the intersection would silently hide cells, so
+    // name every unmatched cell and fail.
+    if (!only_a.empty() || !only_b.empty()) {
         std::fprintf(stderr,
-                     "note: %zu cell(s) compared; %zu in A, %zu in B\n",
-                     matched, as.size(), bs.size());
+                     "error: cell sets differ (%zu compared, %zu only "
+                     "in %s, %zu only in %s)\n",
+                     matched, only_a.size(), argv[1], only_b.size(),
+                     argv[2]);
+        for (const StackRow *row : only_a)
+            std::fprintf(stderr, "  only in %s: %s\n", argv[1],
+                         row->title().c_str());
+        for (const StackRow *row : only_b)
+            std::fprintf(stderr, "  only in %s: %s\n", argv[2],
+                         row->title().c_str());
+        return 1;
     }
     return 0;
 }

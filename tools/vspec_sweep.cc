@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,7 +27,9 @@
 #include "vsim/base/stats.hh"
 #include "vsim/core/spec_model.hh"
 #include "vsim/core/window_types.hh"
+#include "vsim/sim/disk_cache.hh"
 #include "vsim/sim/report.hh"
+#include "vsim/sim/server.hh"
 #include "vsim/sim/sweep.hh"
 
 namespace
@@ -101,6 +104,16 @@ usage(const char *argv0)
                  "shard execution\n"
                  "                        (default 1; --jobs stays the "
                  "sweep-level worker count)\n"
+                 "  --cache-dir PATH      persistent on-disk run cache: "
+                 "repeated sweeps serve\n"
+                 "                        finished cells from disk "
+                 "instead of re-simulating\n"
+                 "                        (also via VSIM_CACHE_DIR; "
+                 "invalidated on rebuild)\n"
+                 "  --server SOCK         run the sweep through a "
+                 "vspec-sweepd daemon at the\n"
+                 "                        given Unix socket instead of "
+                 "simulating locally\n"
                  "named sweeps:\n",
                  argv0, static_cast<int>(std::strlen(argv0) + 7), "",
                  argv0);
@@ -175,6 +188,7 @@ main(int argc, char **argv)
     int shard_jobs = 1;
     bool warmup_set = false;
     bool shard_jobs_set = false;
+    std::string cache_dir, server_sock;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> const char * {
@@ -297,6 +311,10 @@ main(int argc, char **argv)
             shard_jobs = parsePositiveInt(argv[0], "--shard-jobs",
                                           need_value("--shard-jobs"));
             shard_jobs_set = true;
+        } else if (!std::strcmp(argv[i], "--cache-dir")) {
+            cache_dir = need_value("--cache-dir");
+        } else if (!std::strcmp(argv[i], "--server")) {
+            server_sock = need_value("--server");
         } else if (!std::strcmp(argv[i], "--sweep-kind")) {
             const std::string k = need_value("--sweep-kind");
             if (k == "sparse")
@@ -340,6 +358,20 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--warmup-insts/--shard-jobs need "
                              "--shards or --interval-insts\n");
         return 2;
+    }
+    if (!cache_dir.empty() && !server_sock.empty()) {
+        std::fprintf(stderr,
+                     "--cache-dir and --server are mutually exclusive "
+                     "(the daemon owns the cache)\n");
+        return 2;
+    }
+    // The env fallback only applies to local runs: in server mode the
+    // daemon owns the cache, and an ambient VSIM_CACHE_DIR must not
+    // turn into an error the explicit flags would not produce.
+    if (cache_dir.empty() && server_sock.empty()) {
+        const char *env = std::getenv("VSIM_CACHE_DIR");
+        if (env && *env)
+            cache_dir = env;
     }
 
     try {
@@ -400,14 +432,36 @@ main(int argc, char **argv)
                 job.cfg.model.memNeedsValidOps = *mem_valid_override;
         }
 
-        sim::SweepRunner runner(jobs);
-        runner.setProgress(progress);
+        std::vector<sim::RunResult> results;
         // Spans are always collected: --json reports per-cell
         // wall-clock and simulation rate alongside the stats.
         std::vector<sim::JobSpan> spans;
-        runner.setSpanSink(&spans);
-        const std::vector<sim::RunResult> results =
-            runner.run(sweep_jobs);
+        if (!server_sock.empty()) {
+            // Thin-client mode: ship the batch to the daemon and map
+            // the returned cells back into the local report pipeline,
+            // so every output format below renders byte-identically
+            // to a direct run.
+            const std::vector<sim::ServerCell> cells =
+                sim::runSweepOverSocket(server_sock, sweep_jobs);
+            spans.resize(sweep_jobs.size());
+            results.reserve(cells.size());
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                results.push_back(cells[i].result);
+                spans[i].index = i;
+                spans[i].label = sweep_jobs[i].label;
+                spans[i].workload = sweep_jobs[i].workload;
+                spans[i].worker = -1;
+                spans[i].cacheHit = cells[i].cached;
+            }
+        } else {
+            if (!cache_dir.empty())
+                sim::RunCache::process().attachDisk(
+                    std::make_shared<sim::DiskRunCache>(cache_dir));
+            sim::SweepRunner runner(jobs);
+            runner.setProgress(progress);
+            runner.setSpanSink(&spans);
+            results = runner.run(sweep_jobs);
+        }
 
         std::printf("== sweep %s: %zu runs (%d worker%s) ==\n\n",
                     spec.name.c_str(), sweep_jobs.size(), jobs,

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * vspec-sweepd: the sweep engine as a long-running service. Listens
+ * on a Unix-domain socket for batched sweep requests (see
+ * vsim/sim/server.hh for the wire protocol), simulates cells on a
+ * shared worker pool, and memoizes every result in the process-wide
+ * RunCache — optionally persisted to disk with --cache-dir, so a
+ * restarted daemon serves previously computed cells without
+ * simulating. Concurrent clients deduplicate in flight: two clients
+ * requesting the same cell trigger one simulation.
+ *
+ *   vspec-sweepd --socket /tmp/vspec.sock --cache-dir ~/.vspec-cache
+ *   vspec-sweep fig3 --quick --server /tmp/vspec.sock
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "vsim/base/logging.hh"
+#include "vsim/sim/disk_cache.hh"
+#include "vsim/sim/server.hh"
+#include "vsim/sim/sweep.hh"
+
+namespace
+{
+
+vsim::sim::SweepServer *g_server = nullptr;
+
+void
+handleSignal(int)
+{
+    if (g_server)
+        g_server->stop();
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [--cache-dir PATH] [--workers N]\n"
+        "  --socket PATH     Unix-domain socket to listen on "
+        "(required)\n"
+        "  --cache-dir PATH  persist finished runs to disk; a "
+        "restarted daemon\n"
+        "                    serves them without re-simulating (also "
+        "via\n"
+        "                    VSIM_CACHE_DIR)\n"
+        "  --workers N       simulation worker threads (default: one "
+        "per\n"
+        "                    hardware thread)\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsim;
+
+    std::string socket_path, cache_dir;
+    int workers = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--socket")) {
+            socket_path = need_value("--socket");
+        } else if (!std::strcmp(argv[i], "--cache-dir")) {
+            cache_dir = need_value("--cache-dir");
+        } else if (!std::strcmp(argv[i], "--workers")) {
+            const char *w = need_value("--workers");
+            workers = std::atoi(w);
+            if (workers <= 0) {
+                std::fprintf(stderr,
+                             "--workers expects a positive integer, "
+                             "got '%s'\n",
+                             w);
+                return 2;
+            }
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (socket_path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (cache_dir.empty()) {
+        const char *env = std::getenv("VSIM_CACHE_DIR");
+        if (env && *env)
+            cache_dir = env;
+    }
+
+    try {
+        if (!cache_dir.empty()) {
+            sim::RunCache::process().attachDisk(
+                std::make_shared<sim::DiskRunCache>(cache_dir));
+            VSIM_INFORM("sweepd: persistent cache at ", cache_dir);
+        }
+        sim::SweepServer server(socket_path, workers);
+        g_server = &server;
+        std::signal(SIGINT, handleSignal);
+        std::signal(SIGTERM, handleSignal);
+        VSIM_INFORM("sweepd: listening on ", socket_path);
+        server.serve();
+        VSIM_INFORM("sweepd: shutting down after serving ",
+                    server.cellsServed(), " cell(s)");
+        g_server = nullptr;
+        return 0;
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+}
