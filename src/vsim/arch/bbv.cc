@@ -1,0 +1,45 @@
+#include "bbv.hh"
+
+#include "vsim/base/logging.hh"
+
+namespace vsim::arch
+{
+
+std::size_t
+bbvBucket(std::uint64_t block_start_pc)
+{
+    // SplitMix64 finalizer: full-avalanche, fixed constants, no state.
+    std::uint64_t z = block_start_pc + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<std::size_t>(z % kBbvDim);
+}
+
+BbvAccumulator::BbvAccumulator(std::uint64_t interval_insts)
+    : period(interval_insts)
+{
+    VSIM_ASSERT(period > 0, "BBV interval length must be > 0");
+}
+
+void
+BbvAccumulator::finish()
+{
+    if (fill > 0) {
+        intervals_.push_back(current);
+        current = Bbv{};
+        fill = 0;
+    }
+}
+
+std::vector<Bbv>
+profileBbv(const ExecTrace &trace, std::uint64_t interval_insts)
+{
+    BbvAccumulator acc(interval_insts);
+    for (const TraceEntry &e : trace.entries)
+        acc.step(e);
+    acc.finish();
+    return acc.intervals();
+}
+
+} // namespace vsim::arch

@@ -94,14 +94,15 @@ preExecute(const assembler::Program &prog, std::uint64_t max_insts)
 {
     FunctionalCore core(prog);
     ExecTrace trace;
-    TraceEntry entry;
     while (!core.state().halted) {
         if (trace.entries.size() >= max_insts) {
             VSIM_FATAL("pre-execution did not halt within ", max_insts,
                        " instructions");
         }
-        core.step(&entry);
-        trace.entries.push_back(entry);
+        // Record in place: a second copy per entry is measurable over
+        // a multi-gigabyte trace.
+        trace.entries.emplace_back();
+        core.step(&trace.entries.back());
     }
     trace.output = core.state().output;
     trace.exitCode = core.state().exitCode;

@@ -158,6 +158,24 @@ struct CoreConfig
      */
     int shardJobs = 1;
 
+    // ---- sampled simulation (vsim/sim/sample.hh) -------------------------
+    /**
+     * SimPoint-style sampled replay: cluster the trace's
+     * sampleIntervalInsts-length intervals into at most N phases by
+     * their basic-block vectors, simulate only one representative
+     * interval per phase in detail, and weight its statistics by the
+     * phase population (0 = off; mutually exclusive with shards /
+     * intervalInsts). Part of the run's identity (jobKey): sampled
+     * statistics approximate the monolithic run.
+     */
+    std::uint64_t sampleK = 0;
+    /**
+     * Interval length for sampled replay, in instructions (0 = the
+     * default kDefaultSampleIntervalInsts). Part of the run's
+     * identity (jobKey): it defines the clustering granularity.
+     */
+    std::uint64_t sampleIntervalInsts = 0;
+
     int effFetchWidth() const { return fetchWidth < 0 ? issueWidth : fetchWidth; }
     int effRetireWidth() const { return retireWidth < 0 ? issueWidth : retireWidth; }
     int

@@ -78,6 +78,44 @@ CoreStats::merge(const CoreStats &other)
 }
 
 void
+CoreStats::mergeWeighted(const CoreStats &other, std::uint64_t w)
+{
+    cycles += other.cycles * w;
+    retired += other.retired * w;
+    fetched += other.fetched * w;
+    dispatched += other.dispatched * w;
+    issued += other.issued * w;
+    retiredLoads += other.retiredLoads * w;
+    retiredStores += other.retiredStores * w;
+    retiredBranches += other.retiredBranches * w;
+    condBranches += other.condBranches * w;
+    condMispredicts += other.condMispredicts * w;
+    squashes += other.squashes * w;
+    vpEligible += other.vpEligible * w;
+    vpCH += other.vpCH * w;
+    vpCL += other.vpCL * w;
+    vpIH += other.vpIH * w;
+    vpIL += other.vpIL * w;
+    vpSpeculated += other.vpSpeculated * w;
+    verifyEvents += other.verifyEvents * w;
+    invalidateEvents += other.invalidateEvents * w;
+    nullifications += other.nullifications * w;
+    reissues += other.reissues * w;
+    loadsForwarded += other.loadsForwarded * w;
+    icacheMisses += other.icacheMisses * w;
+    dcacheMisses += other.dcacheMisses * w;
+    predMade += other.predMade * w;
+    predSquashed += other.predSquashed * w;
+    predConsumed += other.predConsumed * w;
+    verifyTouches += other.verifyTouches * w;
+    invalTouches += other.invalTouches * w;
+    cpi.mergeWeighted(other.cpi, w);
+    verifyLatency.mergeWeighted(other.verifyLatency, w);
+    invalToReissue.mergeWeighted(other.invalToReissue, w);
+    specInFlight.mergeWeighted(other.specInFlight, w);
+}
+
+void
 registerStats(obs::Registry &reg, const CoreStats &s)
 {
     auto set = [&reg](const char *name, const char *desc,

@@ -124,6 +124,17 @@ struct CoreStats
      */
     void merge(const CoreStats &other);
 
+    /**
+     * Weighted fold for sampled simulation (vsim/sim/sample.hh): add
+     * @p other's scalar counters, CPI stack and histograms scaled by
+     * the integer @p weight — exactly as if other had been merged
+     * @p weight times. A representative interval merged under its
+     * cluster's population weight stands in for every interval of the
+     * cluster. Integer arithmetic only, so sampled merges stay
+     * bit-identical across hosts and worker counts.
+     */
+    void mergeWeighted(const CoreStats &other, std::uint64_t weight);
+
     double
     ipc() const
     {

@@ -9,16 +9,23 @@
  * header names the patterns once so the hot paths read as intent and
  * compile to the underlying word scans.
  *
- * libstdc++ exposes its word-parallel first-set scan as
- * _Find_first/_Find_next (a ctz per 64-bit word); other standard
- * libraries fall back to a portable per-word shift loop over
- * to_ullong-sized chunks.
+ * The scans view the bitset as an array of 64-bit words (std::bit_cast
+ * — libstdc++ stores bit b of a bitset in word b/64 at position b%64,
+ * which on a little-endian host is exactly the uint64 array layout)
+ * and walk set bits with countr_zero + clear-lowest-bit loops: no
+ * per-bit branch, zero words cost one compare each. Hosts where that
+ * layout assumption does not hold fall back to a portable per-word
+ * shift loop over to_ullong-sized chunks.
  */
 
 #ifndef VSIM_CORE_MASK_OPS_HH
 #define VSIM_CORE_MASK_OPS_HH
 
+#include <array>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 
 #include "window_types.hh"
 
@@ -42,48 +49,88 @@ anyIntersect(const SpecMask &a, const SpecMask &b)
     return (a & b).any();
 }
 
+inline constexpr std::size_t kMaskWords = kMaxWindow / 64;
+
+/** The mask reinterpreted as ascending 64-bit words (word i holds
+ *  bits [64i, 64i+64)). */
+using MaskWords = std::array<std::uint64_t, kMaskWords>;
+
+/** Direct word view is valid: libstdc++ unsigned-long storage on a
+ *  little-endian LP64 host with a whole number of words. */
+inline constexpr bool kDirectWordView =
+#if defined(__GLIBCXX__)
+    std::endian::native == std::endian::little
+    && sizeof(SpecMask) == sizeof(MaskWords) && kMaxWindow % 64 == 0;
+#else
+    false;
+#endif
+
+/** @return word @p wi of @p m (bits [64*wi, 64*wi+64)), loaded in
+ *  place — no full-mask copy, so early-exit scans touch only the
+ *  words they read. The memcpy compiles to a single 8-byte load. */
+inline std::uint64_t
+wordAt(const SpecMask &m, std::size_t wi)
+{
+    if constexpr (kDirectWordView) {
+        std::uint64_t w;
+        std::memcpy(&w,
+                    reinterpret_cast<const unsigned char *>(&m)
+                        + wi * sizeof(std::uint64_t),
+                    sizeof(w));
+        return w;
+    } else {
+        return ((m >> (wi * 64)) & SpecMask(~0ull)).to_ullong();
+    }
+}
+
+/** @return @p m as 64-bit words, cheapest way the host allows. */
+inline MaskWords
+toWords(const SpecMask &m)
+{
+    if constexpr (kDirectWordView) {
+        return std::bit_cast<MaskWords>(m);
+    } else {
+        MaskWords words{};
+        for (std::size_t w = 0; w < kMaskWords; ++w)
+            words[w] = wordAt(m, w);
+        return words;
+    }
+}
+
 /**
  * Call @p fn(int bit) for every set bit of @p m, ascending. Word
- * parallel: the scan skips zero words instead of testing every bit.
+ * parallel and branchless per bit: each word is consumed by a
+ * countr_zero / clear-lowest-set loop, so the iteration count equals
+ * the popcount plus one compare per word.
  */
 template <typename Fn>
 inline void
 forEachSetBit(const SpecMask &m, Fn &&fn)
 {
-#if defined(__GLIBCXX__)
-    for (std::size_t b = m._Find_first(); b < m.size();
-         b = m._Find_next(b)) {
-        fn(static_cast<int>(b));
-    }
-#else
-    constexpr std::size_t kWord = 64;
-    for (std::size_t base = 0; base < m.size(); base += kWord) {
-        unsigned long long w =
-            ((m >> base) & SpecMask(~0ull)).to_ullong();
+    // Unrolled: sparse masks pay mostly loop overhead otherwise, and
+    // the trip count is a compile-time constant (8 at kMaxWindow=512).
+#pragma GCC unroll 8
+    for (std::size_t wi = 0; wi < kMaskWords; ++wi) {
+        std::uint64_t w = wordAt(m, wi);
+        const int base = static_cast<int>(wi * 64);
         while (w) {
-            const int bit = __builtin_ctzll(w);
-            fn(static_cast<int>(base) + bit);
+            fn(base + std::countr_zero(w));
             w &= w - 1;
         }
     }
-#endif
 }
 
 /** First set bit of @p m, or -1 when empty. */
 inline int
 findFirst(const SpecMask &m)
 {
-#if defined(__GLIBCXX__)
-    const std::size_t b = m._Find_first();
-    return b < m.size() ? static_cast<int>(b) : -1;
-#else
-    int found = -1;
-    forEachSetBit(m, [&](int b) {
-        if (found < 0)
-            found = b;
-    });
-    return found;
-#endif
+#pragma GCC unroll 8
+    for (std::size_t wi = 0; wi < kMaskWords; ++wi) {
+        const std::uint64_t w = wordAt(m, wi);
+        if (w)
+            return static_cast<int>(wi * 64) + std::countr_zero(w);
+    }
+    return -1;
 }
 
 } // namespace vsim::core::mask

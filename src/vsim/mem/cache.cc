@@ -1,5 +1,7 @@
 #include "cache.hh"
 
+#include <bit>
+
 #include "vsim/base/logging.hh"
 
 namespace vsim::mem
@@ -29,13 +31,15 @@ Cache::Cache(const CacheConfig &config) : cfg(config)
     numSets = static_cast<int>(blocks / static_cast<std::uint64_t>(cfg.assoc));
     VSIM_ASSERT(isPow2(static_cast<std::uint64_t>(numSets)),
                 cfg.name, ": set count not power of 2");
+    blockShift = std::countr_zero(
+        static_cast<std::uint64_t>(cfg.blockBytes));
     lines.resize(blocks);
 }
 
 std::uint64_t
 Cache::blockAddr(std::uint64_t addr) const
 {
-    return addr / static_cast<std::uint64_t>(cfg.blockBytes);
+    return addr >> blockShift;
 }
 
 std::uint64_t

@@ -96,6 +96,8 @@ class Cache
 
     CacheConfig cfg;
     int numSets;
+    int blockShift; //!< log2(blockBytes): block lookup is a shift,
+                    //!< not a division, on the per-access hot path
     std::vector<Line> lines; //!< numSets * assoc, set-major
     std::uint64_t useCounter = 0;
 

@@ -83,6 +83,15 @@ struct CpiStack
             cycles[i] += other.cycles[i];
     }
 
+    /** Element-wise @p weight-scaled addition (sampled-replay merge):
+     *  equivalent to merging @p other @p weight times. */
+    void
+    mergeWeighted(const CpiStack &other, std::uint64_t weight)
+    {
+        for (std::size_t i = 0; i < kCpiCatCount; ++i)
+            cycles[i] += other.cycles[i] * weight;
+    }
+
     /**
      * Flat JSON fields "cpi_<name>": N, comma-separated, no braces —
      * meant for embedding into a larger per-run object.

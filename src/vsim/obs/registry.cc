@@ -90,6 +90,23 @@ Histogram::merge(const Histogram &other)
 }
 
 void
+Histogram::mergeWeighted(const Histogram &other, std::uint64_t weight)
+{
+    VSIM_ASSERT(width_ == other.width_
+                    && buckets_.size() == other.buckets_.size(),
+                "histogram merge needs identical geometry: ", name_);
+    if (other.count_ == 0 || weight == 0)
+        return;
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_ * weight;
+    sum_ += other.sum_ * weight;
+    overflow_ += other.overflow_ * weight;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i] * weight;
+}
+
+void
 Histogram::save(StateWriter &w) const
 {
     w.tag("HGRM");

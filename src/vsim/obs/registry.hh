@@ -117,6 +117,17 @@ class Histogram
     void merge(const Histogram &other);
 
     /**
+     * Weighted fold for sampled simulation: add @p other's buckets,
+     * count, sum and overflow scaled by the integer @p weight —
+     * exactly as if other had been merged @p weight times. min/max
+     * combine unscaled (repeating a sample does not move the range).
+     * Same geometry requirement as merge(); weight 0 is a no-op.
+     * Integer arithmetic only, so weighted merges stay bit-identical
+     * across hosts and worker counts.
+     */
+    void mergeWeighted(const Histogram &other, std::uint64_t weight);
+
+    /**
      * One flat JSON object. Trailing all-zero buckets are trimmed so
      * sparse histograms stay compact; "overflow" is always emitted.
      */

@@ -1,5 +1,6 @@
 #include "disk_cache.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -304,6 +305,11 @@ DiskRunCache::load(const std::string &key, RunResult &out)
     } catch (const FatalError &err) {
         return evict(err.what());
     }
+    // Refresh the entry's mtime so the size budget's oldest-first
+    // eviction is true LRU rather than insertion order. Best-effort: a
+    // read-only cache directory still serves hits.
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
     return true;
 }
 
@@ -345,6 +351,73 @@ DiskRunCache::store(const std::string &key, const RunResult &result)
         VSIM_WARN("cache: cannot rename ", tmp, " to ", path, ": ",
                   ec.message());
         fs::remove(tmp, ec);
+        return;
+    }
+    enforceBudget();
+}
+
+void
+DiskRunCache::enforceBudget()
+{
+    if (maxBytes_ == 0)
+        return;
+
+    struct Entry
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        std::uint64_t size = 0;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir_, ec)) {
+        if (de.path().extension() != ".vsr")
+            continue; // leave temp files to their owners
+        std::error_code fec;
+        const std::uint64_t size = de.file_size(fec);
+        if (fec)
+            continue; // raced with an eviction elsewhere
+        const fs::file_time_type mtime = de.last_write_time(fec);
+        if (fec)
+            continue;
+        entries.push_back({de.path(), mtime, size});
+        total += size;
+    }
+    if (ec) {
+        VSIM_WARN("cache: cannot scan ", dir_, " for size budget: ",
+                  ec.message());
+        return;
+    }
+    if (total <= maxBytes_)
+        return;
+
+    // Oldest mtime first; the path tie-break keeps concurrent writers
+    // that share a budget evicting in the same order.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+    for (const Entry &e : entries) {
+        if (total <= maxBytes_)
+            break;
+        std::error_code rec;
+        if (!fs::remove(e.path, rec)) {
+            if (rec) {
+                VSIM_WARN("cache: cannot evict ", e.path.string(),
+                          ": ", rec.message());
+                continue; // still there, still counts
+            }
+            total -= e.size; // raced: already gone, bytes reclaimed
+            continue;
+        }
+        VSIM_WARN("cache: size budget ", maxBytes_,
+                  " bytes exceeded, evicted LRU entry ",
+                  e.path.string(), " (", e.size, " bytes)");
+        total -= e.size;
     }
 }
 

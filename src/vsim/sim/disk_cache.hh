@@ -89,6 +89,19 @@ class DiskRunCache
     /** Entry file path for @p key (name = hash(key, fingerprint)). */
     std::string entryPath(const std::string &key) const;
 
+    /**
+     * Cap the total size of the directory's *.vsr entries at
+     * @p maxBytes (0, the default, means unlimited). Enforced after
+     * every successful store(): entries are evicted oldest-mtime-first
+     * until the total fits, each eviction logged at warning level.
+     * load() refreshes a hit's mtime, so the order is true LRU, not
+     * insertion order. Entries from other builds share the directory
+     * and the budget — an old build's cold entries are exactly what
+     * the budget is meant to reclaim.
+     */
+    void setMaxBytes(std::uint64_t maxBytes) { maxBytes_ = maxBytes; }
+    std::uint64_t maxBytes() const { return maxBytes_; }
+
     const std::string &dir() const { return dir_; }
     std::uint64_t fingerprint() const { return fingerprint_; }
 
@@ -100,8 +113,12 @@ class DiskRunCache
     static std::uint64_t buildFingerprint();
 
   private:
+    /** Evict oldest-mtime entries until the directory fits the budget. */
+    void enforceBudget();
+
     std::string dir_;
     std::uint64_t fingerprint_;
+    std::uint64_t maxBytes_ = 0;
 };
 
 } // namespace vsim::sim

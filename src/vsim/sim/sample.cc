@@ -1,0 +1,270 @@
+#include "sample.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "vsim/base/logging.hh"
+
+namespace vsim::sim
+{
+
+namespace
+{
+
+constexpr std::size_t kDim = arch::kBbvDim;
+constexpr int kMaxLloydIters = 64;
+
+using Point = std::array<double, kDim>;
+
+/** SplitMix64: tiny, seedable, identical on every host. */
+struct SplitMix64
+{
+    std::uint64_t s;
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+};
+
+double
+sqDist(const Point &a, const Point &b)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < kDim; ++i) {
+        const double t = a[i] - b[i];
+        d += t * t;
+    }
+    return d;
+}
+
+/** L1-normalize the integer BBVs onto the probability simplex. */
+std::vector<Point>
+normalize(const std::vector<arch::Bbv> &bbvs)
+{
+    std::vector<Point> pts(bbvs.size());
+    for (std::size_t i = 0; i < bbvs.size(); ++i) {
+        std::uint64_t total = 0;
+        for (const std::uint64_t c : bbvs[i])
+            total += c;
+        Point &p = pts[i];
+        if (total == 0) {
+            p.fill(0.0);
+            continue;
+        }
+        for (std::size_t j = 0; j < kDim; ++j)
+            p[j] = static_cast<double>(bbvs[i][j])
+                   / static_cast<double>(total);
+    }
+    return pts;
+}
+
+struct KMeansResult
+{
+    std::vector<std::uint32_t> assignment;
+    std::vector<Point> centroids;
+    std::vector<std::uint64_t> population;
+    double distortion = 0.0;
+};
+
+/** Nearest centroid of @p p; ties go to the lowest index. */
+std::uint32_t
+nearest(const std::vector<Point> &centroids, const Point &p)
+{
+    std::uint32_t best = 0;
+    double bestD = std::numeric_limits<double>::infinity();
+    for (std::uint32_t c = 0; c < centroids.size(); ++c) {
+        const double d = sqDist(centroids[c], p);
+        if (d < bestD) {
+            bestD = d;
+            best = c;
+        }
+    }
+    return best;
+}
+
+/** Seeded Lloyd's k-means; deterministic for fixed inputs. Requires
+ *  0 < k <= n. */
+KMeansResult
+kmeans(const std::vector<Point> &pts, std::size_t k, std::uint64_t seed)
+{
+    const std::size_t n = pts.size();
+    VSIM_ASSERT(k > 0 && k <= n, "k-means needs 0 < k <= n");
+
+    KMeansResult r;
+    r.centroids.reserve(k);
+    // Initialize with k distinct input points drawn from the seeded
+    // stream (distinct *indices*; coincident points merely start two
+    // centroids in the same place, which Lloyd resolves).
+    SplitMix64 rng{seed};
+    std::vector<bool> taken(n, false);
+    while (r.centroids.size() < k) {
+        const std::size_t i =
+            static_cast<std::size_t>(rng.next() % n);
+        if (taken[i])
+            continue;
+        taken[i] = true;
+        r.centroids.push_back(pts[i]);
+    }
+
+    r.assignment.assign(n, 0);
+    r.population.assign(k, 0);
+    for (int iter = 0; iter < kMaxLloydIters; ++iter) {
+        // Assignment step.
+        bool changed = iter == 0;
+        std::fill(r.population.begin(), r.population.end(), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t c = nearest(r.centroids, pts[i]);
+            if (c != r.assignment[i]) {
+                r.assignment[i] = c;
+                changed = true;
+            }
+            ++r.population[c];
+        }
+        // Reseed any emptied cluster with the point farthest from its
+        // current centroid (ties toward the lowest index) and redo
+        // the assignment on the next iteration.
+        bool reseeded = false;
+        for (std::uint32_t c = 0; c < k; ++c) {
+            if (r.population[c] > 0)
+                continue;
+            std::size_t far = 0;
+            double farD = -1.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const double d =
+                    sqDist(r.centroids[r.assignment[i]], pts[i]);
+                if (d > farD) {
+                    farD = d;
+                    far = i;
+                }
+            }
+            r.centroids[c] = pts[far];
+            reseeded = true;
+        }
+        if (reseeded)
+            continue;
+        if (!changed)
+            break;
+        // Update step: centroids move to their members' mean.
+        std::vector<Point> sums(k);
+        for (Point &s : sums)
+            s.fill(0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Point &p = pts[i];
+            Point &s = sums[r.assignment[i]];
+            for (std::size_t j = 0; j < kDim; ++j)
+                s[j] += p[j];
+        }
+        for (std::uint32_t c = 0; c < k; ++c)
+            for (std::size_t j = 0; j < kDim; ++j)
+                r.centroids[c][j] =
+                    sums[c][j] / static_cast<double>(r.population[c]);
+    }
+
+    r.distortion = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        r.distortion += sqDist(r.centroids[r.assignment[i]], pts[i]);
+    return r;
+}
+
+/**
+ * X-means spherical-Gaussian BIC (Pelleg & Moore, 2000): the
+ * max-likelihood estimate of the shared spherical variance is
+ * distortion / (d * (n - k)), and the model has k*(d+1) free
+ * parameters (centroids plus mixing weights). Larger is better.
+ */
+double
+bicScore(const KMeansResult &r, std::size_t n, std::size_t k)
+{
+    const double d = static_cast<double>(kDim);
+    const double nn = static_cast<double>(n);
+    // Perfect (or numerically perfect) clusterings get the variance
+    // floor: the likelihood term saturates instead of diverging.
+    const double var = std::max(
+        r.distortion / (d * static_cast<double>(n - k)), 1e-12);
+    double loglik = -nn * d / 2.0 * std::log(2.0 * M_PI * var)
+                    - static_cast<double>(n - k) * d / 2.0;
+    for (const std::uint64_t pop : r.population) {
+        const double p = static_cast<double>(pop);
+        loglik += p * std::log(p / nn);
+    }
+    const double params = static_cast<double>(k) * (d + 1.0);
+    return loglik - params / 2.0 * std::log(nn);
+}
+
+/** One singleton cluster per interval: the full-detail fallback. */
+SamplePlan
+fullDetailPlan(std::size_t n)
+{
+    SamplePlan plan;
+    plan.assignment.resize(n);
+    plan.representatives.resize(n);
+    plan.weights.assign(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        plan.assignment[i] = static_cast<std::uint32_t>(i);
+        plan.representatives[i] = i;
+    }
+    return plan;
+}
+
+} // namespace
+
+SamplePlan
+clusterIntervals(const std::vector<arch::Bbv> &bbvs, std::uint64_t maxK,
+                 std::uint64_t seed)
+{
+    const std::size_t n = bbvs.size();
+    if (maxK == 0 || maxK >= n)
+        return fullDetailPlan(n);
+
+    const std::vector<Point> pts = normalize(bbvs);
+
+    // Score k = 1..maxK and keep every candidate clustering: the
+    // chosen k is the smallest whose BIC reaches 90% of the score
+    // span (max - min) above the minimum — the SimPoint elbow rule,
+    // scale-free so negative log-likelihoods compare correctly.
+    std::vector<KMeansResult> runs;
+    std::vector<double> scores;
+    runs.reserve(static_cast<std::size_t>(maxK));
+    for (std::size_t k = 1; k <= maxK; ++k) {
+        runs.push_back(kmeans(pts, k, seed));
+        scores.push_back(bicScore(runs.back(), n, k));
+    }
+    const double hi = *std::max_element(scores.begin(), scores.end());
+    const double lo = *std::min_element(scores.begin(), scores.end());
+    const double cutoff = lo + 0.9 * (hi - lo);
+    std::size_t chosen = scores.size() - 1;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        if (scores[i] >= cutoff) {
+            chosen = i;
+            break;
+        }
+    }
+    const KMeansResult &best = runs[chosen];
+    const std::size_t k = chosen + 1;
+
+    SamplePlan plan;
+    plan.assignment = best.assignment;
+    plan.weights = best.population;
+    plan.representatives.assign(k, 0);
+    // Representative: the member closest to its centroid; the
+    // ascending scan makes ties fall to the lowest interval index.
+    std::vector<double> bestD(
+        k, std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t c = best.assignment[i];
+        const double d = sqDist(best.centroids[c], pts[i]);
+        if (d < bestD[c]) {
+            bestD[c] = d;
+            plan.representatives[c] = i;
+        }
+    }
+    return plan;
+}
+
+} // namespace vsim::sim

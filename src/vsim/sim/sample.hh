@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Interval clustering for SimPoint-style sampled simulation: group
+ * the per-interval basic-block vectors (vsim/arch/bbv.hh) into phases
+ * with k-means, pick one representative interval per phase, and weight
+ * it by the phase's population. The sampled replay planner
+ * (vsim/sim/shard.hh) then simulates only the representatives in
+ * detail and folds their statistics under these weights.
+ *
+ * Determinism contract: everything here — seeding, initialization,
+ * Lloyd iteration order, tie breaking, the BIC-based choice of k — is
+ * a pure function of the input vectors, the requested maximum k and
+ * the explicit seed. Two runs of the same trace at the same flags
+ * produce the same SamplePlan on any host, which is what lets the
+ * RunCache memoize sampled results under the jobKey.
+ *
+ * Algorithm:
+ *
+ *  1. Each BBV is L1-normalized to a point on the probability simplex
+ *     (shape of an interval, not its length — all intervals but the
+ *     last have equal length anyway).
+ *  2. For k = 1..maxK, Lloyd's k-means with squared-Euclidean
+ *     distance: centroids initialized by picking k distinct input
+ *     points with a seeded SplitMix64 stream, assignment ties broken
+ *     toward the lowest centroid index, an emptied cluster reseeded
+ *     with the point farthest from its centroid.
+ *  3. Each k is scored with the X-means spherical-Gaussian BIC
+ *     (Pelleg & Moore, 2000). The chosen k is the *smallest* one whose
+ *     score reaches 90% of the best score's span above the worst —
+ *     the SimPoint elbow rule, made scale-free so negative
+ *     log-likelihoods cannot flip the comparison.
+ *  4. The representative of a cluster is its member closest to the
+ *     centroid (ties toward the lowest interval index); its weight is
+ *     the cluster's population.
+ *
+ * Degenerate inputs fall back to full detail: maxK >= #intervals (or
+ * maxK == 0) yields one singleton cluster per interval, which makes
+ * the sampled replay simulate everything — exactness over speed when
+ * sampling cannot help.
+ */
+
+#ifndef VSIM_SIM_SAMPLE_HH
+#define VSIM_SIM_SAMPLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vsim/arch/bbv.hh"
+
+namespace vsim::sim
+{
+
+/** Default PRNG seed for k-means initialization; fixed so sampled
+ *  runs are reproducible without a flag. */
+inline constexpr std::uint64_t kSampleSeed = 0x5eed5a3e1de50001ull;
+
+/** Interval length used when CoreConfig::sampleIntervalInsts is 0:
+ *  1M instructions, the classic SimPoint granularity — long enough
+ *  that pipeline warmup noise is a small fraction of an interval,
+ *  short enough that CVP-scale traces yield ~100 intervals. */
+inline constexpr std::uint64_t kDefaultSampleIntervalInsts = 1'000'000;
+
+/** Clustering outcome: a partition of the intervals plus one weighted
+ *  representative per cluster. */
+struct SamplePlan
+{
+    /** Cluster index of every interval, in trace order. */
+    std::vector<std::uint32_t> assignment;
+    /** Interval index chosen to represent each cluster. */
+    std::vector<std::size_t> representatives;
+    /** Cluster populations; weights[c] intervals are represented by
+     *  representatives[c]. Sums to assignment.size(). */
+    std::vector<std::uint64_t> weights;
+
+    std::size_t clusters() const { return representatives.size(); }
+    bool operator==(const SamplePlan &) const = default;
+};
+
+/**
+ * Cluster @p bbvs into at most @p maxK phases (see file comment for
+ * the algorithm and the determinism contract). maxK >= bbvs.size()
+ * or maxK == 0 degenerates to one singleton cluster per interval.
+ */
+SamplePlan clusterIntervals(const std::vector<arch::Bbv> &bbvs,
+                            std::uint64_t maxK,
+                            std::uint64_t seed = kSampleSeed);
+
+} // namespace vsim::sim
+
+#endif // VSIM_SIM_SAMPLE_HH

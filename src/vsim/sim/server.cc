@@ -91,6 +91,8 @@ saveSweepJob(StateWriter &w, const SweepJob &job)
     w.u64(c.shards);
     w.u64(c.intervalInsts);
     w.u64(c.warmupInsts);
+    w.u64(c.sampleK);
+    w.u64(c.sampleIntervalInsts);
     w.i64(c.shardJobs);
 }
 
@@ -175,6 +177,8 @@ loadSweepJob(StateReader &r)
     c.shards = r.u64();
     c.intervalInsts = r.u64();
     c.warmupInsts = r.u64();
+    c.sampleK = r.u64();
+    c.sampleIntervalInsts = r.u64();
     c.shardJobs = static_cast<int>(r.i64());
     return job;
 }

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "sample.hh"
 #include "vsim/base/logging.hh"
 #include "vsim/base/thread_pool.hh"
 #include "vsim/core/ooo_core.hh"
@@ -21,6 +22,30 @@ bool
 shardingRequested(const core::CoreConfig &cfg)
 {
     return cfg.shards > 0 || cfg.intervalInsts > 0;
+}
+
+bool
+samplingRequested(const core::CoreConfig &cfg)
+{
+    return cfg.sampleK > 0;
+}
+
+void
+validatePartition(const core::CoreConfig &cfg)
+{
+    if (cfg.shards > 0 && cfg.intervalInsts > 0)
+        VSIM_FATAL("--shards and --interval-insts are mutually "
+                   "exclusive: pick one partition of the trace");
+    if (cfg.sampleK > 0 && (cfg.shards > 0 || cfg.intervalInsts > 0))
+        VSIM_FATAL("--sample is mutually exclusive with --shards/"
+                   "--interval-insts: sampled replay chooses its own "
+                   "interval partition");
+    if (cfg.sampleIntervalInsts > 0 && cfg.sampleK == 0)
+        VSIM_FATAL("--sample-interval-insts needs --sample");
+    if (cfg.warmupInsts != UINT64_MAX && !shardingRequested(cfg)
+        && !samplingRequested(cfg))
+        VSIM_FATAL("--warmup-insts needs --shards, --interval-insts "
+                   "or --sample: it would otherwise be ignored");
 }
 
 std::vector<ShardPlan>
@@ -84,39 +109,21 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-} // namespace
-
-ShardRunner::ShardRunner(core::CoreConfig config) : cfg(std::move(config))
-{}
-
-RunResult
-ShardRunner::run(const std::string &workload, int scale)
+/**
+ * Execute every plan entry as one detailed core on the worker pool
+ * (cfg.shardJobs workers): mint functional-warmup snapshots for the
+ * distinct nonzero warmStart points, run each [start, stop) window,
+ * and surface the first worker exception on the caller. @p what labels
+ * the progress lines ("shard" or "sample rep").
+ */
+std::vector<ShardResult>
+executePlans(const core::CoreConfig &cfg, const assembler::Program &prog,
+             const std::shared_ptr<const arch::ExecTrace> &trace,
+             const std::vector<ShardPlan> &plan, const char *what)
 {
-    // Materialise the program and the oracle trace once; every shard
-    // core borrows the (potentially multi-gigabyte) trace via
-    // shared_ptr instead of copying it.
-    assembler::Program prog;
-    std::shared_ptr<const arch::ExecTrace> trace;
-    if (isTraceWorkload(workload)) {
-        trace::LoadedTrace loaded =
-            trace::loadTrace(traceWorkloadPath(workload));
-        prog = std::move(loaded.program);
-        trace = std::make_shared<const arch::ExecTrace>(
-            std::move(loaded.trace));
-    } else {
-        const workloads::Workload &w = workloads::byName(workload);
-        prog = workloads::buildProgram(w, scale);
-        trace = std::make_shared<const arch::ExecTrace>(
-            arch::preExecute(prog));
-    }
+    const std::size_t n = plan.size();
     const std::uint64_t len = trace->entries.size();
 
-    const std::vector<ShardPlan> plan = planShards(len, cfg);
-    const std::size_t n = plan.size();
-
-    // Functional-warmup pass: one snapshot per distinct nonzero
-    // warmStart. At full warmup every shard replays from instruction
-    // 0 and this pass is skipped entirely.
     std::vector<std::uint64_t> points;
     for (const ShardPlan &p : plan)
         if (p.warmStart > 0)
@@ -129,8 +136,9 @@ ShardRunner::run(const std::string &workload, int scale)
     if (!points.empty()) {
         const auto t0 = std::chrono::steady_clock::now();
         snaps = core::functionalWarmup(prog, *trace, cfg, points);
-        VSIM_INFORM("shard warmup: ", points.size(), " snapshot(s) of ",
-                    len, " insts in ", secondsSince(t0), "s");
+        VSIM_INFORM(what, " warmup: ", points.size(),
+                    " snapshot(s) of ", len, " insts in ",
+                    secondsSince(t0), "s");
     }
     auto snapshotFor = [&](std::uint64_t point) -> const core::SimSnapshot & {
         const auto it =
@@ -152,7 +160,7 @@ ShardRunner::run(const std::string &workload, int scale)
             r.out = core.run();
             r.cutCycle = core.statsCutCycle();
             r.wallSeconds = secondsSince(t0);
-            VSIM_INFORM("shard ", i + 1, "/", n, " [", plan[i].start,
+            VSIM_INFORM(what, " ", i + 1, "/", n, " [", plan[i].start,
                         ",", plan[i].stop, ") warm=", plan[i].warmStart,
                         ": cycles=", r.out.stats.cycles, " wall=",
                         r.wallSeconds, "s");
@@ -176,6 +184,174 @@ ShardRunner::run(const std::string &workload, int scale)
     for (ShardResult &r : results)
         if (r.error)
             std::rethrow_exception(r.error);
+    return results;
+}
+
+/**
+ * SimPoint-style sampled replay (see shard.hh): fingerprint the
+ * trace's K-instruction intervals with BBVs, cluster them into at most
+ * cfg.sampleK phases, simulate one representative per phase in detail
+ * and fold its statistics under the phase population.
+ */
+RunResult
+runSampled(const core::CoreConfig &cfg, const std::string &workload,
+           const assembler::Program &prog,
+           const std::shared_ptr<const arch::ExecTrace> &trace)
+{
+    const std::uint64_t len = trace->entries.size();
+    const std::uint64_t K = cfg.sampleIntervalInsts > 0
+                                ? cfg.sampleIntervalInsts
+                                : kDefaultSampleIntervalInsts;
+
+    const auto tProfile = std::chrono::steady_clock::now();
+    const std::vector<arch::Bbv> bbvs = arch::profileBbv(*trace, K);
+    const std::size_t n = bbvs.size();
+    VSIM_ASSERT(n > 0, "cannot sample an empty trace");
+
+    // The trailing interval is always its own singleton phase: it may
+    // be ragged, and detailing it keeps the merged retired count equal
+    // to the trace length and lets the final representative consume
+    // the trace to its HALT. Only the head intervals are clustered.
+    SamplePlan plan;
+    if (n == 1) {
+        plan.assignment = {0};
+        plan.representatives = {0};
+        plan.weights = {1};
+    } else {
+        plan = clusterIntervals(
+            std::vector<arch::Bbv>(bbvs.begin(), bbvs.end() - 1),
+            cfg.sampleK);
+        plan.assignment.push_back(
+            static_cast<std::uint32_t>(plan.clusters()));
+        plan.representatives.push_back(n - 1);
+        plan.weights.push_back(1);
+    }
+    const std::size_t k = plan.clusters();
+    VSIM_INFORM("sample: ", n, " interval(s) of ", K, " insts -> ", k,
+                " phase(s) in ", secondsSince(tProfile), "s");
+
+    // Full warmup would replay every representative from instruction
+    // 0, defeating sampling: reinterpret the 'full' default as one
+    // interval of functional warmup. The jobKey carries the raw
+    // warmupInsts value, so this cannot alias two different runs.
+    const std::uint64_t w =
+        cfg.warmupInsts == UINT64_MAX ? K : cfg.warmupInsts;
+    std::vector<ShardPlan> shardPlan(k);
+    for (std::size_t c = 0; c < k; ++c) {
+        const std::uint64_t rep = plan.representatives[c];
+        ShardPlan &p = shardPlan[c];
+        p.start = rep * K;
+        p.stop = std::min(len, (rep + 1) * K);
+        p.warmStart = p.start - std::min(p.start, w);
+    }
+
+    std::vector<ShardResult> results =
+        executePlans(cfg, prog, trace, shardPlan, "sample rep");
+
+    // ---- weighted merge --------------------------------------------------
+    // Each representative stands in for every interval of its phase:
+    // scalar counters, CPI stacks and histograms fold in scaled by the
+    // phase population (integer arithmetic, so the merge is
+    // bit-identical across hosts and worker counts). The stats window
+    // opens and closes at retire-cycle granularity, so a
+    // representative counts its interval length give or take one
+    // retire group per boundary; the weighted total therefore matches
+    // the trace length to within 2 * retireWidth per interval.
+    core::CoreStats merged;
+    for (std::size_t c = 0; c < k; ++c)
+        merged.mergeWeighted(results[c].out.stats, plan.weights[c]);
+
+    RunResult r;
+    r.workload = workload;
+    r.stats = merged;
+    r.instructions = merged.retired;
+    r.ipc = merged.ipc();
+    // The architectural outcome is fixed by the oracle trace; a
+    // mid-trace representative only reproduces a suffix of the output.
+    r.exitCode = trace->exitCode;
+    r.output = trace->output;
+
+    // Detailed artifacts are approximations assembled in trace order:
+    // interval i contributes its representative's samples rebased onto
+    // the merged timeline at offset_i (the sum of the preceding
+    // intervals' representative cycle counts), and each
+    // representative's ledger records appear once, at the offset of
+    // the representative's own position. Records made before a
+    // representative's cut (during its warmup prefix) are dropped —
+    // there is no adjacent shard whose seam they could patch.
+    r.intervals.period = cfg.metricsInterval;
+    r.ledger.enabled = cfg.specLedger;
+    std::uint64_t offset = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t c = plan.assignment[i];
+        const ShardResult &res = results[c];
+        const std::uint64_t cut = res.cutCycle;
+        for (obs::IntervalSample s : res.out.intervals.samples) {
+            VSIM_ASSERT(s.cycleStart >= cut,
+                        "interval sample precedes the sample's cut");
+            s.cycleStart = s.cycleStart - cut + offset;
+            r.intervals.samples.push_back(s);
+        }
+        if (plan.representatives[c] == i) {
+            for (obs::LedgerRecord rec : res.out.ledger.records) {
+                if (rec.madeAt < cut)
+                    continue;
+                rec.madeAt = rec.madeAt - cut + offset;
+                if (rec.outcome != obs::LedgerOutcome::Unresolved)
+                    rec.resolvedAt = rec.resolvedAt - cut + offset;
+                r.ledger.records.push_back(rec);
+            }
+        }
+        offset += res.out.stats.cycles;
+    }
+
+    VSIM_ASSERT(results[k - 1].out.halted,
+                "final sample representative of ", workload,
+                " did not finish within the cycle limit");
+    const std::uint64_t slack =
+        2ull * static_cast<std::uint64_t>(cfg.effRetireWidth()) * n;
+    VSIM_ASSERT(merged.retired + slack >= len
+                    && merged.retired <= len + slack,
+                "sampled weights did not cover the trace: ",
+                merged.retired, " vs ", len, " (slack ", slack, ")");
+    return r;
+}
+
+} // namespace
+
+ShardRunner::ShardRunner(core::CoreConfig config) : cfg(std::move(config))
+{}
+
+RunResult
+ShardRunner::run(const std::string &workload, int scale)
+{
+    validatePartition(cfg);
+    // Materialise the program and the oracle trace once; every shard
+    // core borrows the (potentially multi-gigabyte) trace via
+    // shared_ptr instead of copying it.
+    assembler::Program prog;
+    std::shared_ptr<const arch::ExecTrace> trace;
+    if (isTraceWorkload(workload)) {
+        trace::LoadedTrace loaded =
+            trace::loadTrace(traceWorkloadPath(workload));
+        prog = std::move(loaded.program);
+        trace = std::make_shared<const arch::ExecTrace>(
+            std::move(loaded.trace));
+    } else {
+        const workloads::Workload &w = workloads::byName(workload);
+        prog = workloads::buildProgram(w, scale);
+        trace = std::make_shared<const arch::ExecTrace>(
+            arch::preExecute(prog));
+    }
+    const std::uint64_t len = trace->entries.size();
+
+    if (samplingRequested(cfg))
+        return runSampled(cfg, workload, prog, trace);
+
+    const std::vector<ShardPlan> plan = planShards(len, cfg);
+    const std::size_t n = plan.size();
+    std::vector<ShardResult> results =
+        executePlans(cfg, prog, trace, plan, "shard");
 
     // ---- merge -----------------------------------------------------------
     // Scalars, CPI stacks and histograms add; interval samples and

@@ -77,6 +77,19 @@ struct ShardPlan
 /** True when @p cfg asks for sharded execution. */
 bool shardingRequested(const core::CoreConfig &cfg);
 
+/** True when @p cfg asks for sampled (representative-interval) replay. */
+bool samplingRequested(const core::CoreConfig &cfg);
+
+/**
+ * Fail loudly on inconsistent partition/warmup settings, whichever
+ * path set them (CLI, daemon, tests): cfg.shards and cfg.intervalInsts
+ * are mutually exclusive, sampling excludes both, a non-default
+ * cfg.warmupInsts without sharding or sampling would be silently
+ * ignored, and cfg.sampleIntervalInsts is meaningless without
+ * cfg.sampleK. VSIM_FATAL with a one-line diagnosis on violation.
+ */
+void validatePartition(const core::CoreConfig &cfg);
+
 /**
  * Partition a trace of @p len instructions per cfg.shards /
  * cfg.intervalInsts / cfg.warmupInsts (VSIM_FATAL when both partition
@@ -89,9 +102,27 @@ std::vector<ShardPlan> planShards(std::uint64_t len,
 /**
  * Executes one workload as a set of interval shards on a worker pool
  * (cfg.shardJobs workers) and merges the results. Used by
- * runWorkload() whenever shardingRequested(cfg); the shard partition
- * and warmup depth live in the CoreConfig so the RunCache jobKey
+ * runWorkload() whenever shardingRequested(cfg) or
+ * samplingRequested(cfg); the shard partition, warmup depth and
+ * sampling controls live in the CoreConfig so the RunCache jobKey
  * covers them.
+ *
+ * Sampled mode (cfg.sampleK > 0, SimPoint-style): the trace is cut
+ * into cfg.sampleIntervalInsts-length intervals, fingerprinted with
+ * basic-block vectors (vsim/arch/bbv.hh) and clustered into at most
+ * sampleK phases (vsim/sim/sample.hh); only one representative
+ * interval per phase is simulated in detail — from a functional-warmup
+ * snapshot — and its statistics are folded under the phase population
+ * (CoreStats::mergeWeighted). The trailing interval is always its own
+ * singleton phase, so the merged retired count matches the trace
+ * length to within one retire group per interval boundary and the
+ * final representative consumes the trace to its HALT.
+ * Full warmup (warmupInsts == UINT64_MAX, the default) is reinterpreted
+ * as one interval of warmup: replaying every representative from
+ * instruction 0 would defeat sampling, and the jobKey still carries
+ * the raw warmupInsts value, so the reinterpretation cannot alias two
+ * different runs. Sampled statistics approximate the monolithic run;
+ * scripts/check.sh gates the hmean-speedup error at <= 2%.
  */
 class ShardRunner
 {

@@ -95,7 +95,8 @@ RunResult
 runWorkload(const std::string &name, int scale,
             const core::CoreConfig &cfg)
 {
-    if (shardingRequested(cfg)) {
+    validatePartition(cfg);
+    if (shardingRequested(cfg) || samplingRequested(cfg)) {
         ShardRunner runner(cfg);
         return runner.run(name, scale);
     }

@@ -82,6 +82,10 @@ jobKey(const SweepJob &job)
     // scheduler) stays out.
     os << ';' << c.shards << ',' << c.intervalInsts << ','
        << c.warmupInsts;
+    // Sampled replay: the phase budget and interval length define the
+    // clustering, so both are part of the key (sampled statistics
+    // approximate the monolithic run and must never serve it).
+    os << ',' << c.sampleK << ',' << c.sampleIntervalInsts;
     return os.str();
 }
 

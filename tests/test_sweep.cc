@@ -147,7 +147,7 @@ TEST(JobKey, ModelNameIsCosmetic)
 // SpecModel grows/shrinks; on a size change, audit jobKey() in
 // sweep.cc (and the sweep-job codec in server.cc), then update the
 // sizes AND the mutation table below.
-static_assert(sizeof(core::CoreConfig) == 448,
+static_assert(sizeof(core::CoreConfig) == 464,
               "CoreConfig changed: audit jobKey() + saveSweepJob()");
 static_assert(sizeof(SpecModel) == 80,
               "SpecModel changed: audit jobKey() + saveSweepJob()");
@@ -214,6 +214,15 @@ TEST(JobKey, EveryRelevantFieldChangesTheKey)
          [](sim::SweepJob &j) { j.cfg.intervalInsts = 100'000; }},
         {"warmupInsts", true,
          [](sim::SweepJob &j) { j.cfg.warmupInsts = 10'000; }},
+        // Sampled replay (PR 10): the phase budget and interval
+        // length define the clustering, and sampled statistics
+        // approximate the monolithic run.
+        {"sampleK", true, [](sim::SweepJob &j) { j.cfg.sampleK = 8; }},
+        {"sampleIntervalInsts", true,
+         [](sim::SweepJob &j) {
+             j.cfg.sampleK = 8;
+             j.cfg.sampleIntervalInsts = 50'000;
+         }},
         // Execution resources and cosmetics: bit-identical results,
         // so they must NOT fracture the cache (PRs 6-8 audits).
         {"label", false, [](sim::SweepJob &j) { j.label = "renamed"; }},

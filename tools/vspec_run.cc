@@ -113,15 +113,31 @@ usage(const char *argv0)
         "  --warmup-insts W  per-shard detailed-warmup prefix in\n"
         "                    instructions, or 'full' (default): full\n"
         "                    replay from instruction 0, bit-identical\n"
-        "                    to the monolithic run\n"
-        "  --jobs N          worker threads executing shards\n"
-        "                    (default 1)\n"
+        "                    to the monolithic run (with --sample,\n"
+        "                    'full' means one interval of warmup)\n"
+        "  --sample N        SimPoint-style sampled replay: cluster\n"
+        "                    the trace's intervals into at most N\n"
+        "                    phases by basic-block vector, simulate\n"
+        "                    one representative per phase in detail\n"
+        "                    and weight it by the phase population\n"
+        "                    (approximate; excludes --shards/\n"
+        "                    --interval-insts)\n"
+        "  --sample-interval-insts K\n"
+        "                    sampling interval length in instructions\n"
+        "                    (default 1000000)\n"
+        "  --jobs N          worker threads executing shards or\n"
+        "                    sample representatives (default 1)\n"
         "  --progress        print a completion line to stderr\n"
         "  --cache-dir PATH  persistent on-disk run cache: repeated\n"
         "                    runs of the same configuration are served\n"
         "                    from disk instead of re-simulated (also\n"
         "                    via VSIM_CACHE_DIR; ignored for --asm and\n"
         "                    pipeline-traced runs)\n"
+        "  --cache-max-bytes N\n"
+        "                    cap the cache directory at N bytes,\n"
+        "                    evicting least-recently-used entries on\n"
+        "                    insert (also via VSIM_CACHE_MAX_BYTES;\n"
+        "                    needs a cache directory)\n"
         "  --json [PATH]     emit the statistics as one JSON object\n"
         "                    (to PATH if given, else stdout)\n");
 }
@@ -173,6 +189,7 @@ main(int argc, char **argv)
     std::string workload, asm_file, trace_file, json_path;
     std::string metrics_path, counters_path, trace_json_path;
     std::string stacks_path, ledger_path, cache_dir;
+    std::uint64_t cache_max_bytes = 0;
     int scale = -1;
     std::size_t ledger_limit = 0;
     bool ledger_limit_set = false;
@@ -396,6 +413,13 @@ main(int argc, char **argv)
                     ? UINT64_MAX
                     : parsePositiveU64(argv[0], "--warmup-insts", w);
             warmup_set = true;
+        } else if (!std::strcmp(argv[i], "--sample")) {
+            cfg.sampleK = parsePositiveU64(argv[0], "--sample",
+                                           need_value("--sample"));
+        } else if (!std::strcmp(argv[i], "--sample-interval-insts")) {
+            cfg.sampleIntervalInsts = parsePositiveU64(
+                argv[0], "--sample-interval-insts",
+                need_value("--sample-interval-insts"));
         } else if (!std::strcmp(argv[i], "--jobs")) {
             cfg.shardJobs = parsePositiveInt(argv[0], "--jobs",
                                              need_value("--jobs"));
@@ -404,6 +428,10 @@ main(int argc, char **argv)
             progress = true;
         } else if (!std::strcmp(argv[i], "--cache-dir")) {
             cache_dir = need_value("--cache-dir");
+        } else if (!std::strcmp(argv[i], "--cache-max-bytes")) {
+            cache_max_bytes = parsePositiveU64(
+                argv[0], "--cache-max-bytes",
+                need_value("--cache-max-bytes"));
         } else if (!std::strcmp(argv[i], "--json")) {
             json = true;
             // Optional output path operand.
@@ -435,15 +463,26 @@ main(int argc, char **argv)
                              "mutually exclusive\n");
         return 2;
     }
-    const bool sharded = cfg.shards > 0 || cfg.intervalInsts > 0;
+    if (cfg.sampleK > 0 && (cfg.shards > 0 || cfg.intervalInsts > 0)) {
+        std::fprintf(stderr, "--sample and --shards/--interval-insts "
+                             "are mutually exclusive\n");
+        return 2;
+    }
+    if (cfg.sampleIntervalInsts > 0 && cfg.sampleK == 0) {
+        std::fprintf(stderr,
+                     "--sample-interval-insts needs --sample\n");
+        return 2;
+    }
+    const bool sharded = cfg.shards > 0 || cfg.intervalInsts > 0
+                         || cfg.sampleK > 0;
     if ((warmup_set || jobs_set) && !sharded) {
-        std::fprintf(stderr, "--warmup-insts/--jobs need --shards or "
-                             "--interval-insts\n");
+        std::fprintf(stderr, "--warmup-insts/--jobs need --shards, "
+                             "--interval-insts or --sample\n");
         return 2;
     }
     if (sharded && !asm_file.empty()) {
-        std::fprintf(stderr, "sharded runs support --workload and "
-                             "--trace only, not --asm\n");
+        std::fprintf(stderr, "sharded/sampled runs support --workload "
+                             "and --trace only, not --asm\n");
         return 2;
     }
     const bool trace_json = !trace_json_path.empty();
@@ -451,7 +490,7 @@ main(int argc, char **argv)
     if (sharded && cfg.tracePipeline) {
         std::fprintf(stderr, "pipeline tracing needs a single "
                              "monolithic core; drop --shards/"
-                             "--interval-insts\n");
+                             "--interval-insts/--sample\n");
         return 2;
     }
     // Detailed per-prediction records are collected only on request —
@@ -462,12 +501,24 @@ main(int argc, char **argv)
         if (env && *env)
             cache_dir = env;
     }
+    if (cache_max_bytes == 0) {
+        const char *env = std::getenv("VSIM_CACHE_MAX_BYTES");
+        if (env && *env)
+            cache_max_bytes = parsePositiveU64(
+                argv[0], "VSIM_CACHE_MAX_BYTES", env);
+    }
+    if (cache_max_bytes > 0 && cache_dir.empty()) {
+        std::fprintf(stderr, "--cache-max-bytes needs --cache-dir "
+                             "(or VSIM_CACHE_DIR)\n");
+        return 2;
+    }
 
     try {
         if (!cache_dir.empty() && asm_file.empty()
             && !cfg.tracePipeline) {
-            sim::RunCache::process().attachDisk(
-                std::make_shared<sim::DiskRunCache>(cache_dir));
+            auto disk = std::make_shared<sim::DiskRunCache>(cache_dir);
+            disk->setMaxBytes(cache_max_bytes);
+            sim::RunCache::process().attachDisk(std::move(disk));
         }
         sim::RunResult r;
         std::string pipeline_text;

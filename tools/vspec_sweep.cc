@@ -100,16 +100,39 @@ usage(const char *argv0)
                  "prefix in instructions, or\n"
                  "                        'full' (default): exact "
                  "replay, bit-identical results\n"
+                 "                        (with --sample, 'full' means "
+                 "one interval of warmup)\n"
+                 "  --sample N            SimPoint-style sampled "
+                 "replay of every run: cluster\n"
+                 "                        intervals into at most N "
+                 "phases by basic-block\n"
+                 "                        vector, simulate one "
+                 "representative per phase and\n"
+                 "                        weight it by phase "
+                 "population (approximate;\n"
+                 "                        excludes --shards/"
+                 "--interval-insts)\n"
+                 "  --sample-interval-insts K\n"
+                 "                        sampling interval length in "
+                 "instructions\n"
+                 "                        (default 1000000)\n"
                  "  --shard-jobs N        worker threads per run for "
-                 "shard execution\n"
-                 "                        (default 1; --jobs stays the "
-                 "sweep-level worker count)\n"
+                 "shard or representative\n"
+                 "                        execution (default 1; --jobs "
+                 "stays the sweep-level\n"
+                 "                        worker count)\n"
                  "  --cache-dir PATH      persistent on-disk run cache: "
                  "repeated sweeps serve\n"
                  "                        finished cells from disk "
                  "instead of re-simulating\n"
                  "                        (also via VSIM_CACHE_DIR; "
                  "invalidated on rebuild)\n"
+                 "  --cache-max-bytes N   cap the cache directory at N "
+                 "bytes, evicting\n"
+                 "                        least-recently-used entries "
+                 "on insert (also via\n"
+                 "                        VSIM_CACHE_MAX_BYTES; needs a "
+                 "cache directory)\n"
                  "  --server SOCK         run the sweep through a "
                  "vspec-sweepd daemon at the\n"
                  "                        given Unix socket instead of "
@@ -185,10 +208,13 @@ main(int argc, char **argv)
     std::uint64_t shards = 0;
     std::uint64_t interval_insts = 0;
     std::uint64_t warmup_insts = UINT64_MAX;
+    std::uint64_t sample_k = 0;
+    std::uint64_t sample_interval_insts = 0;
     int shard_jobs = 1;
     bool warmup_set = false;
     bool shard_jobs_set = false;
     std::string cache_dir, server_sock;
+    std::uint64_t cache_max_bytes = 0;
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> const char * {
@@ -307,12 +333,23 @@ main(int argc, char **argv)
                     ? UINT64_MAX
                     : parsePositiveU64(argv[0], "--warmup-insts", w);
             warmup_set = true;
+        } else if (!std::strcmp(argv[i], "--sample")) {
+            sample_k = parsePositiveU64(argv[0], "--sample",
+                                        need_value("--sample"));
+        } else if (!std::strcmp(argv[i], "--sample-interval-insts")) {
+            sample_interval_insts = parsePositiveU64(
+                argv[0], "--sample-interval-insts",
+                need_value("--sample-interval-insts"));
         } else if (!std::strcmp(argv[i], "--shard-jobs")) {
             shard_jobs = parsePositiveInt(argv[0], "--shard-jobs",
                                           need_value("--shard-jobs"));
             shard_jobs_set = true;
         } else if (!std::strcmp(argv[i], "--cache-dir")) {
             cache_dir = need_value("--cache-dir");
+        } else if (!std::strcmp(argv[i], "--cache-max-bytes")) {
+            cache_max_bytes = parsePositiveU64(
+                argv[0], "--cache-max-bytes",
+                need_value("--cache-max-bytes"));
         } else if (!std::strcmp(argv[i], "--server")) {
             server_sock = need_value("--server");
         } else if (!std::strcmp(argv[i], "--sweep-kind")) {
@@ -353,10 +390,20 @@ main(int argc, char **argv)
                              "mutually exclusive\n");
         return 2;
     }
+    if (sample_k > 0 && (shards > 0 || interval_insts > 0)) {
+        std::fprintf(stderr, "--sample and --shards/--interval-insts "
+                             "are mutually exclusive\n");
+        return 2;
+    }
+    if (sample_interval_insts > 0 && sample_k == 0) {
+        std::fprintf(stderr,
+                     "--sample-interval-insts needs --sample\n");
+        return 2;
+    }
     if ((warmup_set || shard_jobs_set) && shards == 0
-        && interval_insts == 0) {
+        && interval_insts == 0 && sample_k == 0) {
         std::fprintf(stderr, "--warmup-insts/--shard-jobs need "
-                             "--shards or --interval-insts\n");
+                             "--shards, --interval-insts or --sample\n");
         return 2;
     }
     if (!cache_dir.empty() && !server_sock.empty()) {
@@ -372,6 +419,17 @@ main(int argc, char **argv)
         const char *env = std::getenv("VSIM_CACHE_DIR");
         if (env && *env)
             cache_dir = env;
+    }
+    if (cache_max_bytes == 0 && server_sock.empty()) {
+        const char *env = std::getenv("VSIM_CACHE_MAX_BYTES");
+        if (env && *env)
+            cache_max_bytes = parsePositiveU64(
+                argv[0], "VSIM_CACHE_MAX_BYTES", env);
+    }
+    if (cache_max_bytes > 0 && cache_dir.empty()) {
+        std::fprintf(stderr, "--cache-max-bytes needs --cache-dir "
+                             "(or VSIM_CACHE_DIR)\n");
+        return 2;
     }
 
     try {
@@ -406,6 +464,8 @@ main(int argc, char **argv)
             job.cfg.shards = shards;
             job.cfg.intervalInsts = interval_insts;
             job.cfg.warmupInsts = warmup_insts;
+            job.cfg.sampleK = sample_k;
+            job.cfg.sampleIntervalInsts = sample_interval_insts;
             job.cfg.shardJobs = shard_jobs;
             if (!job.cfg.useValuePrediction)
                 continue;
@@ -454,9 +514,12 @@ main(int argc, char **argv)
                 spans[i].cacheHit = cells[i].cached;
             }
         } else {
-            if (!cache_dir.empty())
-                sim::RunCache::process().attachDisk(
-                    std::make_shared<sim::DiskRunCache>(cache_dir));
+            if (!cache_dir.empty()) {
+                auto disk =
+                    std::make_shared<sim::DiskRunCache>(cache_dir);
+                disk->setMaxBytes(cache_max_bytes);
+                sim::RunCache::process().attachDisk(std::move(disk));
+            }
             sim::SweepRunner runner(jobs);
             runner.setProgress(progress);
             runner.setSpanSink(&spans);

@@ -13,7 +13,9 @@
  *   vspec-sweep fig3 --quick --server /tmp/vspec.sock
  */
 
+#include <cerrno>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,7 +43,8 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s --socket PATH [--cache-dir PATH] [--workers N]\n"
+        "usage: %s --socket PATH [--cache-dir PATH]\n"
+        "       [--cache-max-bytes N] [--workers N]\n"
         "  --socket PATH     Unix-domain socket to listen on "
         "(required)\n"
         "  --cache-dir PATH  persist finished runs to disk; a "
@@ -49,6 +52,11 @@ usage(const char *argv0)
         "                    serves them without re-simulating (also "
         "via\n"
         "                    VSIM_CACHE_DIR)\n"
+        "  --cache-max-bytes N\n"
+        "                    cap the cache directory at N bytes,\n"
+        "                    evicting least-recently-used entries on\n"
+        "                    insert (also via VSIM_CACHE_MAX_BYTES;\n"
+        "                    needs --cache-dir)\n"
         "  --workers N       simulation worker threads (default: one "
         "per\n"
         "                    hardware thread)\n",
@@ -63,7 +71,23 @@ main(int argc, char **argv)
     using namespace vsim;
 
     std::string socket_path, cache_dir;
+    std::uint64_t cache_max_bytes = 0;
     int workers = 0;
+
+    const auto parse_max_bytes = [&](const char *what,
+                                     const char *text) {
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(text, &end, 10);
+        if (text[0] == '-' || text[0] == '+' || end == text
+            || *end != '\0' || errno == ERANGE || v == 0) {
+            std::fprintf(stderr,
+                         "%s expects a positive byte count, got '%s'\n",
+                         what, text);
+            std::exit(2);
+        }
+        return static_cast<std::uint64_t>(v);
+    };
 
     for (int i = 1; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> const char * {
@@ -77,6 +101,10 @@ main(int argc, char **argv)
             socket_path = need_value("--socket");
         } else if (!std::strcmp(argv[i], "--cache-dir")) {
             cache_dir = need_value("--cache-dir");
+        } else if (!std::strcmp(argv[i], "--cache-max-bytes")) {
+            cache_max_bytes =
+                parse_max_bytes("--cache-max-bytes",
+                                need_value("--cache-max-bytes"));
         } else if (!std::strcmp(argv[i], "--workers")) {
             const char *w = need_value("--workers");
             workers = std::atoi(w);
@@ -101,12 +129,29 @@ main(int argc, char **argv)
         if (env && *env)
             cache_dir = env;
     }
+    if (cache_max_bytes == 0) {
+        const char *env = std::getenv("VSIM_CACHE_MAX_BYTES");
+        if (env && *env)
+            cache_max_bytes =
+                parse_max_bytes("VSIM_CACHE_MAX_BYTES", env);
+    }
+    if (cache_max_bytes > 0 && cache_dir.empty()) {
+        std::fprintf(stderr, "--cache-max-bytes needs --cache-dir "
+                             "(or VSIM_CACHE_DIR)\n");
+        return 2;
+    }
 
     try {
         if (!cache_dir.empty()) {
-            sim::RunCache::process().attachDisk(
-                std::make_shared<sim::DiskRunCache>(cache_dir));
-            VSIM_INFORM("sweepd: persistent cache at ", cache_dir);
+            auto disk = std::make_shared<sim::DiskRunCache>(cache_dir);
+            disk->setMaxBytes(cache_max_bytes);
+            sim::RunCache::process().attachDisk(std::move(disk));
+            VSIM_INFORM("sweepd: persistent cache at ", cache_dir,
+                        cache_max_bytes
+                            ? " (budget " +
+                                  std::to_string(cache_max_bytes) +
+                                  " bytes)"
+                            : "");
         }
         sim::SweepServer server(socket_path, workers);
         g_server = &server;
